@@ -1,0 +1,34 @@
+//! # obs-analytics — simulated third-party analytics panels
+//!
+//! The paper sources several measures from public analytics services:
+//! Alexa (traffic rank, daily visitors, daily page views, average
+//! time on site, bounce rate, new discussions per day), inbound link
+//! counts, and Feedburner feed-subscription counts (Table 1). Those
+//! services are gone or unreachable, so this crate simulates them on
+//! top of the synthetic world's latent factors:
+//!
+//! * [`visits`] — a panel-style visit log: per-source browsing
+//!   sessions with page counts and dwell times, sampled from the
+//!   source's *popularity* (session volume) and *stickiness* (session
+//!   depth/length);
+//! * [`panel`] — the [`AlexaPanel`](panel::AlexaPanel): aggregates
+//!   the visit log into exactly the metrics the paper reads off
+//!   Alexa;
+//! * [`links`] — a preferential-attachment inbound [`LinkGraph`]
+//!   (popular sources attract links, topically close sources link
+//!   more), feeding both the authority measure and the search
+//!   baseline's PageRank;
+//! * [`feeds`] — the [`FeedRegistry`](feeds::FeedRegistry)
+//!   (Feedburner substitute) for feed-subscription counts.
+
+#![warn(missing_docs)]
+
+pub mod feeds;
+pub mod links;
+pub mod panel;
+pub mod visits;
+
+pub use feeds::FeedRegistry;
+pub use links::LinkGraph;
+pub use panel::{AlexaPanel, SourceTraffic};
+pub use visits::{VisitLog, VisitSession};

@@ -1,0 +1,225 @@
+//! Panel-style visit-log simulation.
+//!
+//! Alexa's metrics came from a browsing panel: a sample of real
+//! sessions per site. We reproduce that substrate instead of
+//! synthesizing the aggregates directly — the [`AlexaPanel`] is then
+//! an honest aggregation over this log, and tests can check the
+//! aggregation logic independently of the generation model.
+//!
+//! [`AlexaPanel`]: crate::panel::AlexaPanel
+
+use obs_synth::rng::Rng64;
+use obs_synth::World;
+use obs_model::SourceId;
+
+/// One sampled browsing session on a source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VisitSession {
+    /// Visited source.
+    pub source: SourceId,
+    /// Simulated day of the visit.
+    pub day: u32,
+    /// Pages viewed during the session (≥ 1).
+    pub pages: u16,
+    /// Seconds spent on the source.
+    pub dwell_secs: u32,
+}
+
+impl VisitSession {
+    /// A bounce is a single-page session.
+    pub fn bounced(&self) -> bool {
+        self.pages == 1
+    }
+}
+
+/// A sampled visit log over all sources of a world.
+///
+/// Real panels observe a fixed fraction of traffic; we likewise cap
+/// the per-source sample and keep the true session volume as a
+/// scaling weight, so visitor estimates stay proportional to the
+/// latent popularity even for the giants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisitLog {
+    sessions: Vec<VisitSession>,
+    /// Per-source scaling: true sessions represented by each sampled
+    /// one (1.0 when the source was fully sampled).
+    weights: Vec<f64>,
+    sessions_by_source: Vec<Vec<u32>>,
+    days: u32,
+}
+
+/// Sampling cap per source; beyond it the log stores a weight.
+const MAX_SAMPLED_SESSIONS: usize = 400;
+
+impl VisitLog {
+    /// Simulates the panel for a world. `seed` controls only the
+    /// panel's own randomness (session shapes), not the world.
+    pub fn simulate(world: &World, seed: u64) -> VisitLog {
+        let mut rng = Rng64::seeded(seed ^ 0xA11A);
+        let days = world.config.days.max(1) as u32;
+        let mut sessions = Vec::new();
+        let mut weights = Vec::with_capacity(world.source_latents.len());
+        let mut by_source = Vec::with_capacity(world.source_latents.len());
+
+        for (idx, latent) in world.source_latents.iter().enumerate() {
+            let source = SourceId::new(idx as u32);
+            // True daily sessions grow super-linearly in popularity;
+            // the heavy tail mirrors real traffic distributions.
+            let daily_sessions = 8.0 + 4_000.0 * latent.popularity.powf(1.6)
+                * rng.log_normal(0.0, 0.25);
+            let total_sessions = (daily_sessions * days as f64).round().max(1.0);
+            let sampled = (total_sessions as usize).min(MAX_SAMPLED_SESSIONS);
+            let weight = total_sessions / sampled as f64;
+
+            let mut ids = Vec::with_capacity(sampled);
+            for _ in 0..sampled {
+                let day = rng.range_u64(0, days as u64) as u32;
+                // Stickiness drives session depth and dwell.
+                let depth_mean = 1.15 + 6.0 * latent.stickiness;
+                let pages = (1.0 + rng.exponential(1.0 / (depth_mean - 1.0).max(0.05)))
+                    .round()
+                    .clamp(1.0, 200.0) as u16;
+                let per_page = 25.0 + 220.0 * latent.stickiness * rng.log_normal(0.0, 0.4);
+                let dwell_secs = (pages as f64 * per_page).round().clamp(5.0, 14_400.0) as u32;
+                ids.push(sessions.len() as u32);
+                sessions.push(VisitSession { source, day, pages, dwell_secs });
+            }
+            weights.push(weight);
+            by_source.push(ids);
+        }
+
+        VisitLog { sessions, weights, sessions_by_source: by_source, days }
+    }
+
+    /// All sampled sessions.
+    pub fn sessions(&self) -> &[VisitSession] {
+        &self.sessions
+    }
+
+    /// Sampled sessions of one source.
+    pub fn sessions_of(&self, source: SourceId) -> impl Iterator<Item = &VisitSession> {
+        self.sessions_by_source
+            .get(source.index())
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.sessions[i as usize])
+    }
+
+    /// Sampling weight of a source (true sessions per sampled one).
+    pub fn weight_of(&self, source: SourceId) -> f64 {
+        self.weights.get(source.index()).copied().unwrap_or(1.0)
+    }
+
+    /// Number of observed days.
+    pub fn days(&self) -> u32 {
+        self.days
+    }
+
+    /// Number of sources covered by the log (dense by id).
+    pub fn source_count(&self) -> usize {
+        self.sessions_by_source.len()
+    }
+
+    /// Estimated *total* sessions of a source (sampled × weight).
+    pub fn estimated_sessions(&self, source: SourceId) -> f64 {
+        self.sessions_by_source
+            .get(source.index())
+            .map_or(0.0, |v| v.len() as f64 * self.weight_of(source))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs_synth::WorldConfig;
+
+    fn log() -> (World, VisitLog) {
+        let world = World::generate(WorldConfig::small(31));
+        let log = VisitLog::simulate(&world, 7);
+        (world, log)
+    }
+
+    #[test]
+    fn every_source_has_sessions() {
+        let (world, log) = log();
+        for s in world.corpus.sources() {
+            assert!(log.sessions_of(s.id).count() > 0, "{} has no sessions", s.id);
+            assert!(log.weight_of(s.id) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn sessions_are_within_bounds() {
+        let (world, log) = log();
+        let days = world.config.days as u32;
+        for s in log.sessions() {
+            assert!(s.day < days);
+            assert!(s.pages >= 1);
+            assert!(s.dwell_secs >= 5);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let world = World::generate(WorldConfig::small(32));
+        assert_eq!(VisitLog::simulate(&world, 5), VisitLog::simulate(&world, 5));
+    }
+
+    #[test]
+    fn popular_sources_get_more_estimated_sessions() {
+        let (world, log) = log();
+        let mut by_pop: Vec<(f64, f64)> = world
+            .source_latents
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.popularity, log.estimated_sessions(SourceId::new(i as u32))))
+            .collect();
+        by_pop.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let top = by_pop.first().unwrap().1;
+        let bottom = by_pop.last().unwrap().1;
+        assert!(top > bottom, "top {top} bottom {bottom}");
+    }
+
+    #[test]
+    fn sticky_sources_have_deeper_sessions() {
+        let (world, log) = log();
+        // Compare the stickiest and least sticky sources.
+        let mut idx: Vec<usize> = (0..world.source_latents.len()).collect();
+        idx.sort_by(|&a, &b| {
+            world.source_latents[b]
+                .stickiness
+                .total_cmp(&world.source_latents[a].stickiness)
+        });
+        let deep: f64 = {
+            let s = SourceId::new(idx[0] as u32);
+            let (pages, n) = log
+                .sessions_of(s)
+                .fold((0u64, 0u64), |(p, n), v| (p + v.pages as u64, n + 1));
+            pages as f64 / n as f64
+        };
+        let shallow: f64 = {
+            let s = SourceId::new(*idx.last().unwrap() as u32);
+            let (pages, n) = log
+                .sessions_of(s)
+                .fold((0u64, 0u64), |(p, n), v| (p + v.pages as u64, n + 1));
+            pages as f64 / n as f64
+        };
+        assert!(deep > shallow, "deep {deep} shallow {shallow}");
+    }
+
+    #[test]
+    fn bounce_is_single_page() {
+        let s = VisitSession { source: SourceId::new(0), day: 0, pages: 1, dwell_secs: 10 };
+        assert!(s.bounced());
+        let s2 = VisitSession { pages: 3, ..s };
+        assert!(!s2.bounced());
+    }
+
+    #[test]
+    fn unknown_source_is_empty_not_panicking() {
+        let (_, log) = log();
+        assert_eq!(log.sessions_of(SourceId::new(9_999)).count(), 0);
+        assert_eq!(log.estimated_sessions(SourceId::new(9_999)), 0.0);
+        assert_eq!(log.weight_of(SourceId::new(9_999)), 1.0);
+    }
+}

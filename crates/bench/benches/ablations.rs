@@ -1,0 +1,94 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! normalization scheme, tau variant, document scoring, influencer
+//! rule and world generation. Where the choice is about *outcome*
+//! rather than speed, the bench prints the outcome comparison once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obs_analytics::{AlexaPanel, FeedRegistry, LinkGraph};
+use obs_quality::{influence_profiles, likely_spammers, SourceContext};
+use obs_search::index::InvertedIndex;
+use obs_search::score::{bm25_scores, tfidf_scores, Bm25Params};
+use obs_stats::normalize::{benchmark_relative, min_max, robust_min_max, z_scores};
+use obs_synth::{Rng64, World, WorldConfig};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    // Normalization schemes over a heavy-tailed sample.
+    let mut rng = Rng64::seeded(5);
+    let sample: Vec<f64> = (0..2000).map(|_| rng.pareto(1.0, 1.3)).collect();
+    group.bench_function("normalize/min_max", |b| {
+        b.iter(|| black_box(min_max(&sample)))
+    });
+    group.bench_function("normalize/z_scores", |b| {
+        b.iter(|| black_box(z_scores(&sample)))
+    });
+    group.bench_function("normalize/robust_min_max", |b| {
+        b.iter(|| black_box(robust_min_max(&sample, 0.05)))
+    });
+    group.bench_function("normalize/benchmark_relative", |b| {
+        b.iter(|| {
+            black_box(
+                sample
+                    .iter()
+                    .map(|&v| benchmark_relative(v, 10.0))
+                    .sum::<f64>(),
+            )
+        })
+    });
+
+    // Document scoring: BM25 vs TF-IDF.
+    let world = World::generate(WorldConfig::small(9));
+    let index = InvertedIndex::build(&world.corpus);
+    let terms = vec!["duomo".to_owned(), "museum".to_owned()];
+    group.bench_function("docscore/bm25", |b| {
+        b.iter(|| black_box(bm25_scores(&index, &terms, Bm25Params::default())))
+    });
+    group.bench_function("docscore/tfidf", |b| {
+        b.iter(|| black_box(tfidf_scores(&index, &terms)))
+    });
+
+    // Influencer analysis over a mid-sized world.
+    let world2 = World::generate(WorldConfig {
+        users: 400,
+        sources: 30,
+        ..WorldConfig::small(13)
+    });
+    let panel = AlexaPanel::simulate(&world2, 1);
+    let links = LinkGraph::simulate(&world2, 2);
+    let feeds = FeedRegistry::simulate(&world2, 3);
+    let di = world2.open_di();
+    let ctx = SourceContext::new(&world2.corpus, &panel, &links, &feeds, &di, world2.now);
+    group.bench_function("influence/profiles", |b| {
+        b.iter(|| black_box(influence_profiles(&ctx)))
+    });
+    group.finish();
+
+    // Outcome ablation: combined vs absolute-only influencer rule on
+    // spam contamination (printed once).
+    let profiles = influence_profiles(&ctx);
+    let spam_truth: Vec<bool> = world2.user_latents.iter().map(|u| u.spammer).collect();
+    let top_k = 20.min(profiles.len());
+    let combined_top: usize = profiles
+        .iter()
+        .take(top_k)
+        .filter(|p| spam_truth[p.user.index()])
+        .count();
+    let mut by_absolute = profiles.clone();
+    by_absolute.sort_by(|a, b| b.received_absolute.total_cmp(&a.received_absolute));
+    let absolute_top: usize = by_absolute
+        .iter()
+        .take(top_k)
+        .filter(|p| spam_truth[p.user.index()])
+        .count();
+    let flagged = likely_spammers(&profiles);
+    println!(
+        "\nablation influencer-rule: spam bots in top-{top_k} — combined rule: {combined_top}, absolute-only: {absolute_top}; spam screen flagged {} accounts\n",
+        flagged.len()
+    );
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

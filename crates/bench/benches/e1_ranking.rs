@@ -1,0 +1,31 @@
+//! E1 bench — regenerates the Section 4.1 ranking comparison and
+//! measures its pipeline: query evaluation + quality re-ranking +
+//! positional statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obs_experiments::{e1_ranking, RankingFixture, Scale};
+use std::hint::black_box;
+
+fn bench_e1(c: &mut Criterion) {
+    let fixture = RankingFixture::build(42, Scale::Quick);
+    let mut group = c.benchmark_group("e1_section4_1");
+    group.sample_size(10);
+
+    group.bench_function("full_ranking_study", |b| {
+        b.iter(|| black_box(e1_ranking::run(&fixture, 20)))
+    });
+
+    let query = &fixture.workload.queries[0];
+    group.bench_function("single_query_top20", |b| {
+        b.iter(|| black_box(fixture.engine.query(&query.terms, 20)))
+    });
+    group.finish();
+
+    // Print the regenerated artifact once so `cargo bench` output
+    // doubles as the table reproduction.
+    let report = e1_ranking::run(&fixture, 20);
+    println!("\n{}\n", report.render());
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

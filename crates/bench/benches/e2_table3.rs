@@ -1,0 +1,22 @@
+//! E2 bench — regenerates Table 3: PCA componentization + regression.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obs_experiments::e2_components::{recommended_noise, run};
+use obs_experiments::{RankingFixture, Scale};
+use std::hint::black_box;
+
+fn bench_e2(c: &mut Criterion) {
+    let fixture = RankingFixture::build(42, Scale::Quick);
+    let noise = recommended_noise(Scale::Quick);
+    let mut group = c.benchmark_group("e2_table3");
+    group.sample_size(10);
+    group.bench_function("componentization_and_regression", |b| {
+        b.iter(|| black_box(run(&fixture, noise)))
+    });
+    group.finish();
+
+    println!("\n{}\n", run(&fixture, noise).render());
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! E3 bench — regenerates Table 4: ANOVA + Bonferroni by account kind.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obs_experiments::e3_anova::run;
+use obs_synth::TwitterConfig;
+use std::hint::black_box;
+
+fn bench_e3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_table4");
+    group.sample_size(20);
+    group.bench_function("anova_bonferroni_813_accounts", |b| {
+        b.iter(|| black_box(run(TwitterConfig::default())))
+    });
+    group.finish();
+
+    println!("\n{}\n", run(TwitterConfig::default()).render());
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

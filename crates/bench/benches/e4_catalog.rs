@@ -1,0 +1,32 @@
+//! E4 bench — evaluates the full Table 1 + Table 2 measure catalogs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obs_experiments::{e4_catalog, Scale, SentimentFixture};
+use obs_quality::{assess_source, Benchmarks, Weights};
+use std::hint::black_box;
+
+fn bench_e4(c: &mut Criterion) {
+    let fixture = SentimentFixture::build(42, Scale::Quick);
+    let ctx = fixture.ctx();
+    let weights = Weights::uniform();
+    let benchmarks = Benchmarks::for_sources(&ctx, 0.9);
+
+    let mut group = c.benchmark_group("e4_tables12");
+    group.sample_size(10);
+    group.bench_function("catalog_report", |b| {
+        b.iter(|| black_box(e4_catalog::run(&fixture)))
+    });
+    group.bench_function("assess_one_source_19_measures", |b| {
+        let s = fixture.world.corpus.sources()[0].id;
+        b.iter(|| black_box(assess_source(&ctx, s, &weights, &benchmarks)))
+    });
+    group.bench_function("benchmarks_for_sources", |b| {
+        b.iter(|| black_box(Benchmarks::for_sources(&ctx, 0.9)))
+    });
+    group.finish();
+
+    println!("\n{}\n", e4_catalog::run(&fixture).render());
+}
+
+criterion_group!(benches, bench_e4);
+criterion_main!(benches);

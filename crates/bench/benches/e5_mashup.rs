@@ -1,0 +1,26 @@
+//! E5 bench — builds and executes the Figure 1 mashup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obs_experiments::{e5_mashup, Scale, SentimentFixture};
+use std::hint::black_box;
+
+fn bench_e5(c: &mut Criterion) {
+    let fixture = SentimentFixture::build(42, Scale::Quick);
+    let mut group = c.benchmark_group("e5_figure1");
+    group.sample_size(10);
+    group.bench_function("figure1_execution", |b| {
+        b.iter(|| black_box(e5_mashup::run(&fixture)))
+    });
+    group.finish();
+
+    let report = e5_mashup::run(&fixture);
+    println!(
+        "\nFigure 1 executed: {} -> {} items through the influencer filter; {} viewers rendered\n",
+        report.filter_in,
+        report.filter_out,
+        report.renders.len()
+    );
+}
+
+criterion_group!(benches, bench_e5);
+criterion_main!(benches);

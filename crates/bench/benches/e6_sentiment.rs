@@ -1,0 +1,24 @@
+//! E6 bench — quality-weighted sentiment indicators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obs_experiments::{e6_sentiment, Scale, SentimentFixture};
+use obs_sentiment::score_text;
+use std::hint::black_box;
+
+fn bench_e6(c: &mut Criterion) {
+    let fixture = SentimentFixture::build(42, Scale::Quick);
+    let mut group = c.benchmark_group("e6_sentiment");
+    group.sample_size(10);
+    group.bench_function("quality_weighted_indicator_study", |b| {
+        b.iter(|| black_box(e6_sentiment::run(&fixture)))
+    });
+    group.bench_function("score_text_sentence", |b| {
+        b.iter(|| black_box(score_text("the duomo was not very clean but absolutely stunning")))
+    });
+    group.finish();
+
+    println!("\n{}\n", e6_sentiment::run(&fixture).render());
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Microbenchmarks of the search baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obs_analytics::{AlexaPanel, LinkGraph};
+use obs_search::{pagerank, BlendWeights, InvertedIndex, SearchEngine};
+use obs_synth::{QueryWorkload, World, WorldConfig};
+use std::hint::black_box;
+
+fn bench_search(c: &mut Criterion) {
+    let world = World::generate(WorldConfig {
+        sources: 220,
+        users: 900,
+        mean_discussions_per_source: 10.0,
+        ..WorldConfig::ranking_study(42)
+    });
+    let panel = AlexaPanel::simulate(&world, 1);
+    let links = LinkGraph::simulate(&world, 2);
+    let workload = QueryWorkload::generate(3, 20, 18);
+
+    let mut group = c.benchmark_group("micro_search");
+    group.sample_size(10);
+
+    group.bench_function("index_build", |b| {
+        b.iter(|| black_box(InvertedIndex::build(&world.corpus)))
+    });
+    group.bench_function("engine_build", |b| {
+        b.iter(|| {
+            black_box(SearchEngine::build(
+                &world.corpus,
+                &panel,
+                &links,
+                BlendWeights::default(),
+            ))
+        })
+    });
+    group.bench_function("pagerank_50_iters", |b| {
+        b.iter(|| black_box(pagerank(&links, 0.85, 50)))
+    });
+
+    let engine = SearchEngine::build(&world.corpus, &panel, &links, BlendWeights::default());
+    group.bench_function("query_top20", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &workload.queries[i % workload.queries.len()];
+            i += 1;
+            black_box(engine.query(&q.terms, 20))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

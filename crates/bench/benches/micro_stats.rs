@@ -1,0 +1,69 @@
+//! Microbenchmarks of the statistics substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obs_stats::anova::one_way_anova;
+use obs_stats::correlation::{kendall_tau_b, kendall_tau_b_reference};
+use obs_stats::pca::{pca, PcaOptions};
+use obs_stats::regression::ols;
+use obs_synth::Rng64;
+use std::hint::black_box;
+
+fn data(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = Rng64::seeded(seed);
+    let x: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+    let y: Vec<f64> = x.iter().map(|v| v * 0.4 + rng.normal()).collect();
+    (x, y)
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_stats");
+    group.sample_size(20);
+
+    for n in [100usize, 1000] {
+        let (x, y) = data(n, 7);
+        group.bench_with_input(BenchmarkId::new("kendall_knight", n), &n, |b, _| {
+            b.iter(|| black_box(kendall_tau_b(&x, &y).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("kendall_naive", n), &n, |b, _| {
+            b.iter(|| black_box(kendall_tau_b_reference(&x, &y).unwrap()))
+        });
+    }
+
+    // PCA over 10 variables × 1000 observations (the Table 3 shape).
+    let mut rng = Rng64::seeded(11);
+    let factors: Vec<Vec<f64>> = (0..3)
+        .map(|_| (0..1000).map(|_| rng.normal()).collect())
+        .collect();
+    let variables: Vec<Vec<f64>> = (0..10)
+        .map(|v| {
+            let f = &factors[v % 3];
+            f.iter().map(|x| x + 0.3 * rng.normal()).collect()
+        })
+        .collect();
+    group.bench_function("pca_varimax_10x1000", |b| {
+        b.iter(|| black_box(pca(&variables, PcaOptions::default()).unwrap()))
+    });
+
+    // OLS with 3 predictors × 1000 observations.
+    let y: Vec<f64> = (0..1000)
+        .map(|i| {
+            factors[0][i] - 0.5 * factors[1][i] + 0.2 * factors[2][i] + rng.normal()
+        })
+        .collect();
+    group.bench_function("ols_3x1000", |b| {
+        b.iter(|| black_box(ols(&y, &factors).unwrap()))
+    });
+
+    // One-way ANOVA, three groups of ~270 (the Table 4 shape).
+    let g1: Vec<f64> = (0..500).map(|_| rng.log_normal(7.8, 0.6)).collect();
+    let g2: Vec<f64> = (0..190).map(|_| rng.log_normal(7.0, 0.6)).collect();
+    let g3: Vec<f64> = (0..123).map(|_| rng.log_normal(7.8, 0.6)).collect();
+    group.bench_function("anova_813", |b| {
+        b.iter(|| black_box(one_way_anova(&[&g1, &g2, &g3]).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! # obs-bench — the benchmark harness
+//!
+//! All content lives in `benches/`: one Criterion bench per paper
+//! table/figure (`e1_ranking` … `e6_sentiment`), microbenchmarks for
+//! the statistics and search substrates (`micro_stats`,
+//! `micro_search`) and outcome/throughput ablations (`ablations`).
+//! Run with `cargo bench -p obs-bench`; each experiment bench also
+//! prints the regenerated artifact so benchmark logs double as
+//! reproduction records.

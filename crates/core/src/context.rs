@@ -1,0 +1,156 @@
+//! The evaluation context for quality measures.
+//!
+//! Bundles everything a measure may read: the crawled corpus, the
+//! three analytics substrates, the Domain of Interest and the
+//! evaluation instant. Also pre-computes the cross-source facts some
+//! measures need (the largest blog/forum, for the "compared to
+//! largest Web blog/forum" completeness measure).
+
+use obs_analytics::{AlexaPanel, FeedRegistry, LinkGraph};
+use obs_model::{
+    CategoryId, Corpus, DiscussionId, DomainOfInterest, SourceId, Timestamp,
+};
+
+/// Everything a source- or contributor-measure evaluation needs.
+#[derive(Debug, Clone)]
+pub struct SourceContext<'a> {
+    /// The crawled corpus.
+    pub corpus: &'a Corpus,
+    /// Traffic panel (Alexa substitute).
+    pub panel: &'a AlexaPanel,
+    /// Inbound-link graph.
+    pub links: &'a LinkGraph,
+    /// Feed-subscription registry (Feedburner substitute).
+    pub feeds: &'a FeedRegistry,
+    /// The Domain of Interest scoping domain-dependent measures.
+    pub di: &'a DomainOfInterest,
+    /// Evaluation instant (ages and rates are measured up to here).
+    pub now: Timestamp,
+    /// Open-discussion count of the largest blog/forum in the corpus
+    /// (denominator of the completeness/traffic measure).
+    largest_blog_forum_open: usize,
+}
+
+impl<'a> SourceContext<'a> {
+    /// Builds a context, pre-computing cross-source aggregates.
+    pub fn new(
+        corpus: &'a Corpus,
+        panel: &'a AlexaPanel,
+        links: &'a LinkGraph,
+        feeds: &'a FeedRegistry,
+        di: &'a DomainOfInterest,
+        now: Timestamp,
+    ) -> Self {
+        let largest = corpus
+            .sources()
+            .iter()
+            .filter(|s| s.kind.in_search_study())
+            .map(|s| {
+                corpus
+                    .discussions_of_source(s.id)
+                    .iter()
+                    .filter(|&&d| !corpus.discussion(d).map(|x| x.closed).unwrap_or(true))
+                    .count()
+            })
+            .max()
+            .unwrap_or(0);
+        SourceContext {
+            corpus,
+            panel,
+            links,
+            feeds,
+            di,
+            now,
+            largest_blog_forum_open: largest,
+        }
+    }
+
+    /// Open-discussion count of the corpus's largest blog/forum.
+    pub fn largest_blog_forum_open(&self) -> usize {
+        self.largest_blog_forum_open.max(1)
+    }
+
+    /// Whether a discussion is open (not closed by moderators).
+    pub fn is_open(&self, d: DiscussionId) -> bool {
+        self.corpus.discussion(d).map(|x| !x.closed).unwrap_or(false)
+    }
+
+    /// Whether a discussion's category is covered by the DI.
+    pub fn in_di_categories(&self, category: CategoryId) -> bool {
+        self.di.covers_category(category)
+    }
+
+    /// The observation span in days (from source founding — or the
+    /// epoch — to now), floored at one day.
+    pub fn observed_days(&self, source: SourceId) -> f64 {
+        let founded = self
+            .corpus
+            .source(source)
+            .map(|s| s.founded)
+            .unwrap_or(Timestamp::EPOCH);
+        (self.now.since(founded).days_f64()).max(1.0)
+    }
+
+    /// Age of the evaluation window in days (for per-day rates over
+    /// the DI window), floored at one day.
+    pub fn di_window_days(&self) -> f64 {
+        let end = self.di.window.end.min(self.now);
+        let span = end.since(self.di.window.start);
+        span.days_f64().max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs_synth::{World, WorldConfig};
+
+    struct Fixture {
+        world: World,
+        panel: AlexaPanel,
+        links: LinkGraph,
+        feeds: FeedRegistry,
+        di: DomainOfInterest,
+    }
+
+    fn fixture() -> Fixture {
+        let world = World::generate(WorldConfig::small(404));
+        let panel = AlexaPanel::simulate(&world, 1);
+        let links = LinkGraph::simulate(&world, 2);
+        let feeds = FeedRegistry::simulate(&world, 3);
+        let di = world.tourism_di();
+        Fixture { world, panel, links, feeds, di }
+    }
+
+    #[test]
+    fn largest_blog_forum_is_positive_and_maximal() {
+        let f = fixture();
+        let ctx = SourceContext::new(
+            &f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now,
+        );
+        let max = ctx.largest_blog_forum_open();
+        assert!(max >= 1);
+        for s in f.world.corpus.sources().iter().filter(|s| s.kind.in_search_study()) {
+            let open = f
+                .world
+                .corpus
+                .discussions_of_source(s.id)
+                .iter()
+                .filter(|&&d| ctx.is_open(d))
+                .count();
+            assert!(open <= max);
+        }
+    }
+
+    #[test]
+    fn observed_days_is_floored() {
+        let f = fixture();
+        let ctx = SourceContext::new(
+            &f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now,
+        );
+        for s in f.world.corpus.sources() {
+            assert!(ctx.observed_days(s.id) >= 1.0);
+        }
+        assert!(ctx.di_window_days() >= 1.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Influencer detection and spam screening.
+//!
+//! Section 3.2: *"our model distinguishes between absolute volumes of
+//! interactions […] and relative volumes of interactions […]. Such
+//! distinction allows one identifying the abilities of a user to
+//! generate reactions and also her efficiency in a given domain […]
+//! Moreover a smart combination of these measures can also help
+//! reduce the problems deriving from spammers and bots."*
+//!
+//! The combination implemented here scores each contributor by the
+//! geometric mean of their percentile on **absolute** received
+//! interactions and their percentile on **relative** received
+//! interactions (received per emission). Accounts that blast content
+//! without resonance (bots) collapse on the relative axis; accounts
+//! with one lucky hit collapse on the absolute axis; influencers need
+//! both.
+
+use crate::context::SourceContext;
+use crate::contributor_measures::{emissions, feedbacks_received, replies_received};
+use obs_model::UserId;
+use obs_stats::rank::{average_ranks, Direction};
+
+/// The influence facts of one contributor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InfluenceProfile {
+    /// The contributor.
+    pub user: UserId,
+    /// Emissions: posts + comments + active interactions performed.
+    pub emissions: usize,
+    /// Absolute received volume (replies + mentions + feedbacks +
+    /// retweets received).
+    pub received_absolute: f64,
+    /// Relative received volume: absolute / emissions.
+    pub received_relative: f64,
+    /// Combined influence score in `[0, 1]`: geometric mean of the
+    /// two percentile ranks.
+    pub combined_score: f64,
+    /// Percentile (0–1) on the absolute axis.
+    pub absolute_percentile: f64,
+    /// Percentile (0–1) on the relative axis.
+    pub relative_percentile: f64,
+}
+
+/// Builds influence profiles for every user with at least one
+/// emission, sorted by combined score descending.
+pub fn influence_profiles(ctx: &SourceContext<'_>) -> Vec<InfluenceProfile> {
+    let mut users = Vec::new();
+    let mut absolutes = Vec::new();
+    let mut relatives = Vec::new();
+    for u in ctx.corpus.users() {
+        let em = emissions(ctx, u.id);
+        if em == 0 {
+            continue;
+        }
+        let absolute = (replies_received(ctx, u.id) + feedbacks_received(ctx, u.id)) as f64;
+        let relative = absolute / em as f64;
+        users.push((u.id, em));
+        absolutes.push(absolute);
+        relatives.push(relative);
+    }
+    if users.is_empty() {
+        return Vec::new();
+    }
+
+    let n = users.len() as f64;
+    // Ascending ranks: percentile = rank / n (1.0 = best).
+    let abs_ranks = average_ranks(&absolutes, Direction::Ascending);
+    let rel_ranks = average_ranks(&relatives, Direction::Ascending);
+
+    let mut profiles: Vec<InfluenceProfile> = users
+        .into_iter()
+        .enumerate()
+        .map(|(i, (user, em))| {
+            let ap = abs_ranks[i] / n;
+            let rp = rel_ranks[i] / n;
+            InfluenceProfile {
+                user,
+                emissions: em,
+                received_absolute: absolutes[i],
+                received_relative: relatives[i],
+                combined_score: (ap * rp).sqrt(),
+                absolute_percentile: ap,
+                relative_percentile: rp,
+            }
+        })
+        .collect();
+    profiles.sort_by(|a, b| {
+        b.combined_score
+            .total_cmp(&a.combined_score)
+            .then(a.user.cmp(&b.user))
+    });
+    profiles
+}
+
+/// The top `count` influencers by combined score.
+pub fn influencers(profiles: &[InfluenceProfile], count: usize) -> Vec<UserId> {
+    profiles.iter().take(count).map(|p| p.user).collect()
+}
+
+/// Contributors whose behaviour matches the bot signature: emission
+/// volume in the top quartile while relative resonance sits in the
+/// bottom quintile.
+pub fn likely_spammers(profiles: &[InfluenceProfile]) -> Vec<UserId> {
+    if profiles.is_empty() {
+        return Vec::new();
+    }
+    let mut emission_counts: Vec<f64> = profiles.iter().map(|p| p.emissions as f64).collect();
+    emission_counts.sort_by(|a, b| a.total_cmp(b));
+    let q75 = obs_stats::desc::quantile(&emission_counts, 0.75).unwrap_or(f64::MAX);
+    profiles
+        .iter()
+        .filter(|p| p.emissions as f64 >= q75 && p.relative_percentile <= 0.20)
+        .map(|p| p.user)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs_analytics::{AlexaPanel, FeedRegistry, LinkGraph};
+    use obs_model::DomainOfInterest;
+    use obs_synth::{World, WorldConfig};
+
+    struct Fixture {
+        world: World,
+        panel: AlexaPanel,
+        links: LinkGraph,
+        feeds: FeedRegistry,
+        di: DomainOfInterest,
+    }
+
+    impl Fixture {
+        fn ctx(&self) -> SourceContext<'_> {
+            SourceContext::new(
+                &self.world.corpus,
+                &self.panel,
+                &self.links,
+                &self.feeds,
+                &self.di,
+                self.world.now,
+            )
+        }
+    }
+
+    fn fixture() -> Fixture {
+        // A denser world so user behaviour differentiates.
+        let world = World::generate(WorldConfig {
+            users: 400,
+            sources: 30,
+            mean_discussions_per_source: 15.0,
+            interaction_rate: 1.5,
+            ..WorldConfig::small(909)
+        });
+        let panel = AlexaPanel::simulate(&world, 1);
+        let links = LinkGraph::simulate(&world, 2);
+        let feeds = FeedRegistry::simulate(&world, 3);
+        let di = DomainOfInterest::unconstrained("all");
+        Fixture { world, panel, links, feeds, di }
+    }
+
+    #[test]
+    fn profiles_are_sorted_and_bounded() {
+        let f = fixture();
+        let ctx = f.ctx();
+        let profiles = influence_profiles(&ctx);
+        assert!(!profiles.is_empty());
+        for w in profiles.windows(2) {
+            assert!(w[0].combined_score >= w[1].combined_score);
+        }
+        for p in &profiles {
+            assert!((0.0..=1.0).contains(&p.combined_score));
+            assert!((0.0..=1.0).contains(&p.absolute_percentile));
+            assert!((0.0..=1.0).contains(&p.relative_percentile));
+            assert!(p.emissions > 0);
+        }
+    }
+
+    #[test]
+    fn influencers_are_the_top_of_the_list() {
+        let f = fixture();
+        let ctx = f.ctx();
+        let profiles = influence_profiles(&ctx);
+        let top = influencers(&profiles, 10);
+        assert_eq!(top.len(), 10.min(profiles.len()));
+        assert_eq!(top[0], profiles[0].user);
+    }
+
+    #[test]
+    fn high_influence_users_rank_above_spam_bots() {
+        let f = fixture();
+        let ctx = f.ctx();
+        let profiles = influence_profiles(&ctx);
+
+        // Ground truth: spam bots (world latents) should collect a
+        // lower mean combined score than genuinely influential users.
+        let mean_score = |flag: bool| {
+            let xs: Vec<f64> = profiles
+                .iter()
+                .filter(|p| f.world.user_latents[p.user.index()].spammer == flag)
+                .map(|p| p.combined_score)
+                .collect();
+            if xs.is_empty() {
+                None
+            } else {
+                Some(xs.iter().sum::<f64>() / xs.len() as f64)
+            }
+        };
+        if let (Some(spam), Some(legit)) = (mean_score(true), mean_score(false)) {
+            assert!(
+                spam < legit,
+                "spam bots score {spam:.3} should be below legit {legit:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn combined_rule_penalizes_spammers_more_than_absolute_only() {
+        let f = fixture();
+        let ctx = f.ctx();
+        let profiles = influence_profiles(&ctx);
+        let spammers: Vec<&InfluenceProfile> = profiles
+            .iter()
+            .filter(|p| f.world.user_latents[p.user.index()].spammer)
+            .collect();
+        if spammers.is_empty() {
+            return; // this seed produced no active spammers
+        }
+        // On average, a spammer's combined score must sit below their
+        // absolute percentile: the relative axis is what demotes them.
+        let avg_combined: f64 =
+            spammers.iter().map(|p| p.combined_score).sum::<f64>() / spammers.len() as f64;
+        let avg_absolute: f64 =
+            spammers.iter().map(|p| p.absolute_percentile).sum::<f64>() / spammers.len() as f64;
+        assert!(
+            avg_combined < avg_absolute,
+            "combined {avg_combined:.3} vs absolute {avg_absolute:.3}"
+        );
+    }
+
+    #[test]
+    fn spam_screen_flags_ground_truth_spammers_disproportionately() {
+        let f = fixture();
+        let ctx = f.ctx();
+        let profiles = influence_profiles(&ctx);
+        let flagged = likely_spammers(&profiles);
+        if flagged.is_empty() {
+            return;
+        }
+        let spam_rate_flagged = flagged
+            .iter()
+            .filter(|u| f.world.user_latents[u.index()].spammer)
+            .count() as f64
+            / flagged.len() as f64;
+        let spam_rate_overall = profiles
+            .iter()
+            .filter(|p| f.world.user_latents[p.user.index()].spammer)
+            .count() as f64
+            / profiles.len() as f64;
+        assert!(
+            spam_rate_flagged > spam_rate_overall,
+            "flagged set ({spam_rate_flagged:.2}) should be enriched vs base ({spam_rate_overall:.2})"
+        );
+    }
+
+    #[test]
+    fn empty_corpus_gives_empty_profiles() {
+        use obs_model::{CorpusBuilder, Timestamp};
+        let corpus = CorpusBuilder::new().build();
+        let world = World::generate(WorldConfig::small(1));
+        let panel = AlexaPanel::simulate(&world, 1);
+        let links = LinkGraph::simulate(&world, 1);
+        let feeds = FeedRegistry::simulate(&world, 1);
+        let di = DomainOfInterest::unconstrained("all");
+        let ctx = SourceContext::new(&corpus, &panel, &links, &feeds, &di, Timestamp::EPOCH);
+        assert!(influence_profiles(&ctx).is_empty());
+        assert!(likely_spammers(&[]).is_empty());
+    }
+}

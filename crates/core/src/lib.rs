@@ -1,0 +1,44 @@
+//! # obs-quality — the paper's quality model
+//!
+//! This crate is the reproduction's core contribution: the quality
+//! model of *Informing Observers* (Section 3), its Table 1 catalog of
+//! **source** measures and Table 2 catalog of **contributor**
+//! measures, benchmark-based normalization and weighted aggregation
+//! into quality scores, quality-driven ranking, and the
+//! absolute-×-relative influencer analysis of Section 3.2.
+//!
+//! Layout:
+//!
+//! * [`taxonomy`] — dimensions (Accuracy, Completeness, Time,
+//!   Interpretability, Authority, Dependability), attributes
+//!   (Relevance, Breadth of Contributions, Traffic/Activity,
+//!   Liveliness), measure provenance and orientation;
+//! * [`context`] — the evaluation context bundling the corpus, the
+//!   analytics panels and the Domain of Interest;
+//! * [`source_measures`] — every Table 1 cell as a first-class
+//!   measure;
+//! * [`contributor_measures`] — every Table 2 cell;
+//! * [`score`] — benchmarks, weights and the weighted-average
+//!   quality scores of Section 3.1;
+//! * [`ranking`] — quality-based source ranking and the positional
+//!   comparison statistics of Section 4.1;
+//! * [`influence`] — influencer detection and spam screening from
+//!   absolute + relative interaction volumes (Section 3.2).
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod contributor_measures;
+pub mod influence;
+pub mod ranking;
+pub mod score;
+pub mod source_measures;
+pub mod taxonomy;
+
+pub use context::SourceContext;
+pub use contributor_measures::{contributor_catalog, ContributorMeasure};
+pub use influence::{influence_profiles, influencers, likely_spammers, InfluenceProfile};
+pub use ranking::{rank_sources, RankingComparison, RankedSource};
+pub use score::{assess_contributor, assess_source, Benchmarks, QualityScore, Weights};
+pub use source_measures::{source_catalog, SourceMeasure};
+pub use taxonomy::{Attribute, MeasureSpec, Orientation, Provenance, QualityDimension};

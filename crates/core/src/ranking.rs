@@ -1,0 +1,234 @@
+//! Quality-based source ranking and ranking comparison.
+//!
+//! Section 4.1 re-ranks each query's top-20 search results by the
+//! quality model and compares the two orderings with Kendall tau and
+//! positional displacement statistics ("the found average distance
+//! between the two rankings is 4 […] the percentage of cases in which
+//! the difference is greater than 5 is at least the 35 % and it is
+//! greater than 10 in about 2.5 % of the cases […] the percentage of
+//! coincident ranking position is between 7 % and 8 %"). This module
+//! provides both the re-ranking and the comparison statistics.
+
+use crate::context::SourceContext;
+use crate::score::{assess_source, Benchmarks, Weights};
+use obs_model::SourceId;
+use obs_stats::StatsError;
+
+/// One entry of a quality ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedSource {
+    /// The source.
+    pub source: SourceId,
+    /// Overall quality score.
+    pub score: f64,
+    /// 1-based position (1 = best).
+    pub position: usize,
+}
+
+/// Ranks `candidates` by overall quality, best first. Ties break by
+/// source id for determinism.
+pub fn rank_sources(
+    ctx: &SourceContext<'_>,
+    candidates: &[SourceId],
+    weights: &Weights,
+    benchmarks: &Benchmarks,
+) -> Vec<RankedSource> {
+    let mut ranked: Vec<RankedSource> = candidates
+        .iter()
+        .map(|&source| RankedSource {
+            source,
+            score: assess_source(ctx, source, weights, benchmarks).overall,
+            position: 0,
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.source.cmp(&b.source)));
+    for (i, r) in ranked.iter_mut().enumerate() {
+        r.position = i + 1;
+    }
+    ranked
+}
+
+/// Positional comparison of two rankings over the same items.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankingComparison {
+    /// Number of compared items.
+    pub n: usize,
+    /// Mean absolute positional displacement.
+    pub mean_displacement: f64,
+    /// Fraction of items displaced by more than 5 positions.
+    pub frac_over_5: f64,
+    /// Fraction of items displaced by more than 10 positions.
+    pub frac_over_10: f64,
+    /// Fraction of items keeping the same position.
+    pub frac_coincident: f64,
+    /// Kendall tau-b between the two position vectors (`NaN` when
+    /// degenerate, e.g. a single item).
+    pub kendall_tau: f64,
+}
+
+/// Compares two position vectors (`a[i]` and `b[i]` are the positions
+/// of item `i` in the two rankings).
+pub fn compare_positions(a: &[usize], b: &[usize]) -> Result<RankingComparison, StatsError> {
+    if a.len() != b.len() {
+        return Err(StatsError::DimensionMismatch {
+            context: "compare_positions",
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    if a.is_empty() {
+        return Err(StatsError::NotEnoughData {
+            context: "compare_positions",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let n = a.len();
+    let mut total = 0usize;
+    let mut over_5 = 0usize;
+    let mut over_10 = 0usize;
+    let mut coincident = 0usize;
+    for (&pa, &pb) in a.iter().zip(b) {
+        let d = pa.abs_diff(pb);
+        total += d;
+        if d > 5 {
+            over_5 += 1;
+        }
+        if d > 10 {
+            over_10 += 1;
+        }
+        if d == 0 {
+            coincident += 1;
+        }
+    }
+    let af: Vec<f64> = a.iter().map(|&x| x as f64).collect();
+    let bf: Vec<f64> = b.iter().map(|&x| x as f64).collect();
+    let kendall_tau = obs_stats::kendall_tau_b(&af, &bf).unwrap_or(f64::NAN);
+    Ok(RankingComparison {
+        n,
+        mean_displacement: total as f64 / n as f64,
+        frac_over_5: over_5 as f64 / n as f64,
+        frac_over_10: over_10 as f64 / n as f64,
+        frac_coincident: coincident as f64 / n as f64,
+        kendall_tau,
+    })
+}
+
+/// Aggregates per-query comparisons into overall statistics (the
+/// paper reports the averages over 100+ queries).
+pub fn aggregate_comparisons(comparisons: &[RankingComparison]) -> Option<RankingComparison> {
+    if comparisons.is_empty() {
+        return None;
+    }
+    let total_items: usize = comparisons.iter().map(|c| c.n).sum();
+    let weighted = |f: fn(&RankingComparison) -> f64| {
+        comparisons.iter().map(|c| f(c) * c.n as f64).sum::<f64>() / total_items as f64
+    };
+    let taus: Vec<f64> = comparisons
+        .iter()
+        .map(|c| c.kendall_tau)
+        .filter(|t| t.is_finite())
+        .collect();
+    let mean_tau = if taus.is_empty() {
+        f64::NAN
+    } else {
+        taus.iter().sum::<f64>() / taus.len() as f64
+    };
+    Some(RankingComparison {
+        n: total_items,
+        mean_displacement: weighted(|c| c.mean_displacement),
+        frac_over_5: weighted(|c| c.frac_over_5),
+        frac_over_10: weighted(|c| c.frac_over_10),
+        frac_coincident: weighted(|c| c.frac_coincident),
+        kendall_tau: mean_tau,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs_analytics::{AlexaPanel, FeedRegistry, LinkGraph};
+    use obs_synth::{World, WorldConfig};
+
+    #[test]
+    fn identical_rankings_have_zero_displacement() {
+        let pos = vec![1, 2, 3, 4, 5];
+        let c = compare_positions(&pos, &pos).unwrap();
+        assert_eq!(c.mean_displacement, 0.0);
+        assert_eq!(c.frac_coincident, 1.0);
+        assert_eq!(c.frac_over_5, 0.0);
+        assert!((c.kendall_tau - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_rankings_are_maximally_displaced() {
+        let a: Vec<usize> = (1..=20).collect();
+        let b: Vec<usize> = (1..=20).rev().collect();
+        let c = compare_positions(&a, &b).unwrap();
+        assert!((c.kendall_tau + 1.0).abs() < 1e-12);
+        // Mean displacement of a 20-item reversal is 10.
+        assert!((c.mean_displacement - 10.0).abs() < 1e-12);
+        assert_eq!(c.frac_coincident, 0.0);
+        assert!(c.frac_over_5 > 0.5);
+    }
+
+    #[test]
+    fn known_small_displacement() {
+        // Items at positions (1,2,3) vs (2,1,3): displacements 1,1,0.
+        let c = compare_positions(&[1, 2, 3], &[2, 1, 3]).unwrap();
+        assert!((c.mean_displacement - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.frac_coincident - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_or_empty_inputs_error() {
+        assert!(compare_positions(&[1, 2], &[1]).is_err());
+        assert!(compare_positions(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn rank_sources_is_a_total_order() {
+        let world = World::generate(WorldConfig::small(808));
+        let panel = AlexaPanel::simulate(&world, 1);
+        let links = LinkGraph::simulate(&world, 2);
+        let feeds = FeedRegistry::simulate(&world, 3);
+        let di = world.open_di();
+        let ctx = SourceContext::new(&world.corpus, &panel, &links, &feeds, &di, world.now);
+        let weights = Weights::uniform();
+        let benchmarks = Benchmarks::for_sources(&ctx, 0.9);
+        let candidates: Vec<SourceId> = world.corpus.sources().iter().map(|s| s.id).collect();
+        let ranked = rank_sources(&ctx, &candidates, &weights, &benchmarks);
+        assert_eq!(ranked.len(), candidates.len());
+        for w in ranked.windows(2) {
+            assert!(w[0].score >= w[1].score);
+            assert_eq!(w[0].position + 1, w[1].position);
+        }
+        assert_eq!(ranked[0].position, 1);
+    }
+
+    #[test]
+    fn aggregation_weights_by_item_count() {
+        let c1 = RankingComparison {
+            n: 10,
+            mean_displacement: 2.0,
+            frac_over_5: 0.1,
+            frac_over_10: 0.0,
+            frac_coincident: 0.5,
+            kendall_tau: 0.8,
+        };
+        let c2 = RankingComparison {
+            n: 30,
+            mean_displacement: 6.0,
+            frac_over_5: 0.5,
+            frac_over_10: 0.2,
+            frac_coincident: 0.1,
+            kendall_tau: 0.2,
+        };
+        let agg = aggregate_comparisons(&[c1, c2]).unwrap();
+        assert_eq!(agg.n, 40);
+        assert!((agg.mean_displacement - 5.0).abs() < 1e-12);
+        assert!((agg.frac_coincident - 0.2).abs() < 1e-12);
+        assert!((agg.kendall_tau - 0.5).abs() < 1e-12);
+        assert!(aggregate_comparisons(&[]).is_none());
+    }
+}

@@ -1,0 +1,391 @@
+//! Benchmarks, weights and the weighted-average quality scores.
+//!
+//! Section 3.1: *"The overall source quality is thus obtained as a
+//! weighted average of the different measures that are normalized by
+//! considering benchmarks derived from the assessment of well-known,
+//! highly-ranked sources."* [`Benchmarks`] derives those ceilings
+//! from the corpus itself (a high quantile of each measure across
+//! sources — "what the best-in-class achieve"); [`assess_source`] and
+//! [`assess_contributor`] produce a [`QualityScore`] with the overall
+//! weighted average plus per-dimension and per-attribute breakdowns.
+
+use crate::context::SourceContext;
+use crate::contributor_measures::{contributor_catalog, ContributorMeasure};
+use crate::source_measures::{source_catalog, SourceMeasure};
+use crate::taxonomy::{Attribute, MeasureSpec, Orientation, QualityDimension};
+use obs_model::{SourceId, UserId};
+use obs_stats::normalize::benchmark_relative;
+use std::collections::HashMap;
+
+/// Re-orients a raw value so that *higher is always better*. Measures
+/// declared `LowerIsBetter` (traffic rank, bounce rate) map through
+/// `1 / (1 + raw)`, which is monotone decreasing and keeps the value
+/// positive for the benchmark division.
+pub fn oriented(spec: &MeasureSpec, raw: f64) -> f64 {
+    match spec.orientation {
+        Orientation::HigherIsBetter => raw.max(0.0),
+        Orientation::LowerIsBetter => 1.0 / (1.0 + raw.max(0.0)),
+    }
+}
+
+/// Per-measure weighting; unlisted measures weigh 1.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Weights {
+    overrides: HashMap<&'static str, f64>,
+}
+
+impl Weights {
+    /// Uniform weights.
+    pub fn uniform() -> Self {
+        Weights::default()
+    }
+
+    /// Sets one measure's weight (builder style).
+    pub fn with(mut self, id: &'static str, weight: f64) -> Self {
+        self.overrides.insert(id, weight.max(0.0));
+        self
+    }
+
+    /// Weight of a measure.
+    pub fn weight_of(&self, id: &str) -> f64 {
+        self.overrides.get(id).copied().unwrap_or(1.0)
+    }
+}
+
+/// Per-measure normalization ceilings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Benchmarks {
+    per_measure: HashMap<String, f64>,
+}
+
+impl Benchmarks {
+    /// Derives source benchmarks as the `quantile` (e.g. 0.9) of each
+    /// measure's *oriented* value across all sources — the synthetic
+    /// stand-in for "assessing well-known, highly-ranked sources".
+    pub fn for_sources(ctx: &SourceContext<'_>, quantile: f64) -> Self {
+        let catalog = source_catalog();
+        let mut per_measure = HashMap::new();
+        for m in &catalog {
+            let values: Vec<f64> = ctx
+                .corpus
+                .sources()
+                .iter()
+                .map(|s| oriented(&m.spec, (m.eval)(ctx, s.id)))
+                .collect();
+            let bench = obs_stats::desc::quantile(&values, quantile).unwrap_or(1.0);
+            per_measure.insert(m.spec.id.to_owned(), bench);
+        }
+        Benchmarks { per_measure }
+    }
+
+    /// Derives contributor benchmarks the same way over all users.
+    pub fn for_contributors(ctx: &SourceContext<'_>, quantile: f64) -> Self {
+        let catalog = contributor_catalog();
+        let mut per_measure = HashMap::new();
+        for m in &catalog {
+            let values: Vec<f64> = ctx
+                .corpus
+                .users()
+                .iter()
+                .map(|u| oriented(&m.spec, (m.eval)(ctx, u.id)))
+                .collect();
+            let bench = obs_stats::desc::quantile(&values, quantile).unwrap_or(1.0);
+            per_measure.insert(m.spec.id.to_owned(), bench);
+        }
+        Benchmarks { per_measure }
+    }
+
+    /// The ceiling for a measure (1 when unknown).
+    pub fn benchmark(&self, id: &str) -> f64 {
+        self.per_measure.get(id).copied().unwrap_or(1.0)
+    }
+
+    /// Manually sets a benchmark (for tests and custom panels).
+    pub fn set(&mut self, id: impl Into<String>, value: f64) {
+        self.per_measure.insert(id.into(), value);
+    }
+}
+
+/// One evaluated measure inside a quality score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureScore {
+    /// Measure id.
+    pub id: &'static str,
+    /// Raw value as defined in the paper's table.
+    pub raw: f64,
+    /// Benchmark-normalized, orientation-corrected value in `[0, 1]`.
+    pub normalized: f64,
+    /// Weight used in the aggregation.
+    pub weight: f64,
+    /// Table row.
+    pub dimension: QualityDimension,
+    /// Table column.
+    pub attribute: Attribute,
+    /// Whether the measure is DI-dependent.
+    pub domain_dependent: bool,
+}
+
+/// A full quality assessment of a source or contributor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityScore {
+    /// Per-measure detail.
+    pub measures: Vec<MeasureScore>,
+    /// Weighted average of the normalized measures, in `[0, 1]`.
+    pub overall: f64,
+}
+
+impl QualityScore {
+    fn aggregate(measures: Vec<MeasureScore>) -> QualityScore {
+        let wsum: f64 = measures.iter().map(|m| m.weight).sum();
+        let overall = if wsum > 0.0 {
+            measures.iter().map(|m| m.normalized * m.weight).sum::<f64>() / wsum
+        } else {
+            0.0
+        };
+        QualityScore { measures, overall }
+    }
+
+    /// Mean normalized score per dimension (present dimensions only).
+    pub fn by_dimension(&self) -> Vec<(QualityDimension, f64)> {
+        QualityDimension::ALL
+            .iter()
+            .filter_map(|&dim| {
+                let vals: Vec<f64> = self
+                    .measures
+                    .iter()
+                    .filter(|m| m.dimension == dim)
+                    .map(|m| m.normalized)
+                    .collect();
+                if vals.is_empty() {
+                    None
+                } else {
+                    Some((dim, vals.iter().sum::<f64>() / vals.len() as f64))
+                }
+            })
+            .collect()
+    }
+
+    /// Mean normalized score per attribute (present attributes only).
+    pub fn by_attribute(&self) -> Vec<(Attribute, f64)> {
+        let mut out = Vec::new();
+        for &attr in &[
+            Attribute::Relevance,
+            Attribute::BreadthOfContributions,
+            Attribute::Traffic,
+            Attribute::Activity,
+            Attribute::Liveliness,
+        ] {
+            let vals: Vec<f64> = self
+                .measures
+                .iter()
+                .filter(|m| m.attribute == attr)
+                .map(|m| m.normalized)
+                .collect();
+            if !vals.is_empty() {
+                out.push((attr, vals.iter().sum::<f64>() / vals.len() as f64));
+            }
+        }
+        out
+    }
+
+    /// The raw value of one measure, when present.
+    pub fn raw(&self, id: &str) -> Option<f64> {
+        self.measures.iter().find(|m| m.id == id).map(|m| m.raw)
+    }
+}
+
+fn score_measure(
+    spec: &MeasureSpec,
+    raw: f64,
+    weights: &Weights,
+    benchmarks: &Benchmarks,
+) -> MeasureScore {
+    let normalized = benchmark_relative(oriented(spec, raw), benchmarks.benchmark(spec.id));
+    MeasureScore {
+        id: spec.id,
+        raw,
+        normalized,
+        weight: weights.weight_of(spec.id),
+        dimension: spec.dimension,
+        attribute: spec.attribute,
+        domain_dependent: spec.domain_dependent,
+    }
+}
+
+/// Assesses one source against the full Table 1 catalog.
+pub fn assess_source(
+    ctx: &SourceContext<'_>,
+    source: SourceId,
+    weights: &Weights,
+    benchmarks: &Benchmarks,
+) -> QualityScore {
+    let measures = source_catalog()
+        .iter()
+        .map(|m: &SourceMeasure| score_measure(&m.spec, (m.eval)(ctx, source), weights, benchmarks))
+        .collect();
+    QualityScore::aggregate(measures)
+}
+
+/// Assesses one contributor against the full Table 2 catalog.
+pub fn assess_contributor(
+    ctx: &SourceContext<'_>,
+    user: UserId,
+    weights: &Weights,
+    benchmarks: &Benchmarks,
+) -> QualityScore {
+    let measures = contributor_catalog()
+        .iter()
+        .map(|m: &ContributorMeasure| {
+            score_measure(&m.spec, (m.eval)(ctx, user), weights, benchmarks)
+        })
+        .collect();
+    QualityScore::aggregate(measures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::Provenance;
+    use obs_analytics::{AlexaPanel, FeedRegistry, LinkGraph};
+    use obs_model::DomainOfInterest;
+    use obs_synth::{World, WorldConfig};
+
+    struct Fixture {
+        world: World,
+        panel: AlexaPanel,
+        links: LinkGraph,
+        feeds: FeedRegistry,
+        di: DomainOfInterest,
+    }
+
+    impl Fixture {
+        fn ctx(&self) -> SourceContext<'_> {
+            SourceContext::new(
+                &self.world.corpus,
+                &self.panel,
+                &self.links,
+                &self.feeds,
+                &self.di,
+                self.world.now,
+            )
+        }
+    }
+
+    fn fixture() -> Fixture {
+        let world = World::generate(WorldConfig::small(707));
+        let panel = AlexaPanel::simulate(&world, 1);
+        let links = LinkGraph::simulate(&world, 2);
+        let feeds = FeedRegistry::simulate(&world, 3);
+        let di = world.tourism_di();
+        Fixture { world, panel, links, feeds, di }
+    }
+
+    #[test]
+    fn orientation_flips_rank_like_measures() {
+        let spec = MeasureSpec {
+            id: "t",
+            name: "t",
+            dimension: QualityDimension::Time,
+            attribute: Attribute::Traffic,
+            domain_dependent: false,
+            provenance: Provenance::Alexa,
+            orientation: Orientation::LowerIsBetter,
+            in_componentization: true,
+        };
+        assert!(oriented(&spec, 1.0) > oriented(&spec, 10.0));
+        let spec_hi = MeasureSpec { orientation: Orientation::HigherIsBetter, ..spec };
+        assert!(oriented(&spec_hi, 10.0) > oriented(&spec_hi, 1.0));
+    }
+
+    #[test]
+    fn scores_are_in_unit_interval() {
+        let f = fixture();
+        let ctx = f.ctx();
+        let weights = Weights::uniform();
+        let benchmarks = Benchmarks::for_sources(&ctx, 0.9);
+        for s in f.world.corpus.sources() {
+            let score = assess_source(&ctx, s.id, &weights, &benchmarks);
+            assert!((0.0..=1.0).contains(&score.overall), "{}", score.overall);
+            for m in &score.measures {
+                assert!((0.0..=1.0).contains(&m.normalized), "{}: {}", m.id, m.normalized);
+            }
+            assert_eq!(score.measures.len(), 19);
+        }
+    }
+
+    #[test]
+    fn contributor_scores_cover_table2() {
+        let f = fixture();
+        let ctx = f.ctx();
+        let weights = Weights::uniform();
+        let benchmarks = Benchmarks::for_contributors(&ctx, 0.9);
+        let u = f.world.corpus.users().first().unwrap();
+        let score = assess_contributor(&ctx, u.id, &weights, &benchmarks);
+        assert_eq!(score.measures.len(), 15);
+        assert!((0.0..=1.0).contains(&score.overall));
+        // Activity attribute present, Traffic absent.
+        assert!(score.by_attribute().iter().any(|(a, _)| *a == Attribute::Activity));
+        assert!(score.by_attribute().iter().all(|(a, _)| *a != Attribute::Traffic));
+    }
+
+    #[test]
+    fn benchmarks_cap_top_sources_near_one() {
+        let f = fixture();
+        let ctx = f.ctx();
+        let weights = Weights::uniform();
+        let benchmarks = Benchmarks::for_sources(&ctx, 0.9);
+        // At least one source reaches normalized 1.0 on some measure
+        // (whoever is above the 90th percentile saturates).
+        let saturated = f.world.corpus.sources().iter().any(|s| {
+            assess_source(&ctx, s.id, &weights, &benchmarks)
+                .measures
+                .iter()
+                .any(|m| (m.normalized - 1.0).abs() < 1e-12)
+        });
+        assert!(saturated);
+    }
+
+    #[test]
+    fn weights_shift_the_overall() {
+        let f = fixture();
+        let ctx = f.ctx();
+        let benchmarks = Benchmarks::for_sources(&ctx, 0.9);
+        let s = f.world.corpus.sources().first().unwrap();
+        let uniform = assess_source(&ctx, s.id, &Weights::uniform(), &benchmarks);
+        // Put all weight on one measure: overall becomes that
+        // measure's normalized value.
+        let mut only_bounce = Weights::uniform();
+        for m in crate::source_measures::source_catalog() {
+            only_bounce = only_bounce.with(m.spec.id, 0.0);
+        }
+        let only_bounce = only_bounce.with("src.dependability.relevance", 1.0);
+        let weighted = assess_source(&ctx, s.id, &only_bounce, &benchmarks);
+        let bounce_norm = weighted
+            .measures
+            .iter()
+            .find(|m| m.id == "src.dependability.relevance")
+            .unwrap()
+            .normalized;
+        assert!((weighted.overall - bounce_norm).abs() < 1e-12);
+        assert_ne!(uniform.overall, weighted.overall);
+    }
+
+    #[test]
+    fn dimension_breakdown_covers_all_six() {
+        let f = fixture();
+        let ctx = f.ctx();
+        let weights = Weights::uniform();
+        let benchmarks = Benchmarks::for_sources(&ctx, 0.9);
+        let s = f.world.corpus.sources().first().unwrap();
+        let score = assess_source(&ctx, s.id, &weights, &benchmarks);
+        assert_eq!(score.by_dimension().len(), 6);
+    }
+
+    #[test]
+    fn manual_benchmark_override() {
+        let mut b = Benchmarks::default();
+        assert_eq!(b.benchmark("x"), 1.0);
+        b.set("x", 50.0);
+        assert_eq!(b.benchmark("x"), 50.0);
+    }
+}

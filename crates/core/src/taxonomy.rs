@@ -1,0 +1,196 @@
+//! The quality-model taxonomy: dimensions × attributes, measure
+//! specifications, provenance and orientation.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! fmt_label {
+    () => {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(self.label())
+        }
+    };
+}
+
+/// The six data-quality dimensions (rows of Tables 1 and 2),
+/// inherited from the Batini et al. classification the paper builds
+/// on: accuracy, completeness and time as universal dimensions;
+/// interpretability, authority and dependability for semi- and
+/// non-structured sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum QualityDimension {
+    /// Correctness *and* topical coherence of contents ("out of scope
+    /// discussions are considered as errors").
+    Accuracy,
+    /// Coverage of the relevant topics and conversations.
+    Completeness,
+    /// Freshness, age and responsiveness.
+    Time,
+    /// How well contents are self-described (tags).
+    Interpretability,
+    /// Recognition by others (links, subscriptions, visits, replies).
+    Authority,
+    /// Consistency of the community's engagement over time.
+    Dependability,
+}
+
+impl QualityDimension {
+    /// All dimensions, table order.
+    pub const ALL: [QualityDimension; 6] = [
+        QualityDimension::Accuracy,
+        QualityDimension::Completeness,
+        QualityDimension::Time,
+        QualityDimension::Interpretability,
+        QualityDimension::Authority,
+        QualityDimension::Dependability,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            QualityDimension::Accuracy => "Accuracy",
+            QualityDimension::Completeness => "Completeness",
+            QualityDimension::Time => "Time",
+            QualityDimension::Interpretability => "Interpretability",
+            QualityDimension::Authority => "Authority",
+            QualityDimension::Dependability => "Dependability",
+        }
+    }
+}
+
+impl std::fmt::Display for QualityDimension {
+    fmt_label!();
+}
+
+/// Attribute columns. Tables 1 and 2 share Relevance, Breadth and
+/// Liveliness; sources have **Traffic** where contributors have
+/// **Activity** ("it is necessary to revisit the notion of traffic,
+/// turning it into activity, i.e., the overall amount of user
+/// interaction in the social network").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Attribute {
+    /// Degree of specialization in the domain.
+    Relevance,
+    /// Overall range of issues covered.
+    BreadthOfContributions,
+    /// Volume of information produced/exchanged (sources).
+    Traffic,
+    /// Overall amount of social interaction (contributors).
+    Activity,
+    /// Responsiveness to new issues or events.
+    Liveliness,
+}
+
+impl Attribute {
+    /// The source-table columns, in order.
+    pub const SOURCE: [Attribute; 4] = [
+        Attribute::Relevance,
+        Attribute::BreadthOfContributions,
+        Attribute::Traffic,
+        Attribute::Liveliness,
+    ];
+
+    /// The contributor-table columns, in order.
+    pub const CONTRIBUTOR: [Attribute; 4] = [
+        Attribute::Relevance,
+        Attribute::BreadthOfContributions,
+        Attribute::Activity,
+        Attribute::Liveliness,
+    ];
+
+    /// Display label (paper wording).
+    pub fn label(self) -> &'static str {
+        match self {
+            Attribute::Relevance => "Relevance",
+            Attribute::BreadthOfContributions => "Breadth of Contributions",
+            Attribute::Traffic => "Traffic",
+            Attribute::Activity => "Activity",
+            Attribute::Liveliness => "Liveliness",
+        }
+    }
+}
+
+impl std::fmt::Display for Attribute {
+    fmt_label!();
+}
+
+/// Where a measure's raw value comes from (the parenthesized source
+/// in Tables 1 and 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Provenance {
+    /// Manual inspection or automated crawling of the source.
+    Crawling,
+    /// The Alexa-like traffic panel.
+    Alexa,
+    /// The Feedburner-like subscription registry.
+    Feedburner,
+}
+
+impl Provenance {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Provenance::Crawling => "crawling",
+            Provenance::Alexa => "www.alexa.com",
+            Provenance::Feedburner => "Feedburner tool",
+        }
+    }
+}
+
+impl std::fmt::Display for Provenance {
+    fmt_label!();
+}
+
+/// Whether larger raw values indicate better quality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Orientation {
+    /// Bigger is better (comment counts, visitors, …).
+    HigherIsBetter,
+    /// Smaller is better (traffic **rank**, bounce rate).
+    LowerIsBetter,
+}
+
+/// Static description of one measure (a cell of Table 1 or 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeasureSpec {
+    /// Stable identifier, e.g. `"src.accuracy.relevance"`.
+    pub id: &'static str,
+    /// The paper's wording for the measure.
+    pub name: &'static str,
+    /// Table row.
+    pub dimension: QualityDimension,
+    /// Table column.
+    pub attribute: Attribute,
+    /// Whether the measure depends on the Domain of Interest
+    /// (rendered in italics in the paper's tables).
+    pub domain_dependent: bool,
+    /// Raw-value origin.
+    pub provenance: Provenance,
+    /// Score orientation.
+    pub orientation: Orientation,
+    /// Whether the measure belongs to the ten domain-independent
+    /// measures the paper feeds into the Table 3 componentization.
+    pub in_componentization: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_dimensions_four_columns() {
+        assert_eq!(QualityDimension::ALL.len(), 6);
+        assert_eq!(Attribute::SOURCE.len(), 4);
+        assert_eq!(Attribute::CONTRIBUTOR.len(), 4);
+        assert!(Attribute::SOURCE.contains(&Attribute::Traffic));
+        assert!(!Attribute::SOURCE.contains(&Attribute::Activity));
+        assert!(Attribute::CONTRIBUTOR.contains(&Attribute::Activity));
+        assert!(!Attribute::CONTRIBUTOR.contains(&Attribute::Traffic));
+    }
+
+    #[test]
+    fn labels_match_paper_wording() {
+        assert_eq!(Attribute::BreadthOfContributions.label(), "Breadth of Contributions");
+        assert_eq!(Provenance::Alexa.label(), "www.alexa.com");
+        assert_eq!(QualityDimension::Dependability.to_string(), "Dependability");
+    }
+}

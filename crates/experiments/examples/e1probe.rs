@@ -1,0 +1,71 @@
+use obs_analytics::{AlexaPanel, FeedRegistry, LinkGraph};
+use obs_experiments::e1_ranking;
+use obs_quality::Weights;
+use obs_search::{BlendWeights, SearchEngine};
+use obs_synth::{QueryWorkload, World, WorldConfig};
+
+fn main() {
+    let seed = 42;
+    let config = WorldConfig::ranking_study(seed);
+    let categories = config.categories;
+    let world = World::generate(config);
+    let panel = AlexaPanel::simulate(&world, seed ^ 0x01);
+    let links = LinkGraph::simulate(&world, seed ^ 0x02);
+    let feeds = FeedRegistry::simulate(&world, seed ^ 0x03);
+    let di = world.open_di();
+    let workload = QueryWorkload::generate(seed ^ 0x04, 120, categories);
+
+    let weight_sets: Vec<(&str, Weights)> = vec![
+        ("uniform", Weights::uniform()),
+        ("volume8", Weights::uniform()
+            .with("src.completeness.breadth", 8.0)
+            .with("src.completeness.traffic", 8.0)
+            .with("src.accuracy.breadth", 5.0)
+            .with("src.time.liveliness", 5.0)),
+        ("dd4", Weights::uniform()
+            .with("src.accuracy.relevance", 4.0)
+            .with("src.accuracy.breadth", 4.0)
+            .with("src.completeness.relevance", 4.0)
+            .with("src.completeness.breadth", 4.0)),
+        ("dd4+traffic2", Weights::uniform()
+            .with("src.accuracy.relevance", 4.0)
+            .with("src.accuracy.breadth", 4.0)
+            .with("src.completeness.relevance", 4.0)
+            .with("src.completeness.breadth", 4.0)
+            .with("src.authority.traffic.visitors", 2.5)
+            .with("src.authority.traffic.pageviews", 2.5)
+            .with("src.authority.relevance.links", 2.5)
+            .with("src.time.traffic", 2.5)),
+    ];
+    for (content, traffic, depth) in [(3.0f64, 0.7, 3.0), (4.5, 0.55, 3.0)] {
+        let engine = SearchEngine::build(&world.corpus, &panel, &links, BlendWeights {
+            content,
+            traffic,
+            pagerank: traffic * 0.55,
+            participation_penalty: traffic * 0.4,
+            dwell_penalty: traffic * 0.22,
+            depth,
+        });
+        let fixture = obs_experiments::RankingFixture {
+            world: world.clone(),
+            panel: panel.clone(),
+            links: links.clone(),
+            feeds: feeds.clone(),
+            di: di.clone(),
+            engine,
+            workload: workload.clone(),
+        };
+        for (wname, w) in &weight_sets {
+            let r = e1_ranking::run_with_weights(&fixture, 20, w.clone());
+            println!(
+                "c={content} t={traffic} d={depth} w={wname}: mean={:.2} >5={:.1}% >10={:.1}% coinc={:.1}% tau={:.2} maxmeasuretau={:.2}",
+                r.aggregate.mean_displacement,
+                r.aggregate.frac_over_5 * 100.0,
+                r.aggregate.frac_over_10 * 100.0,
+                r.aggregate.frac_coincident * 100.0,
+                r.aggregate.kendall_tau,
+                r.max_abs_tau()
+            );
+        }
+    }
+}

@@ -1,0 +1,12 @@
+// quick calibration probe for E2 noise
+fn main() {
+    for noise in [1.2f64, 1.5, 1.8, 2.1] {
+        let fixture = obs_experiments::RankingFixture::build(42, obs_experiments::Scale::Full);
+        let r = obs_experiments::e2_components::run(&fixture, noise);
+        print!("noise {noise}: ");
+        for (n, s, p) in &r.regressions {
+            print!("{:?} {:+.2} (p={:.4})  ", n, s, p);
+        }
+        println!("agree {:.0}%", r.grouping_agreement * 100.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Runs every experiment at paper scale and prints all artifacts.
+
+use obs_experiments::e2_components::recommended_noise;
+use obs_experiments::*;
+use obs_synth::TwitterConfig;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+
+    eprintln!("== building fixtures (seed {seed}) ==");
+    let ranking = RankingFixture::build(seed, Scale::Full);
+    eprintln!("ranking world: {}", ranking.world.corpus.stats());
+    let sentiment = SentimentFixture::build(seed, Scale::Full);
+    eprintln!("sentiment world: {}", sentiment.world.corpus.stats());
+
+    println!("\n################ E1 — Section 4.1 ################\n");
+    println!("{}", e1_ranking::run(&ranking, 20).render());
+
+    println!("\n################ E2 — Table 3 ################\n");
+    println!("{}", e2_components::run(&ranking, recommended_noise(Scale::Full)).render());
+
+    println!("\n################ E3 — Table 4 ################\n");
+    println!("{}", e3_anova::run(TwitterConfig::default()).render());
+
+    println!("\n################ E4 — Tables 1 & 2 ################\n");
+    println!("{}", e4_catalog::run(&sentiment).render());
+
+    println!("\n################ E5 — Figure 1 ################\n");
+    println!("{}", e5_mashup::run(&sentiment).render());
+
+    println!("\n################ E6 — Section 6 ################\n");
+    println!("{}", e6_sentiment::run(&sentiment).render());
+}

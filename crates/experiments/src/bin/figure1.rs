@@ -1,0 +1,15 @@
+//! Regenerates the Figure 1 mashup and the Section 6 indicator study.
+
+use obs_experiments::{e5_mashup, e6_sentiment, Scale, SentimentFixture};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let fixture = SentimentFixture::build(seed, Scale::Full);
+    let e5 = e5_mashup::run(&fixture);
+    println!("{}", e5.render());
+    let e6 = e6_sentiment::run(&fixture);
+    println!("{}", e6.render());
+}

@@ -1,0 +1,15 @@
+//! Regenerates the Section 4.1 ranking study at paper scale.
+
+use obs_experiments::{e1_ranking, RankingFixture, Scale};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    eprintln!("building ranking world (seed {seed}, full scale)…");
+    let fixture = RankingFixture::build(seed, Scale::Full);
+    eprintln!("corpus: {}", fixture.world.corpus.stats());
+    let report = e1_ranking::run(&fixture, 20);
+    println!("{}", report.render());
+}

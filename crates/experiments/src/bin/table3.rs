@@ -1,0 +1,15 @@
+//! Regenerates Table 3 (componentization + regressions) at paper scale.
+
+use obs_experiments::e2_components::{recommended_noise, run};
+use obs_experiments::{RankingFixture, Scale};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    eprintln!("building ranking world (seed {seed}, full scale)…");
+    let fixture = RankingFixture::build(seed, Scale::Full);
+    let report = run(&fixture, recommended_noise(Scale::Full));
+    println!("{}", report.render());
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table 4 (ANOVA + Bonferroni by account kind).
+
+use obs_experiments::e3_anova::run;
+use obs_synth::TwitterConfig;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(813u64);
+    let report = run(TwitterConfig { seed, ..TwitterConfig::default() });
+    println!("{}", report.render());
+}

@@ -1,0 +1,13 @@
+//! Regenerates Tables 1 and 2 (the measure catalogs) with live values.
+
+use obs_experiments::{e4_catalog, Scale, SentimentFixture};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let fixture = SentimentFixture::build(seed, Scale::Full);
+    let report = e4_catalog::run(&fixture);
+    println!("{}", report.render());
+}

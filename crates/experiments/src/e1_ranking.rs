@@ -1,0 +1,276 @@
+//! E1 — Section 4.1: quality re-ranking vs the search baseline.
+//!
+//! *"We performed over 100 queries with Google, limiting the results
+//! of each query to the first 20 blogs and forums […]; then we
+//! re-ranked the search results according to our measures and
+//! compared the two rankings by computing the distance between the
+//! positions of the same items."*
+//!
+//! Methodological notes:
+//!
+//! * the quality re-ranking of each query's results uses a **Domain
+//!   of Interest built from the query's category** — re-ranking "by
+//!   our measures" includes the domain-dependent ones, and a query
+//!   *is* a momentary domain of interest;
+//! * the per-measure Kendall tau is computed **within each query's
+//!   top-20 and averaged** — the paper's statement that every single
+//!   measure sits in [−0.1, 0.1] refers to the per-query rankings it
+//!   collected.
+//!
+//! Targets: every measure's mean |tau| ≤ 0.1; mean positional
+//! distance ≈ 4; > 5 in ≥ 35 % of cases; > 10 in ≈ 2.5 %; coincident
+//! positions in 7–8 %.
+
+use crate::fixtures::RankingFixture;
+use crate::render::TextTable;
+use obs_model::{DomainOfInterest, TimeRange};
+use obs_quality::ranking::{aggregate_comparisons, compare_positions};
+use obs_quality::source_catalog;
+use obs_quality::{rank_sources, Benchmarks, RankingComparison, SourceContext, Weights};
+use obs_stats::kendall_tau_b;
+use std::collections::HashMap;
+
+/// E1 results.
+#[derive(Debug, Clone)]
+pub struct E1Report {
+    /// Queries that returned enough results to compare.
+    pub evaluated_queries: usize,
+    /// Per measure: mean within-query Kendall tau vs search position.
+    pub measure_taus: Vec<(&'static str, f64)>,
+    /// Aggregated positional statistics.
+    pub aggregate: RankingComparison,
+    /// Per-query comparisons (for distribution inspection).
+    pub per_query: Vec<RankingComparison>,
+}
+
+impl E1Report {
+    /// Largest absolute per-measure tau.
+    pub fn max_abs_tau(&self) -> f64 {
+        self.measure_taus
+            .iter()
+            .map(|(_, t)| t.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Section 4.1 — ranking comparison over {} queries ({} ranked items)\n\n",
+            self.evaluated_queries, self.aggregate.n
+        ));
+        let mut stats = TextTable::new(["statistic", "value", "paper"]);
+        stats.row([
+            "mean positional distance".to_owned(),
+            format!("{:.2}", self.aggregate.mean_displacement),
+            "4".to_owned(),
+        ]);
+        stats.row([
+            "% displaced > 5".to_owned(),
+            format!("{:.1}%", self.aggregate.frac_over_5 * 100.0),
+            ">= 35%".to_owned(),
+        ]);
+        stats.row([
+            "% displaced > 10".to_owned(),
+            format!("{:.1}%", self.aggregate.frac_over_10 * 100.0),
+            "~2.5%".to_owned(),
+        ]);
+        stats.row([
+            "% coincident positions".to_owned(),
+            format!("{:.1}%", self.aggregate.frac_coincident * 100.0),
+            "7-8%".to_owned(),
+        ]);
+        stats.row([
+            "mean per-query Kendall tau".to_owned(),
+            format!("{:.3}", self.aggregate.kendall_tau),
+            "(moderate)".to_owned(),
+        ]);
+        out.push_str(&stats.to_string());
+
+        out.push_str(
+            "\nPer-measure mean within-query Kendall tau vs search position (paper: all in [-0.1, 0.1]):\n",
+        );
+        let mut taus = TextTable::new(["measure", "mean tau"]);
+        for (id, tau) in &self.measure_taus {
+            taus.row([(*id).to_owned(), format!("{tau:+.3}")]);
+        }
+        out.push_str(&taus.to_string());
+        out
+    }
+}
+
+/// Runs the experiment with uniform quality weights.
+pub fn run(fixture: &RankingFixture, top_k: usize) -> E1Report {
+    run_with_weights(fixture, top_k, Weights::uniform())
+}
+
+/// Runs the experiment with custom quality weights (the paper's
+/// platform let analysts weigh the model; the reported study weighs
+/// the domain-dependent relevance measures up, as the re-ranking is
+/// performed *for* a domain of interest).
+pub fn run_with_weights(fixture: &RankingFixture, top_k: usize, weights: Weights) -> E1Report {
+    let catalog = source_catalog();
+    let now = fixture.world.now;
+
+    // Per-category evaluation contexts and benchmarks, built lazily:
+    // each query is ranked against a DI made of its category over the
+    // trailing 90 days.
+    let mut di_cache: HashMap<String, (DomainOfInterest, Benchmarks)> = HashMap::new();
+
+    let mut per_query = Vec::new();
+    // Per-measure list of within-query taus.
+    let mut tau_lists: Vec<Vec<f64>> = vec![Vec::new(); catalog.len()];
+
+    for query in &fixture.workload.queries {
+        let hits = fixture.engine.query(&query.terms, top_k);
+        if hits.len() < 5 {
+            continue;
+        }
+        let sources: Vec<_> = hits.iter().map(|h| h.source).collect();
+
+        // DI for the query's category.
+        let (di, benchmarks) = di_cache
+            .entry(query.category.clone())
+            .or_insert_with(|| {
+                let category = fixture
+                    .world
+                    .corpus
+                    .categories()
+                    .lookup(&query.category);
+                let di = DomainOfInterest::new(
+                    format!("query:{}", query.category),
+                    category.into_iter(),
+                    TimeRange::last_days(now, 90),
+                    vec![],
+                );
+                // Benchmarks must come from a context with *this* DI
+                // so domain-dependent ceilings are comparable.
+                let ctx = SourceContext::new(
+                    &fixture.world.corpus,
+                    &fixture.panel,
+                    &fixture.links,
+                    &fixture.feeds,
+                    &di,
+                    now,
+                );
+                let benchmarks = Benchmarks::for_sources(&ctx, 0.9);
+                (di, benchmarks)
+            });
+        let ctx = SourceContext::new(
+            &fixture.world.corpus,
+            &fixture.panel,
+            &fixture.links,
+            &fixture.feeds,
+            di,
+            now,
+        );
+
+        // Quality re-ranking of the same result set.
+        let quality_ranked = rank_sources(&ctx, &sources, &weights, benchmarks);
+        let search_pos: Vec<usize> = (1..=sources.len()).collect();
+        let quality_pos: Vec<usize> = sources
+            .iter()
+            .map(|s| {
+                quality_ranked
+                    .iter()
+                    .find(|r| r.source == *s)
+                    .expect("same set")
+                    .position
+            })
+            .collect();
+        if let Ok(cmp) = compare_positions(&search_pos, &quality_pos) {
+            per_query.push(cmp);
+        }
+
+        // Within-query per-measure tau.
+        let positions: Vec<f64> = (1..=sources.len()).map(|i| i as f64).collect();
+        for (m_idx, measure) in catalog.iter().enumerate() {
+            let values: Vec<f64> = sources.iter().map(|s| (measure.eval)(&ctx, *s)).collect();
+            if let Ok(tau) = kendall_tau_b(&values, &positions) {
+                tau_lists[m_idx].push(tau);
+            }
+        }
+    }
+
+    let measure_taus: Vec<(&'static str, f64)> = catalog
+        .iter()
+        .zip(&tau_lists)
+        .map(|(m, taus)| {
+            let mean = if taus.is_empty() {
+                0.0
+            } else {
+                taus.iter().sum::<f64>() / taus.len() as f64
+            };
+            (m.spec.id, mean)
+        })
+        .collect();
+
+    let aggregate = aggregate_comparisons(&per_query).unwrap_or(RankingComparison {
+        n: 0,
+        mean_displacement: 0.0,
+        frac_over_5: 0.0,
+        frac_over_10: 0.0,
+        frac_coincident: 0.0,
+        kendall_tau: f64::NAN,
+    });
+
+    E1Report {
+        evaluated_queries: per_query.len(),
+        measure_taus,
+        aggregate,
+        per_query,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::Scale;
+
+    fn report() -> E1Report {
+        let fixture = RankingFixture::build(42, Scale::Quick);
+        run(&fixture, 20)
+    }
+
+    #[test]
+    fn most_queries_are_evaluable() {
+        let r = report();
+        assert!(r.evaluated_queries >= 15, "only {} queries", r.evaluated_queries);
+        assert!(r.aggregate.n > 100);
+    }
+
+    #[test]
+    fn rankings_differ_but_not_randomly() {
+        let r = report();
+        // Quality ranking must actually disagree with the baseline…
+        assert!(r.aggregate.mean_displacement > 1.0);
+        // …but not be pure noise either (a 20-item random pair sits
+        // near 6.7).
+        assert!(r.aggregate.mean_displacement < 6.5);
+        assert!(r.aggregate.frac_coincident > 0.0);
+        assert!(r.aggregate.frac_coincident < 0.5);
+    }
+
+    #[test]
+    fn per_measure_taus_are_low() {
+        let r = report();
+        assert_eq!(r.measure_taus.len(), 19);
+        // The paper's headline: no single measure explains the search
+        // rank. Allow a slightly wider band than the paper's ±0.1 for
+        // the quick fixture.
+        assert!(
+            r.max_abs_tau() < 0.25,
+            "a single measure explains the ranking: {:?}",
+            r.measure_taus
+        );
+    }
+
+    #[test]
+    fn render_mentions_the_paper_targets() {
+        let r = report();
+        let text = r.render();
+        assert!(text.contains("mean positional distance"));
+        assert!(text.contains("% coincident"));
+        assert!(text.contains("src.time.traffic"));
+    }
+}

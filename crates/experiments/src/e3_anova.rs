@@ -1,0 +1,309 @@
+//! E3 — Table 4: paired differences of interaction measures by
+//! Twitter account kind.
+//!
+//! *"Results show differences of our absolute volumes and relative
+//! volumes measures, by running three paired comparisons among the
+//! categories of users. Significance values have been found through
+//! an ANOVA test […] performed through the Bonferroni test."*
+//!
+//! The synthetic population is calibrated so the full sign +
+//! significance pattern of Table 4 reproduces; the report checks
+//! every cell against the paper.
+
+use crate::render::TextTable;
+use obs_stats::anova::{bonferroni_pairwise, one_way_anova, DifferenceDirection};
+use obs_synth::{TwitterAccount, TwitterConfig, TwitterPopulation};
+
+/// The five measures of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Measure {
+    /// Tweets emitted (including retweets of others).
+    Interactions,
+    /// Absolute mentions (replies received).
+    AbsoluteMentions,
+    /// Absolute retweets (feedbacks received).
+    AbsoluteRetweets,
+    /// Average replies received per tweet.
+    RelativeMentions,
+    /// Average feedbacks received per tweet.
+    RelativeRetweets,
+}
+
+impl Measure {
+    /// All, table order.
+    pub const ALL: [Measure; 5] = [
+        Measure::Interactions,
+        Measure::AbsoluteMentions,
+        Measure::AbsoluteRetweets,
+        Measure::RelativeMentions,
+        Measure::RelativeRetweets,
+    ];
+
+    /// Paper row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Measure::Interactions => "Interactions",
+            Measure::AbsoluteMentions => "Absolute mentions (replies received)",
+            Measure::AbsoluteRetweets => "Absolute retweets (feedbacks)",
+            Measure::RelativeMentions => "Relative mentions (replies per comment)",
+            Measure::RelativeRetweets => "Relative retweets (feedbacks per comment)",
+        }
+    }
+
+    /// Extracts the measure from an account.
+    pub fn extract(self, a: &TwitterAccount) -> f64 {
+        match self {
+            Measure::Interactions => a.tweets as f64,
+            Measure::AbsoluteMentions => a.mentions_received as f64,
+            Measure::AbsoluteRetweets => a.retweets_received as f64,
+            Measure::RelativeMentions => a.relative_mentions(),
+            Measure::RelativeRetweets => a.relative_retweets(),
+        }
+    }
+
+    /// Table 4's expected direction per pair, in the order
+    /// `[people−brand, people−news, news−brand]`.
+    pub fn paper_pattern(self) -> [DifferenceDirection; 3] {
+        use DifferenceDirection::{Equal, Greater, Less};
+        match self {
+            Measure::Interactions => [Greater, Equal, Greater],
+            Measure::AbsoluteMentions => [Greater, Greater, Equal],
+            Measure::AbsoluteRetweets => [Equal, Less, Greater],
+            Measure::RelativeMentions => [Equal, Equal, Equal],
+            Measure::RelativeRetweets => [Equal, Equal, Equal],
+        }
+    }
+}
+
+/// One measure's row of results.
+#[derive(Debug, Clone)]
+pub struct MeasureRow {
+    /// The measure.
+    pub measure: Measure,
+    /// ANOVA F statistic.
+    pub f_statistic: f64,
+    /// ANOVA p-value.
+    pub anova_p: f64,
+    /// Pairwise results `[people−brand, people−news, news−brand]`:
+    /// direction and Bonferroni-adjusted p.
+    pub pairs: [(DifferenceDirection, f64); 3],
+    /// Whether all three directions match Table 4.
+    pub matches_paper: bool,
+}
+
+/// E3 results.
+#[derive(Debug, Clone)]
+pub struct E3Report {
+    /// Population size (813 in the paper).
+    pub accounts: usize,
+    /// Rows, Table 4 order.
+    pub rows: Vec<MeasureRow>,
+    /// Descriptive claims: minimum of mentions and retweets is 0.
+    pub min_is_zero: bool,
+    /// Orders of magnitude between the most and least connected
+    /// accounts (≈ 4 in the paper).
+    pub spread_orders: f64,
+}
+
+impl E3Report {
+    /// Whether every cell of Table 4 matches.
+    pub fn all_match(&self) -> bool {
+        self.rows.iter().all(|r| r.matches_paper)
+    }
+
+    /// Number of matching cells out of 15.
+    pub fn matching_cells(&self) -> usize {
+        self.rows
+            .iter()
+            .flat_map(|r| {
+                r.pairs
+                    .iter()
+                    .zip(r.measure.paper_pattern())
+                    .map(|((got, _), want)| (*got == want) as usize)
+            })
+            .sum()
+    }
+
+    /// Renders the Table 4 reproduction.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Table 4 — paired differences by account kind ({} accounts, spread {:.1} orders, min=0: {})\n\n",
+            self.accounts, self.spread_orders, self.min_is_zero
+        ));
+        let mut table = TextTable::new([
+            "measure",
+            "people - brand",
+            "people - news",
+            "news - brand",
+            "matches paper",
+        ]);
+        for row in &self.rows {
+            let cell = |i: usize| {
+                let (dir, p) = &row.pairs[i];
+                format!("{} (sig = {:.3})", dir.symbol(), p)
+            };
+            table.row([
+                row.measure.label().to_owned(),
+                cell(0),
+                cell(1),
+                cell(2),
+                if row.matches_paper { "yes".into() } else { "NO".to_owned() },
+            ]);
+        }
+        out.push_str(&table.to_string());
+        out.push_str(&format!(
+            "\nmatching cells: {}/15\n",
+            self.matching_cells()
+        ));
+        out
+    }
+}
+
+/// Runs the experiment at the paper's population size.
+pub fn run(config: TwitterConfig) -> E3Report {
+    let population = TwitterPopulation::generate(config);
+    let accounts = population.accounts.len();
+
+    let mut rows = Vec::with_capacity(Measure::ALL.len());
+    for measure in Measure::ALL {
+        let groups = population.grouped_measure(|a| measure.extract(a));
+        let refs: Vec<&[f64]> = groups.iter().map(|g| g.as_slice()).collect();
+        let anova = one_way_anova(&refs).expect("three non-empty groups");
+        let pairs = bonferroni_pairwise(&refs, 0.05).expect("three non-empty groups");
+        // bonferroni_pairwise yields (0,1), (0,2), (1,2) =
+        // (people−brand, people−news, **brand−news**); Table 4's third
+        // column is news−brand, so the last direction flips.
+        let flip = |d: DifferenceDirection| match d {
+            DifferenceDirection::Greater => DifferenceDirection::Less,
+            DifferenceDirection::Less => DifferenceDirection::Greater,
+            DifferenceDirection::Equal => DifferenceDirection::Equal,
+        };
+        let pair_results: [(DifferenceDirection, f64); 3] = [
+            (pairs[0].direction, pairs[0].p_adjusted),
+            (pairs[1].direction, pairs[1].p_adjusted),
+            (flip(pairs[2].direction), pairs[2].p_adjusted),
+        ];
+        let expected = measure.paper_pattern();
+        let matches_paper = pair_results
+            .iter()
+            .zip(expected)
+            .all(|((got, _), want)| *got == want);
+        rows.push(MeasureRow {
+            measure,
+            f_statistic: anova.f_statistic,
+            anova_p: anova.p_value,
+            pairs: pair_results,
+            matches_paper,
+        });
+    }
+
+    let min_mentions = population
+        .accounts
+        .iter()
+        .map(|a| a.mentions_received)
+        .min()
+        .unwrap_or(0);
+    let min_retweets = population
+        .accounts
+        .iter()
+        .map(|a| a.retweets_received)
+        .min()
+        .unwrap_or(0);
+    let max_connected = population
+        .accounts
+        .iter()
+        .map(|a| a.mentions_received.max(a.retweets_received))
+        .max()
+        .unwrap_or(0) as f64;
+    let min_connected = population
+        .accounts
+        .iter()
+        .map(|a| (a.mentions_received.max(a.retweets_received)).max(1))
+        .min()
+        .unwrap_or(1) as f64;
+
+    E3Report {
+        accounts,
+        rows,
+        min_is_zero: min_mentions == 0 && min_retweets == 0,
+        spread_orders: (max_connected / min_connected).log10(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> E3Report {
+        run(TwitterConfig::default())
+    }
+
+    #[test]
+    fn population_matches_paper_descriptives() {
+        let r = report();
+        assert_eq!(r.accounts, 813);
+        assert!(r.min_is_zero);
+        assert!(r.spread_orders >= 3.0, "spread {:.1}", r.spread_orders);
+    }
+
+    #[test]
+    fn all_fifteen_cells_match_table4() {
+        let r = report();
+        assert_eq!(
+            r.matching_cells(),
+            15,
+            "\n{}",
+            r.render()
+        );
+        assert!(r.all_match());
+    }
+
+    #[test]
+    fn absolute_measures_have_significant_anova() {
+        let r = report();
+        for row in &r.rows {
+            match row.measure {
+                Measure::Interactions | Measure::AbsoluteMentions | Measure::AbsoluteRetweets => {
+                    assert!(row.anova_p < 0.05, "{:?}: p={}", row.measure, row.anova_p);
+                    assert!(row.f_statistic > 0.0);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn relative_measures_are_flat() {
+        let r = report();
+        for row in &r.rows {
+            if matches!(row.measure, Measure::RelativeMentions | Measure::RelativeRetweets) {
+                for (dir, _) in &row.pairs {
+                    assert_eq!(*dir, DifferenceDirection::Equal, "{}", r.render());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_is_a_full_table() {
+        let r = report();
+        let text = r.render();
+        assert!(text.contains("people - brand"));
+        assert!(text.contains("Interactions"));
+        assert!(text.contains("matching cells: 15/15"));
+    }
+
+    #[test]
+    fn pattern_is_stable_across_seeds() {
+        for seed in [1, 7, 99] {
+            let r = run(TwitterConfig { seed, ..TwitterConfig::default() });
+            assert!(
+                r.matching_cells() >= 13,
+                "seed {seed}: {}/15\n{}",
+                r.matching_cells(),
+                r.render()
+            );
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! E4 — Tables 1 and 2: the measure catalogs, laid out as the paper
+//! prints them and evaluated live on a world.
+
+use crate::fixtures::SentimentFixture;
+use crate::render::TextTable;
+use obs_quality::{contributor_catalog, source_catalog};
+use obs_quality::taxonomy::{Attribute, QualityDimension};
+use obs_model::{SourceId, UserId};
+
+/// E4 results: rendered catalogs plus example evaluations.
+#[derive(Debug, Clone)]
+pub struct E4Report {
+    /// Table 1 rendered in the paper's dimension × attribute layout.
+    pub table1: String,
+    /// Table 2 rendered likewise.
+    pub table2: String,
+    /// Example raw values for one source: (measure id, value).
+    pub source_example: Vec<(&'static str, f64)>,
+    /// Example raw values for one contributor.
+    pub contributor_example: Vec<(&'static str, f64)>,
+}
+
+fn layout_table(
+    cells: &[(QualityDimension, Attribute, String)],
+    columns: &[Attribute],
+) -> String {
+    let mut headers = vec!["".to_owned()];
+    headers.extend(columns.iter().map(|a| a.label().to_owned()));
+    let mut table = TextTable::new(headers);
+    for dim in QualityDimension::ALL {
+        let mut row = vec![dim.label().to_owned()];
+        for attr in columns {
+            let texts: Vec<&str> = cells
+                .iter()
+                .filter(|(d, a, _)| *d == dim && a == attr)
+                .map(|(_, _, t)| t.as_str())
+                .collect();
+            row.push(if texts.is_empty() {
+                "N/A".to_owned()
+            } else {
+                texts.join(" / ")
+            });
+        }
+        table.row(row);
+    }
+    table.to_string()
+}
+
+/// Runs the experiment: renders both catalogs and evaluates them on
+/// the fixture's best-connected source and most active contributor.
+pub fn run(fixture: &SentimentFixture) -> E4Report {
+    let ctx = fixture.ctx();
+
+    let source_cells: Vec<(QualityDimension, Attribute, String)> = source_catalog()
+        .iter()
+        .map(|m| {
+            let marker = if m.spec.domain_dependent { "*" } else { "" };
+            (
+                m.spec.dimension,
+                m.spec.attribute,
+                format!("{}{} ({})", m.spec.name, marker, m.spec.provenance),
+            )
+        })
+        .collect();
+    let contributor_cells: Vec<(QualityDimension, Attribute, String)> = contributor_catalog()
+        .iter()
+        .map(|m| {
+            let marker = if m.spec.domain_dependent { "*" } else { "" };
+            (
+                m.spec.dimension,
+                m.spec.attribute,
+                format!("{}{}", m.spec.name, marker),
+            )
+        })
+        .collect();
+
+    // Example subjects: the source with the most discussions, the
+    // user with the most comments.
+    let corpus = &fixture.world.corpus;
+    let example_source: SourceId = corpus
+        .sources()
+        .iter()
+        .max_by_key(|s| corpus.discussions_of_source(s.id).len())
+        .map(|s| s.id)
+        .unwrap_or(SourceId::new(0));
+    let example_user: UserId = corpus
+        .users()
+        .iter()
+        .max_by_key(|u| corpus.comments_of_user(u.id).len())
+        .map(|u| u.id)
+        .unwrap_or(UserId::new(0));
+
+    let source_example: Vec<(&'static str, f64)> = source_catalog()
+        .iter()
+        .map(|m| (m.spec.id, (m.eval)(&ctx, example_source)))
+        .collect();
+    let contributor_example: Vec<(&'static str, f64)> = contributor_catalog()
+        .iter()
+        .map(|m| (m.spec.id, (m.eval)(&ctx, example_user)))
+        .collect();
+
+    E4Report {
+        table1: layout_table(&source_cells, &Attribute::SOURCE),
+        table2: layout_table(&contributor_cells, &Attribute::CONTRIBUTOR),
+        source_example,
+        contributor_example,
+    }
+}
+
+impl E4Report {
+    /// Renders both tables and the example evaluations.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Table 1 — source quality attributes and measures (* = domain-dependent)\n\n");
+        out.push_str(&self.table1);
+        out.push_str("\nTable 2 — contributors' quality attributes and measures (* = domain-dependent)\n\n");
+        out.push_str(&self.table2);
+        out.push_str("\nExample evaluation — most active source:\n");
+        let mut t1 = TextTable::new(["measure", "raw value"]);
+        for (id, v) in &self.source_example {
+            t1.row([(*id).to_owned(), format!("{v:.3}")]);
+        }
+        out.push_str(&t1.to_string());
+        out.push_str("\nExample evaluation — most active contributor:\n");
+        let mut t2 = TextTable::new(["measure", "raw value"]);
+        for (id, v) in &self.contributor_example {
+            t2.row([(*id).to_owned(), format!("{v:.3}")]);
+        }
+        out.push_str(&t2.to_string());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::Scale;
+
+    fn report() -> E4Report {
+        let fixture = SentimentFixture::build(42, Scale::Quick);
+        run(&fixture)
+    }
+
+    #[test]
+    fn both_tables_have_six_dimension_rows() {
+        let r = report();
+        // 6 dimensions + header + separator.
+        assert_eq!(r.table1.lines().count(), 8);
+        assert_eq!(r.table2.lines().count(), 8);
+        assert!(r.table1.contains("N/A"));
+        assert!(r.table2.contains("N/A"));
+    }
+
+    #[test]
+    fn table1_contains_the_paper_measures() {
+        let r = report();
+        assert!(r.table1.contains("traffic rank"));
+        assert!(r.table1.contains("bounce rate"));
+        assert!(r.table1.contains("www.alexa.com"));
+        assert!(r.table1.contains("Feedburner"));
+        assert!(r.table1.contains("centrality"));
+    }
+
+    #[test]
+    fn table2_swaps_traffic_for_activity() {
+        let r = report();
+        assert!(r.table2.contains("Activity"));
+        assert!(!r.table2.contains("Traffic"));
+        assert!(r.table2.contains("age of the user"));
+    }
+
+    #[test]
+    fn examples_cover_full_catalogs_with_finite_values() {
+        let r = report();
+        assert_eq!(r.source_example.len(), 19);
+        assert_eq!(r.contributor_example.len(), 15);
+        for (id, v) in r.source_example.iter().chain(&r.contributor_example) {
+            assert!(v.is_finite(), "{id} = {v}");
+        }
+    }
+
+    #[test]
+    fn render_is_complete() {
+        let r = report();
+        let text = r.render();
+        assert!(text.contains("Table 1"));
+        assert!(text.contains("Table 2"));
+        assert!(text.contains("Example evaluation"));
+    }
+}

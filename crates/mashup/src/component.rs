@@ -1,0 +1,56 @@
+//! The component contract.
+
+use crate::data::{Dataset, Selection};
+use crate::env::MashupEnv;
+use crate::error::MashupError;
+
+/// What a component is, structurally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// A data service: no data inputs, one output.
+    Source,
+    /// A filter or analysis service: one or more inputs, one output.
+    Transform,
+    /// A UI component: one or more inputs, rendered output, may emit
+    /// and receive selections.
+    Viewer,
+}
+
+/// A mashup component. Instances are created by the
+/// [`Registry`](crate::registry::Registry) from declarations and live
+/// for one execution (viewers retain their dataset for rendering and
+/// selection handling).
+pub trait Component {
+    /// Registered kind name.
+    fn kind(&self) -> &'static str;
+
+    /// Structural role.
+    fn role(&self) -> Role;
+
+    /// Executes the component: consumes the (merged) upstream
+    /// datasets and produces the downstream one. Sources receive an
+    /// empty slice; viewers return their input unchanged (pass-through
+    /// for chained viewers).
+    fn execute(
+        &mut self,
+        env: &MashupEnv<'_>,
+        inputs: &[&Dataset],
+    ) -> Result<Dataset, MashupError>;
+
+    /// Current rendered output (viewers only).
+    fn render(&self) -> Option<String> {
+        None
+    }
+
+    /// Builds the selection event for one of the viewer's rows
+    /// (viewers only).
+    fn make_selection(&self, _row: usize) -> Option<Selection> {
+        None
+    }
+
+    /// Applies a propagated selection, returning the refreshed render
+    /// (viewers only).
+    fn apply_selection(&mut self, _selection: &Selection) -> Option<String> {
+        None
+    }
+}

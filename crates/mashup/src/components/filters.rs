@@ -1,0 +1,343 @@
+//! Filter components: the paper's "simple filter operations, to
+//! clean Web source contents on the basis of some selection criteria"
+//! plus the quality-based selection services.
+
+use crate::component::{Component, Role};
+use crate::data::Dataset;
+use crate::env::MashupEnv;
+use crate::error::MashupError;
+use crate::registry::Registry;
+use obs_model::{GeoPoint, Region, TimeRange, UserId};
+use std::collections::HashSet;
+
+pub(crate) fn install(registry: &mut Registry) {
+    registry.register("quality-filter", |params| {
+        let min_score = params
+            .get("min_score")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| MashupError::BadParams {
+                component: "quality-filter".into(),
+                reason: "missing number parameter 'min_score'".into(),
+            })?;
+        Ok(Box::new(QualityFilter { min_score }))
+    });
+    registry.register("influencer-filter", |params| {
+        let top = params.get("top").and_then(|v| v.as_u64()).ok_or_else(|| {
+            MashupError::BadParams {
+                component: "influencer-filter".into(),
+                reason: "missing integer parameter 'top'".into(),
+            }
+        })? as usize;
+        Ok(Box::new(InfluencerFilter { top }))
+    });
+    registry.register("category-filter", |params| {
+        let categories: Vec<String> = params
+            .get("categories")
+            .and_then(|v| v.as_array())
+            .map(|a| {
+                a.iter()
+                    .filter_map(|x| x.as_str())
+                    .map(str::to_owned)
+                    .collect()
+            })
+            .ok_or_else(|| MashupError::BadParams {
+                component: "category-filter".into(),
+                reason: "missing array parameter 'categories'".into(),
+            })?;
+        Ok(Box::new(CategoryFilter { categories }))
+    });
+    registry.register("time-filter", |params| {
+        let last_days = params
+            .get("last_days")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| MashupError::BadParams {
+                component: "time-filter".into(),
+                reason: "missing integer parameter 'last_days'".into(),
+            })?;
+        Ok(Box::new(TimeFilter { last_days }))
+    });
+    registry.register("geo-filter", |params| {
+        let lat = params.get("lat").and_then(|v| v.as_f64());
+        let lon = params.get("lon").and_then(|v| v.as_f64());
+        let radius_km = params.get("radius_km").and_then(|v| v.as_f64());
+        match (lat, lon, radius_km) {
+            (Some(lat), Some(lon), Some(radius_km)) => Ok(Box::new(GeoFilter {
+                region: Region::new("geo-filter", GeoPoint::new(lat, lon), radius_km),
+            })),
+            _ => Err(MashupError::BadParams {
+                component: "geo-filter".into(),
+                reason: "needs numbers 'lat', 'lon', 'radius_km'".into(),
+            }),
+        }
+    });
+}
+
+/// Keeps items hosted by sources whose overall quality clears a
+/// threshold — the paper's quality-based selection service.
+pub struct QualityFilter {
+    min_score: f64,
+}
+
+impl Component for QualityFilter {
+    fn kind(&self) -> &'static str {
+        "quality-filter"
+    }
+
+    fn role(&self) -> Role {
+        Role::Transform
+    }
+
+    fn execute(&mut self, env: &MashupEnv<'_>, inputs: &[&Dataset]) -> Result<Dataset, MashupError> {
+        let mut out = Dataset::concat(inputs.iter().copied());
+        out.rows.retain(|r| env.quality_of(r.item.source) >= self.min_score);
+        for r in &mut out.rows {
+            r.source_quality = Some(env.quality_of(r.item.source));
+        }
+        Ok(out)
+    }
+}
+
+/// Keeps items authored by the top-N influencers — the Figure 1
+/// filter ("a filter is applied to select the only comments from
+/// users that are considered influencers").
+pub struct InfluencerFilter {
+    top: usize,
+}
+
+impl Component for InfluencerFilter {
+    fn kind(&self) -> &'static str {
+        "influencer-filter"
+    }
+
+    fn role(&self) -> Role {
+        Role::Transform
+    }
+
+    fn execute(&mut self, env: &MashupEnv<'_>, inputs: &[&Dataset]) -> Result<Dataset, MashupError> {
+        let influencers: HashSet<UserId> = env.top_influencers(self.top).into_iter().collect();
+        let mut out = Dataset::concat(inputs.iter().copied());
+        out.rows.retain(|r| influencers.contains(&r.item.author));
+        for r in &mut out.rows {
+            r.author_influence = Some(env.influence_of(r.item.author));
+        }
+        Ok(out)
+    }
+}
+
+/// Keeps items whose discussion category is in the given list.
+pub struct CategoryFilter {
+    categories: Vec<String>,
+}
+
+impl Component for CategoryFilter {
+    fn kind(&self) -> &'static str {
+        "category-filter"
+    }
+
+    fn role(&self) -> Role {
+        Role::Transform
+    }
+
+    fn execute(&mut self, env: &MashupEnv<'_>, inputs: &[&Dataset]) -> Result<Dataset, MashupError> {
+        let ids: HashSet<obs_model::CategoryId> = self
+            .categories
+            .iter()
+            .filter_map(|name| env.corpus.categories().lookup(name))
+            .collect();
+        let mut out = Dataset::concat(inputs.iter().copied());
+        out.rows.retain(|r| ids.contains(&r.item.category));
+        Ok(out)
+    }
+}
+
+/// Keeps items published in the trailing window — the paper's
+/// "freshness of contents based on a specified time interval".
+pub struct TimeFilter {
+    last_days: u64,
+}
+
+impl Component for TimeFilter {
+    fn kind(&self) -> &'static str {
+        "time-filter"
+    }
+
+    fn role(&self) -> Role {
+        Role::Transform
+    }
+
+    fn execute(&mut self, env: &MashupEnv<'_>, inputs: &[&Dataset]) -> Result<Dataset, MashupError> {
+        let window = TimeRange::last_days(env.now, self.last_days);
+        let mut out = Dataset::concat(inputs.iter().copied());
+        out.rows.retain(|r| window.contains(r.item.published));
+        Ok(out)
+    }
+}
+
+/// Keeps geo-tagged items inside a circular region.
+pub struct GeoFilter {
+    region: Region,
+}
+
+impl Component for GeoFilter {
+    fn kind(&self) -> &'static str {
+        "geo-filter"
+    }
+
+    fn role(&self) -> Role {
+        Role::Transform
+    }
+
+    fn execute(&mut self, _env: &MashupEnv<'_>, inputs: &[&Dataset]) -> Result<Dataset, MashupError> {
+        let mut out = Dataset::concat(inputs.iter().copied());
+        out.rows
+            .retain(|r| r.item.geo.map(|g| self.region.contains(&g)).unwrap_or(false));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::standard_registry;
+    use obs_analytics::{AlexaPanel, FeedRegistry, LinkGraph};
+    use obs_synth::{World, WorldConfig};
+    use obs_wrappers::{service_for, Crawler};
+    use serde_json::json;
+
+    struct Fixture {
+        world: World,
+        panel: AlexaPanel,
+        links: LinkGraph,
+        feeds: FeedRegistry,
+        di: obs_model::DomainOfInterest,
+    }
+
+    fn fixture() -> Fixture {
+        let world = World::generate(WorldConfig::small(131));
+        let panel = AlexaPanel::simulate(&world, 1);
+        let links = LinkGraph::simulate(&world, 2);
+        let feeds = FeedRegistry::simulate(&world, 3);
+        let di = world.open_di();
+        Fixture { world, panel, links, feeds, di }
+    }
+
+    fn all_items(env: &MashupEnv<'_>) -> Dataset {
+        let mut rows = Vec::new();
+        for s in env.corpus.sources() {
+            let mut service = service_for(env.corpus, s.id, env.now).unwrap();
+            let mut clock = obs_model::Clock::starting_at(env.now);
+            let (obs, _) = Crawler::default().crawl(service.as_mut(), &mut clock).unwrap();
+            rows.extend(Dataset::from_items(obs.items).rows);
+        }
+        Dataset { rows }
+    }
+
+    #[test]
+    fn quality_filter_keeps_good_sources_and_annotates() {
+        let f = fixture();
+        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let data = all_items(&env);
+        let registry = standard_registry();
+        let mut c = registry
+            .create("quality-filter", &json!({"min_score": 0.5}))
+            .unwrap();
+        let out = c.execute(&env, &[&data]).unwrap();
+        assert!(out.len() < data.len(), "filter must drop something");
+        for r in &out.rows {
+            assert!(env.quality_of(r.item.source) >= 0.5);
+            assert!(r.source_quality.is_some());
+        }
+    }
+
+    #[test]
+    fn influencer_filter_keeps_top_authors() {
+        let f = fixture();
+        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let data = all_items(&env);
+        let registry = standard_registry();
+        let mut c = registry
+            .create("influencer-filter", &json!({"top": 5}))
+            .unwrap();
+        let out = c.execute(&env, &[&data]).unwrap();
+        let top: HashSet<UserId> = env.top_influencers(5).into_iter().collect();
+        assert!(!out.is_empty(), "influencers authored something");
+        for r in &out.rows {
+            assert!(top.contains(&r.item.author));
+            assert!(r.author_influence.is_some());
+        }
+    }
+
+    #[test]
+    fn category_filter_respects_names() {
+        let f = fixture();
+        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let data = all_items(&env);
+        let registry = standard_registry();
+        let mut c = registry
+            .create("category-filter", &json!({"categories": ["attractions"]}))
+            .unwrap();
+        let out = c.execute(&env, &[&data]).unwrap();
+        let id = env.corpus.categories().lookup("attractions").unwrap();
+        assert!(out.rows.iter().all(|r| r.item.category == id));
+        assert!(out.len() < data.len());
+    }
+
+    #[test]
+    fn time_filter_enforces_window() {
+        let f = fixture();
+        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let data = all_items(&env);
+        let registry = standard_registry();
+        let mut c = registry.create("time-filter", &json!({"last_days": 10})).unwrap();
+        let out = c.execute(&env, &[&data]).unwrap();
+        let window = TimeRange::last_days(env.now, 10);
+        assert!(out.rows.iter().all(|r| window.contains(r.item.published)));
+        assert!(out.len() < data.len());
+    }
+
+    #[test]
+    fn geo_filter_requires_matching_tag() {
+        let f = fixture();
+        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let data = all_items(&env);
+        let registry = standard_registry();
+        let mut c = registry
+            .create("geo-filter", &json!({"lat": 45.4642, "lon": 9.19, "radius_km": 50.0}))
+            .unwrap();
+        let out = c.execute(&env, &[&data]).unwrap();
+        assert!(out.rows.iter().all(|r| r.item.geo.is_some()));
+        assert!(out.len() < data.len());
+        assert!(!out.is_empty(), "some geo-tagged rows near Milan expected");
+    }
+
+    #[test]
+    fn filters_reject_bad_params() {
+        let registry = standard_registry();
+        for (kind, params) in [
+            ("quality-filter", json!({})),
+            ("influencer-filter", json!({"top": "many"})),
+            ("category-filter", json!({"categories": "attractions"})),
+            ("time-filter", json!({})),
+            ("geo-filter", json!({"lat": 45.0})),
+        ] {
+            assert!(
+                matches!(registry.create(kind, &params), Err(MashupError::BadParams { .. })),
+                "{kind} accepted bad params"
+            );
+        }
+    }
+
+    #[test]
+    fn filters_merge_multiple_inputs() {
+        let f = fixture();
+        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let data = all_items(&env);
+        let half = data.rows.len() / 2;
+        let a = Dataset { rows: data.rows[..half].to_vec() };
+        let b = Dataset { rows: data.rows[half..].to_vec() };
+        let registry = standard_registry();
+        let mut c = registry.create("time-filter", &json!({"last_days": 100000})).unwrap();
+        let merged = c.execute(&env, &[&a, &b]).unwrap();
+        assert_eq!(merged.len(), data.len());
+    }
+}

@@ -1,0 +1,28 @@
+//! The built-in component library.
+//!
+//! Mirrors the services of the paper's platform: wrapper-backed data
+//! services, quality-based selection and simple filters (Section 5's
+//! service classes i and ii), content-based analysis (class iii), and
+//! the viewers of the Figure 1 dashboard.
+
+pub mod analysis;
+pub mod filters;
+pub mod sources;
+pub mod viewers;
+
+use crate::registry::Registry;
+
+/// Registers every built-in kind on a registry.
+pub fn install_builtins(registry: &mut Registry) {
+    sources::install(registry);
+    filters::install(registry);
+    analysis::install(registry);
+    viewers::install(registry);
+}
+
+/// A registry with all built-ins installed.
+pub fn standard_registry() -> Registry {
+    let mut r = Registry::new();
+    install_builtins(&mut r);
+    r
+}

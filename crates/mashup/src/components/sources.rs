@@ -1,0 +1,135 @@
+//! Data-service components: wrapper-backed source access.
+
+use crate::component::{Component, Role};
+use crate::data::Dataset;
+use crate::env::MashupEnv;
+use crate::error::MashupError;
+use crate::registry::Registry;
+use obs_model::Clock;
+use obs_wrappers::{service_for, Crawler};
+
+pub(crate) fn install(registry: &mut Registry) {
+    registry.register("source", |params| {
+        let name = params
+            .get("source")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| MashupError::BadParams {
+                component: "source".into(),
+                reason: "missing string parameter 'source' (source name)".into(),
+            })?
+            .to_owned();
+        let limit = params.get("limit").and_then(|v| v.as_u64()).map(|v| v as usize);
+        Ok(Box::new(SourceService { name, limit }))
+    });
+}
+
+/// A data service wrapping one source through the uniform
+/// [`DataService`](obs_wrappers::DataService) layer, crawling it on
+/// execution.
+pub struct SourceService {
+    name: String,
+    limit: Option<usize>,
+}
+
+impl Component for SourceService {
+    fn kind(&self) -> &'static str {
+        "source"
+    }
+
+    fn role(&self) -> Role {
+        Role::Source
+    }
+
+    fn execute(
+        &mut self,
+        env: &MashupEnv<'_>,
+        _inputs: &[&Dataset],
+    ) -> Result<Dataset, MashupError> {
+        let source = env
+            .source_by_name(&self.name)
+            .ok_or_else(|| MashupError::SourceFailure(format!("no source named {:?}", self.name)))?;
+        let mut service = service_for(env.corpus, source, env.now)
+            .map_err(|e| MashupError::SourceFailure(e.to_string()))?;
+        let mut clock = Clock::starting_at(env.now);
+        let (observation, _report) = Crawler::default()
+            .crawl(service.as_mut(), &mut clock)
+            .map_err(|e| MashupError::SourceFailure(e.to_string()))?;
+        let mut dataset = Dataset::from_items(observation.items);
+        if let Some(limit) = self.limit {
+            dataset.rows.truncate(limit);
+        }
+        Ok(dataset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::standard_registry;
+    use obs_analytics::{AlexaPanel, FeedRegistry, LinkGraph};
+    use obs_synth::{World, WorldConfig};
+    use serde_json::json;
+
+    fn env_fixture() -> (World, AlexaPanel, LinkGraph, FeedRegistry) {
+        let world = World::generate(WorldConfig::small(121));
+        let panel = AlexaPanel::simulate(&world, 1);
+        let links = LinkGraph::simulate(&world, 2);
+        let feeds = FeedRegistry::simulate(&world, 3);
+        (world, panel, links, feeds)
+    }
+
+    #[test]
+    fn source_service_crawls_all_items() {
+        let (world, panel, links, feeds) = env_fixture();
+        let di = world.open_di();
+        let env = MashupEnv::prepare(&world.corpus, &panel, &links, &feeds, &di, world.now);
+        let registry = standard_registry();
+        let first = &world.corpus.sources()[0];
+        let mut c = registry
+            .create("source", &json!({"source": first.name}))
+            .unwrap();
+        assert_eq!(c.role(), Role::Source);
+        let out = c.execute(&env, &[]).unwrap();
+        let expected: usize = world
+            .corpus
+            .discussions_of_source(first.id)
+            .iter()
+            .map(|&d| 1 + world.corpus.comments_of_discussion(d).len())
+            .sum();
+        assert_eq!(out.len(), expected);
+    }
+
+    #[test]
+    fn limit_param_truncates() {
+        let (world, panel, links, feeds) = env_fixture();
+        let di = world.open_di();
+        let env = MashupEnv::prepare(&world.corpus, &panel, &links, &feeds, &di, world.now);
+        let registry = standard_registry();
+        let first = &world.corpus.sources()[0];
+        let mut c = registry
+            .create("source", &json!({"source": first.name, "limit": 3}))
+            .unwrap();
+        let out = c.execute(&env, &[]).unwrap();
+        assert!(out.len() <= 3);
+    }
+
+    #[test]
+    fn missing_params_and_unknown_names_fail() {
+        let registry = standard_registry();
+        assert!(matches!(
+            registry.create("source", &json!({})),
+            Err(MashupError::BadParams { .. })
+        ));
+
+        let (world, panel, links, feeds) = env_fixture();
+        let di = world.open_di();
+        let env = MashupEnv::prepare(&world.corpus, &panel, &links, &feeds, &di, world.now);
+        let mut c = registry
+            .create("source", &json!({"source": "nonexistent"}))
+            .unwrap();
+        assert!(matches!(
+            c.execute(&env, &[]),
+            Err(MashupError::SourceFailure(_))
+        ));
+    }
+}

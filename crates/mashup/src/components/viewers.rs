@@ -1,0 +1,325 @@
+//! Viewer components: the UI widgets of the Figure 1 dashboard,
+//! rendered as text. List viewers emit selections; map viewers and
+//! list viewers receive them through synchronization edges.
+
+use crate::component::{Component, Role};
+use crate::data::{Dataset, Selection};
+use crate::env::MashupEnv;
+use crate::error::MashupError;
+use crate::registry::Registry;
+use obs_sentiment::sentiment_indicator;
+
+pub(crate) fn install(registry: &mut Registry) {
+    registry.register("list-viewer", |params| {
+        let title = params
+            .get("title")
+            .and_then(|v| v.as_str())
+            .unwrap_or("List")
+            .to_owned();
+        let limit = params.get("limit").and_then(|v| v.as_u64()).unwrap_or(10) as usize;
+        Ok(Box::new(ListViewer {
+            title,
+            limit,
+            data: Dataset::empty(),
+            focus: None,
+        }))
+    });
+    registry.register("map-viewer", |params| {
+        let title = params
+            .get("title")
+            .and_then(|v| v.as_str())
+            .unwrap_or("Map")
+            .to_owned();
+        Ok(Box::new(MapViewer {
+            title,
+            data: Dataset::empty(),
+            center: None,
+            focus_user: None,
+        }))
+    });
+    registry.register("indicator-viewer", |params| {
+        let title = params
+            .get("title")
+            .and_then(|v| v.as_str())
+            .unwrap_or("Sentiment")
+            .to_owned();
+        Ok(Box::new(IndicatorViewer { title, render: String::new() }))
+    });
+}
+
+/// A list of rows; clicking one raises a selection with the row's
+/// discussion, author, source and geo-tag.
+pub struct ListViewer {
+    title: String,
+    limit: usize,
+    data: Dataset,
+    focus: Option<Selection>,
+}
+
+impl Component for ListViewer {
+    fn kind(&self) -> &'static str {
+        "list-viewer"
+    }
+
+    fn role(&self) -> Role {
+        Role::Viewer
+    }
+
+    fn execute(&mut self, _env: &MashupEnv<'_>, inputs: &[&Dataset]) -> Result<Dataset, MashupError> {
+        self.data = Dataset::concat(inputs.iter().copied());
+        Ok(self.data.clone())
+    }
+
+    fn render(&self) -> Option<String> {
+        let mut lines = vec![format!("== {} ({} rows) ==", self.title, self.data.len())];
+        for (i, r) in self.data.rows.iter().take(self.limit).enumerate() {
+            let focused = self
+                .focus
+                .and_then(|f| f.user)
+                .map(|u| u == r.item.author)
+                .unwrap_or(false);
+            let marker = if focused { ">" } else { " " };
+            let sentiment = r
+                .sentiment
+                .map(|s| format!(" [{:+.2}]", s))
+                .unwrap_or_default();
+            let influence = r
+                .author_influence
+                .map(|s| format!(" (inf {:.2})", s))
+                .unwrap_or_default();
+            let text: String = r.item.text.chars().take(48).collect();
+            lines.push(format!(
+                "{marker}{:>3}. {}{sentiment}{influence} — {text}",
+                i + 1,
+                r.item.author,
+            ));
+        }
+        Some(lines.join("\n"))
+    }
+
+    fn make_selection(&self, row: usize) -> Option<Selection> {
+        self.data.rows.get(row).map(|r| Selection {
+            discussion: Some(r.item.discussion),
+            user: Some(r.item.author),
+            geo: r.item.geo,
+            source: Some(r.item.source),
+        })
+    }
+
+    fn apply_selection(&mut self, selection: &Selection) -> Option<String> {
+        self.focus = Some(*selection);
+        self.render()
+    }
+}
+
+/// A map of geo-tagged rows; a received selection re-centers it on
+/// the selected location (or highlights the selected user's markers).
+pub struct MapViewer {
+    title: String,
+    data: Dataset,
+    center: Option<obs_model::GeoPoint>,
+    focus_user: Option<obs_model::UserId>,
+}
+
+impl Component for MapViewer {
+    fn kind(&self) -> &'static str {
+        "map-viewer"
+    }
+
+    fn role(&self) -> Role {
+        Role::Viewer
+    }
+
+    fn execute(&mut self, _env: &MashupEnv<'_>, inputs: &[&Dataset]) -> Result<Dataset, MashupError> {
+        self.data = Dataset::concat(inputs.iter().copied());
+        Ok(self.data.clone())
+    }
+
+    fn render(&self) -> Option<String> {
+        let markers: Vec<&crate::data::Row> = self
+            .data
+            .rows
+            .iter()
+            .filter(|r| r.item.geo.is_some())
+            .filter(|r| self.focus_user.map_or(true, |u| r.item.author == u))
+            .collect();
+        let mut lines = vec![format!(
+            "== {} ({} markers{}) ==",
+            self.title,
+            markers.len(),
+            self.center
+                .map(|c| format!(", centered {:.3},{:.3}", c.lat, c.lon))
+                .unwrap_or_default()
+        )];
+        for r in markers.iter().take(12) {
+            let g = r.item.geo.expect("filtered");
+            lines.push(format!("  ({:.4}, {:.4}) by {}", g.lat, g.lon, r.item.author));
+        }
+        Some(lines.join("\n"))
+    }
+
+    fn apply_selection(&mut self, selection: &Selection) -> Option<String> {
+        if let Some(geo) = selection.geo {
+            self.center = Some(geo);
+        }
+        self.focus_user = selection.user;
+        self.render()
+    }
+}
+
+/// Renders the aggregated sentiment indicator of its input — the
+/// dashboard's summary gauge, weighted by source quality as Section 6
+/// prescribes.
+pub struct IndicatorViewer {
+    title: String,
+    render: String,
+}
+
+impl Component for IndicatorViewer {
+    fn kind(&self) -> &'static str {
+        "indicator-viewer"
+    }
+
+    fn role(&self) -> Role {
+        Role::Viewer
+    }
+
+    fn execute(&mut self, env: &MashupEnv<'_>, inputs: &[&Dataset]) -> Result<Dataset, MashupError> {
+        let data = Dataset::concat(inputs.iter().copied());
+        let items: Vec<obs_wrappers::ContentItem> =
+            data.rows.iter().map(|r| r.item.clone()).collect();
+        let indicator =
+            sentiment_indicator(&items, env.corpus.categories(), |s| env.quality_of(s));
+        let mut lines = vec![format!(
+            "== {} == volume {} | opinionated {} | mean {:+.3} | quality-weighted {:+.3} | positive {:.0}%",
+            self.title,
+            indicator.volume,
+            indicator.opinionated,
+            indicator.mean_polarity,
+            indicator.weighted_polarity,
+            indicator.positive_share * 100.0
+        )];
+        for (dim, polarity, n) in &indicator.by_dimension {
+            lines.push(format!("  {dim:<14} {polarity:+.3} ({n} items)"));
+        }
+        self.render = lines.join("\n");
+        Ok(data)
+    }
+
+    fn render(&self) -> Option<String> {
+        Some(self.render.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::standard_registry;
+    use obs_analytics::{AlexaPanel, FeedRegistry, LinkGraph};
+    use obs_model::{CategoryId, ContentRef, DiscussionId, GeoPoint, PostId, Timestamp, UserId};
+    use obs_synth::{World, WorldConfig};
+    use obs_wrappers::{ContentItem, InteractionCounts, ItemKind};
+    use serde_json::json;
+
+    fn item(author: u32, geo: Option<GeoPoint>, text: &str) -> ContentItem {
+        ContentItem {
+            source: obs_model::SourceId::new(0),
+            discussion: DiscussionId::new(7),
+            content: ContentRef::Post(PostId::new(0)),
+            kind: ItemKind::Post,
+            author: UserId::new(author),
+            published: Timestamp::EPOCH,
+            category: CategoryId::new(0),
+            text: text.to_owned(),
+            tags: vec![],
+            geo,
+            interactions: InteractionCounts::default(),
+        }
+    }
+
+    fn env_fixture() -> (World, AlexaPanel, LinkGraph, FeedRegistry) {
+        let world = World::generate(WorldConfig::small(151));
+        let panel = AlexaPanel::simulate(&world, 1);
+        let links = LinkGraph::simulate(&world, 2);
+        let feeds = FeedRegistry::simulate(&world, 3);
+        (world, panel, links, feeds)
+    }
+
+    #[test]
+    fn list_viewer_renders_and_selects() {
+        let (world, panel, links, feeds) = env_fixture();
+        let di = world.open_di();
+        let env = MashupEnv::prepare(&world.corpus, &panel, &links, &feeds, &di, world.now);
+        let registry = standard_registry();
+        let mut v = registry
+            .create("list-viewer", &json!({"title": "Posts", "limit": 5}))
+            .unwrap();
+        let milan = GeoPoint::new(45.46, 9.19);
+        let data = Dataset::from_items(vec![
+            item(1, Some(milan), "the duomo was amazing"),
+            item(2, None, "ordinary note"),
+        ]);
+        let out = v.execute(&env, &[&data]).unwrap();
+        assert_eq!(out.len(), 2);
+        let render = v.render().unwrap();
+        assert!(render.contains("Posts"));
+        assert!(render.contains("2 rows"));
+
+        let sel = v.make_selection(0).unwrap();
+        assert_eq!(sel.user, Some(UserId::new(1)));
+        assert_eq!(sel.discussion, Some(DiscussionId::new(7)));
+        assert_eq!(sel.geo, Some(milan));
+        assert!(v.make_selection(99).is_none());
+
+        // Applying the selection focuses the row.
+        let refreshed = v.apply_selection(&sel).unwrap();
+        assert!(refreshed.contains('>'));
+    }
+
+    #[test]
+    fn map_viewer_centers_on_selection() {
+        let (world, panel, links, feeds) = env_fixture();
+        let di = world.open_di();
+        let env = MashupEnv::prepare(&world.corpus, &panel, &links, &feeds, &di, world.now);
+        let registry = standard_registry();
+        let mut v = registry.create("map-viewer", &json!({"title": "Milan"})).unwrap();
+        let milan = GeoPoint::new(45.46, 9.19);
+        let data = Dataset::from_items(vec![
+            item(1, Some(milan), "x"),
+            item(2, Some(GeoPoint::new(45.5, 9.2)), "y"),
+            item(3, None, "no geo"),
+        ]);
+        v.execute(&env, &[&data]).unwrap();
+        let render = v.render().unwrap();
+        assert!(render.contains("2 markers"));
+
+        let sel = Selection {
+            geo: Some(milan),
+            user: Some(UserId::new(1)),
+            ..Selection::default()
+        };
+        let refreshed = v.apply_selection(&sel).unwrap();
+        assert!(refreshed.contains("centered 45.4"));
+        assert!(refreshed.contains("1 markers"), "focused to user 1: {refreshed}");
+    }
+
+    #[test]
+    fn indicator_viewer_summarizes() {
+        let (world, panel, links, feeds) = env_fixture();
+        let di = world.open_di();
+        let env = MashupEnv::prepare(&world.corpus, &panel, &links, &feeds, &di, world.now);
+        let registry = standard_registry();
+        let mut v = registry
+            .create("indicator-viewer", &json!({"title": "Mood"}))
+            .unwrap();
+        let data = Dataset::from_items(vec![
+            item(1, None, "the duomo was amazing"),
+            item(2, None, "the metro was terrible"),
+        ]);
+        v.execute(&env, &[&data]).unwrap();
+        let render = v.render().unwrap();
+        assert!(render.contains("volume 2"));
+        assert!(render.contains("opinionated 2"));
+        assert!(render.contains("positive 50%"));
+    }
+}

@@ -1,0 +1,277 @@
+//! The serializable composition document.
+//!
+//! Compositions are what end users build and share in the paper's
+//! platform ("the end users should be able to compose on-demand the
+//! information access functionalities they need"). A composition
+//! declares component instances (kind + JSON parameters), data-flow
+//! edges and viewer-synchronization edges. Validation checks
+//! identifiers, acyclicity and structural rules before execution.
+
+use crate::error::MashupError;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// One declared component instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentDecl {
+    /// Instance id, unique within the composition.
+    pub id: String,
+    /// Registered component kind.
+    pub kind: String,
+    /// Kind-specific parameters.
+    #[serde(default)]
+    pub params: serde_json::Value,
+}
+
+/// A composition document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Composition {
+    /// Display name.
+    pub name: String,
+    /// Component instances.
+    pub components: Vec<ComponentDecl>,
+    /// Data-flow edges `(from, to)`.
+    #[serde(default)]
+    pub data_edges: Vec<(String, String)>,
+    /// Viewer-synchronization edges `(from, to)`: selections raised
+    /// at `from` propagate to `to`.
+    #[serde(default)]
+    pub sync_edges: Vec<(String, String)>,
+}
+
+impl Composition {
+    /// Starts an empty composition.
+    pub fn new(name: impl Into<String>) -> Composition {
+        Composition {
+            name: name.into(),
+            components: Vec::new(),
+            data_edges: Vec::new(),
+            sync_edges: Vec::new(),
+        }
+    }
+
+    /// Adds a component (builder style).
+    pub fn with_component(
+        mut self,
+        id: impl Into<String>,
+        kind: impl Into<String>,
+        params: serde_json::Value,
+    ) -> Self {
+        self.components.push(ComponentDecl {
+            id: id.into(),
+            kind: kind.into(),
+            params,
+        });
+        self
+    }
+
+    /// Adds a data edge (builder style).
+    pub fn with_data_edge(mut self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.data_edges.push((from.into(), to.into()));
+        self
+    }
+
+    /// Adds a synchronization edge (builder style).
+    pub fn with_sync_edge(mut self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.sync_edges.push((from.into(), to.into()));
+        self
+    }
+
+    /// Declared ids, in declaration order.
+    pub fn ids(&self) -> Vec<&str> {
+        self.components.iter().map(|c| c.id.as_str()).collect()
+    }
+
+    /// Declaration by id.
+    pub fn component(&self, id: &str) -> Option<&ComponentDecl> {
+        self.components.iter().find(|c| c.id == id)
+    }
+
+    /// Upstream neighbours of a component.
+    pub fn inputs_of(&self, id: &str) -> Vec<&str> {
+        self.data_edges
+            .iter()
+            .filter(|(_, to)| to == id)
+            .map(|(from, _)| from.as_str())
+            .collect()
+    }
+
+    /// Validates identifiers and graph shape, returning a topological
+    /// order of the data-flow graph.
+    pub fn validate(&self) -> Result<Vec<String>, MashupError> {
+        // Unique ids.
+        let mut seen = HashSet::new();
+        for c in &self.components {
+            if !seen.insert(c.id.as_str()) {
+                return Err(MashupError::DuplicateComponent(c.id.clone()));
+            }
+        }
+        // Edges reference declared components.
+        for (from, to) in self.data_edges.iter().chain(&self.sync_edges) {
+            for endpoint in [from, to] {
+                if !seen.contains(endpoint.as_str()) {
+                    return Err(MashupError::UnknownComponent(endpoint.clone()));
+                }
+            }
+        }
+        // Kahn's algorithm for the topological order.
+        let mut in_degree: HashMap<&str, usize> =
+            self.components.iter().map(|c| (c.id.as_str(), 0)).collect();
+        for (_, to) in &self.data_edges {
+            *in_degree.get_mut(to.as_str()).expect("validated above") += 1;
+        }
+        let mut queue: Vec<&str> = self
+            .components
+            .iter()
+            .map(|c| c.id.as_str())
+            .filter(|id| in_degree[id] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.components.len());
+        while let Some(id) = queue.pop() {
+            order.push(id.to_owned());
+            for (from, to) in &self.data_edges {
+                if from == id {
+                    let d = in_degree.get_mut(to.as_str()).expect("validated");
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push(to.as_str());
+                    }
+                }
+            }
+        }
+        if order.len() != self.components.len() {
+            return Err(MashupError::CyclicDataflow);
+        }
+        // Deterministic order: respect declaration order among ready
+        // nodes by re-sorting each topological "level" — simpler:
+        // stable re-sort by (depth, declaration index).
+        let decl_index: HashMap<&str, usize> = self
+            .components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.id.as_str(), i))
+            .collect();
+        let mut depth: HashMap<String, usize> = HashMap::new();
+        for id in &order {
+            let d = self
+                .inputs_of(id)
+                .iter()
+                .map(|up| depth.get(*up).copied().unwrap_or(0) + 1)
+                .max()
+                .unwrap_or(0);
+            depth.insert(id.clone(), d);
+        }
+        let mut final_order = order;
+        final_order.sort_by_key(|id| (depth[id], decl_index[id.as_str()]));
+        Ok(final_order)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("composition is always serializable")
+    }
+
+    /// Parses a composition from JSON.
+    pub fn from_json(json: &str) -> Result<Composition, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn figure1_like() -> Composition {
+        Composition::new("sentiment-dashboard")
+            .with_component("twitter", "source", json!({"source": "chirper"}))
+            .with_component("tripadvisor", "source", json!({"source": "tastemap"}))
+            .with_component("influencers", "influencer-filter", json!({"top": 10}))
+            .with_component("list", "list-viewer", json!({"title": "Influencers"}))
+            .with_component("map", "map-viewer", json!({"title": "Locations"}))
+            .with_data_edge("twitter", "influencers")
+            .with_data_edge("tripadvisor", "influencers")
+            .with_data_edge("influencers", "list")
+            .with_data_edge("influencers", "map")
+            .with_sync_edge("list", "map")
+    }
+
+    #[test]
+    fn valid_composition_topo_orders() {
+        let c = figure1_like();
+        let order = c.validate().unwrap();
+        assert_eq!(order.len(), 5);
+        let pos = |id: &str| order.iter().position(|x| x == id).unwrap();
+        assert!(pos("twitter") < pos("influencers"));
+        assert!(pos("tripadvisor") < pos("influencers"));
+        assert!(pos("influencers") < pos("list"));
+        assert!(pos("influencers") < pos("map"));
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let c = Composition::new("x")
+            .with_component("a", "source", json!({}))
+            .with_component("a", "source", json!({}));
+        assert_eq!(
+            c.validate().unwrap_err(),
+            MashupError::DuplicateComponent("a".into())
+        );
+    }
+
+    #[test]
+    fn dangling_edges_are_rejected() {
+        let c = Composition::new("x")
+            .with_component("a", "source", json!({}))
+            .with_data_edge("a", "ghost");
+        assert_eq!(
+            c.validate().unwrap_err(),
+            MashupError::UnknownComponent("ghost".into())
+        );
+        let c2 = Composition::new("y")
+            .with_component("a", "list-viewer", json!({}))
+            .with_sync_edge("phantom", "a");
+        assert!(matches!(
+            c2.validate().unwrap_err(),
+            MashupError::UnknownComponent(_)
+        ));
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let c = Composition::new("x")
+            .with_component("a", "f", json!({}))
+            .with_component("b", "f", json!({}))
+            .with_data_edge("a", "b")
+            .with_data_edge("b", "a");
+        assert_eq!(c.validate().unwrap_err(), MashupError::CyclicDataflow);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let c = figure1_like();
+        let json = c.to_json();
+        let back = Composition::from_json(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn missing_optional_fields_default() {
+        let c = Composition::from_json(
+            r#"{"name":"minimal","components":[{"id":"a","kind":"source"}]}"#,
+        )
+        .unwrap();
+        assert!(c.data_edges.is_empty());
+        assert!(c.sync_edges.is_empty());
+        assert_eq!(c.components[0].params, serde_json::Value::Null);
+    }
+
+    #[test]
+    fn inputs_of_lists_upstreams() {
+        let c = figure1_like();
+        let mut ins = c.inputs_of("influencers");
+        ins.sort_unstable();
+        assert_eq!(ins, vec!["tripadvisor", "twitter"]);
+        assert!(c.inputs_of("twitter").is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! The dataset flowing through a mashup and the selection events
+//! viewers exchange.
+
+use obs_model::{DiscussionId, GeoPoint, SourceId, UserId};
+use obs_wrappers::ContentItem;
+
+/// One row of a dataset: a normalized content item plus the
+/// annotations analysis services attach.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// The underlying content item.
+    pub item: ContentItem,
+    /// Polarity attached by the sentiment service, when run.
+    pub sentiment: Option<f64>,
+    /// Combined influence score of the author, when attached.
+    pub author_influence: Option<f64>,
+    /// Quality score of the hosting source, when attached.
+    pub source_quality: Option<f64>,
+}
+
+impl Row {
+    /// Wraps a bare item.
+    pub fn new(item: ContentItem) -> Row {
+        Row {
+            item,
+            sentiment: None,
+            author_influence: None,
+            source_quality: None,
+        }
+    }
+}
+
+/// The payload exchanged between components.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    /// Rows, in the order produced.
+    pub rows: Vec<Row>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn empty() -> Dataset {
+        Dataset::default()
+    }
+
+    /// Builds from bare items.
+    pub fn from_items(items: impl IntoIterator<Item = ContentItem>) -> Dataset {
+        Dataset {
+            rows: items.into_iter().map(Row::new).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Concatenates several datasets (the implicit merge at
+    /// multi-input components).
+    pub fn concat<'a>(parts: impl IntoIterator<Item = &'a Dataset>) -> Dataset {
+        let mut rows = Vec::new();
+        for p in parts {
+            rows.extend(p.rows.iter().cloned());
+        }
+        Dataset { rows }
+    }
+}
+
+/// A selection event raised by a viewer (clicking a row / marker) and
+/// propagated along synchronization edges.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Selection {
+    /// Selected discussion, when the row identifies one.
+    pub discussion: Option<DiscussionId>,
+    /// Selected author.
+    pub user: Option<UserId>,
+    /// Selected location.
+    pub geo: Option<GeoPoint>,
+    /// Selected source.
+    pub source: Option<SourceId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs_model::{CategoryId, ContentRef, PostId, Timestamp};
+    use obs_wrappers::{InteractionCounts, ItemKind};
+
+    fn item(source: u32) -> ContentItem {
+        ContentItem {
+            source: SourceId::new(source),
+            discussion: DiscussionId::new(0),
+            content: ContentRef::Post(PostId::new(0)),
+            kind: ItemKind::Post,
+            author: UserId::new(0),
+            published: Timestamp::EPOCH,
+            category: CategoryId::new(0),
+            text: String::new(),
+            tags: vec![],
+            geo: None,
+            interactions: InteractionCounts::default(),
+        }
+    }
+
+    #[test]
+    fn from_items_wraps_without_annotations() {
+        let d = Dataset::from_items(vec![item(0), item(1)]);
+        assert_eq!(d.len(), 2);
+        assert!(d.rows.iter().all(|r| r.sentiment.is_none()));
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = Dataset::from_items(vec![item(0)]);
+        let b = Dataset::from_items(vec![item(1), item(2)]);
+        let c = Dataset::concat([&a, &b]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.rows[0].item.source, SourceId::new(0));
+        assert_eq!(c.rows[2].item.source, SourceId::new(2));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        assert!(Dataset::empty().is_empty());
+        assert_eq!(Dataset::concat([]).len(), 0);
+    }
+}

@@ -1,0 +1,369 @@
+//! Composition execution.
+//!
+//! The engine validates the composition, instantiates components,
+//! runs the data-flow in topological order (merging multi-input
+//! upstreams), collects viewer renders, and keeps the live component
+//! instances so selection events can be raised and propagated along
+//! synchronization edges afterwards — the interactive behaviour of
+//! the Figure 1 dashboard.
+
+use crate::component::{Component, Role};
+use crate::composition::Composition;
+use crate::data::{Dataset, Selection};
+use crate::env::MashupEnv;
+use crate::error::MashupError;
+use crate::registry::Registry;
+use std::collections::HashMap;
+
+/// The execution engine.
+pub struct Engine<'r> {
+    registry: &'r Registry,
+}
+
+impl<'r> Engine<'r> {
+    /// Creates an engine over a component registry.
+    pub fn new(registry: &'r Registry) -> Engine<'r> {
+        Engine { registry }
+    }
+
+    /// Validates and executes a composition against an environment.
+    pub fn execute(
+        &self,
+        composition: &Composition,
+        env: &MashupEnv<'_>,
+    ) -> Result<Execution, MashupError> {
+        let order = composition.validate()?;
+
+        // Instantiate.
+        let mut instances: HashMap<String, Box<dyn Component>> = HashMap::new();
+        for decl in &composition.components {
+            let instance = self.registry.create(&decl.kind, &decl.params).map_err(|e| {
+                match e {
+                    MashupError::BadParams { reason, .. } => MashupError::BadParams {
+                        component: decl.id.clone(),
+                        reason,
+                    },
+                    other => other,
+                }
+            })?;
+            instances.insert(decl.id.clone(), instance);
+        }
+
+        // Structural checks that need roles.
+        for decl in &composition.components {
+            let role = instances[&decl.id].role();
+            let n_inputs = composition.inputs_of(&decl.id).len();
+            match role {
+                Role::Source if n_inputs > 0 => {
+                    return Err(MashupError::BadWiring {
+                        component: decl.id.clone(),
+                        reason: "data services take no data inputs".into(),
+                    })
+                }
+                Role::Transform | Role::Viewer if n_inputs == 0 => {
+                    return Err(MashupError::BadWiring {
+                        component: decl.id.clone(),
+                        reason: "transforms and viewers need at least one input".into(),
+                    })
+                }
+                _ => {}
+            }
+        }
+        // Sync edges connect viewers only.
+        for (from, to) in &composition.sync_edges {
+            for endpoint in [from, to] {
+                if instances[endpoint].role() != Role::Viewer {
+                    return Err(MashupError::BadWiring {
+                        component: endpoint.clone(),
+                        reason: "synchronization edges connect viewers".into(),
+                    });
+                }
+            }
+        }
+
+        // Data pass.
+        let mut datasets: HashMap<String, Dataset> = HashMap::new();
+        let mut trace = Vec::new();
+        for id in &order {
+            let inputs: Vec<&Dataset> = composition
+                .inputs_of(id)
+                .iter()
+                .map(|up| &datasets[*up])
+                .collect();
+            let instance = instances.get_mut(id).expect("instantiated above");
+            let out = instance.execute(env, &inputs)?;
+            trace.push(format!(
+                "{id} [{}] consumed {} inputs, produced {} rows",
+                instance.kind(),
+                inputs.len(),
+                out.len()
+            ));
+            datasets.insert(id.clone(), out);
+        }
+
+        Ok(Execution {
+            instances,
+            datasets,
+            sync_edges: composition.sync_edges.clone(),
+            trace,
+        })
+    }
+}
+
+/// A finished execution: component outputs, live viewer instances and
+/// the synchronization topology.
+pub struct Execution {
+    instances: HashMap<String, Box<dyn Component>>,
+    datasets: HashMap<String, Dataset>,
+    sync_edges: Vec<(String, String)>,
+    /// Human-readable execution log, one line per component run.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Debug for Execution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Execution")
+            .field("components", &self.datasets.keys().collect::<Vec<_>>())
+            .field("trace", &self.trace)
+            .finish()
+    }
+}
+
+impl Execution {
+    /// Output dataset of a component.
+    pub fn dataset(&self, id: &str) -> Option<&Dataset> {
+        self.datasets.get(id)
+    }
+
+    /// Current render of a viewer.
+    pub fn render(&self, id: &str) -> Option<String> {
+        self.instances.get(id).and_then(|c| c.render())
+    }
+
+    /// All renders, sorted by component id.
+    pub fn renders(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .instances
+            .iter()
+            .filter_map(|(id, c)| c.render().map(|r| (id.clone(), r)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Raises a selection on `viewer`'s `row` and propagates it along
+    /// synchronization edges (transitively, cycle-safe). Returns the
+    /// ids of every component whose render changed.
+    pub fn select(&mut self, viewer: &str, row: usize) -> Result<Vec<String>, MashupError> {
+        let selection = self
+            .instances
+            .get(viewer)
+            .ok_or_else(|| MashupError::UnknownComponent(viewer.to_owned()))?
+            .make_selection(row)
+            .ok_or_else(|| MashupError::SelectionUnsupported(viewer.to_owned()))?;
+        self.propagate(viewer, &selection)
+    }
+
+    /// Injects an externally-built selection at `viewer` and
+    /// propagates it.
+    pub fn propagate(
+        &mut self,
+        origin: &str,
+        selection: &Selection,
+    ) -> Result<Vec<String>, MashupError> {
+        let mut affected = Vec::new();
+        let mut visited: std::collections::HashSet<String> = std::collections::HashSet::new();
+        let mut frontier = vec![origin.to_owned()];
+        visited.insert(origin.to_owned());
+
+        // The origin viewer also refreshes (e.g. highlights its row).
+        if let Some(c) = self.instances.get_mut(origin) {
+            if c.apply_selection(selection).is_some() {
+                affected.push(origin.to_owned());
+            }
+        }
+
+        while let Some(current) = frontier.pop() {
+            let nexts: Vec<String> = self
+                .sync_edges
+                .iter()
+                .filter(|(from, _)| *from == current)
+                .map(|(_, to)| to.clone())
+                .collect();
+            for next in nexts {
+                if !visited.insert(next.clone()) {
+                    continue;
+                }
+                if let Some(c) = self.instances.get_mut(&next) {
+                    if c.apply_selection(selection).is_some() {
+                        affected.push(next.clone());
+                    }
+                }
+                frontier.push(next);
+            }
+        }
+        Ok(affected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::standard_registry;
+    use obs_analytics::{AlexaPanel, FeedRegistry, LinkGraph};
+    use obs_synth::{World, WorldConfig};
+    use serde_json::json;
+
+    struct Fixture {
+        world: World,
+        panel: AlexaPanel,
+        links: LinkGraph,
+        feeds: FeedRegistry,
+        di: obs_model::DomainOfInterest,
+    }
+
+    fn fixture() -> Fixture {
+        let world = World::generate(WorldConfig::sentiment_study(161));
+        let panel = AlexaPanel::simulate(&world, 1);
+        let links = LinkGraph::simulate(&world, 2);
+        let feeds = FeedRegistry::simulate(&world, 3);
+        let di = world.open_di();
+        Fixture { world, panel, links, feeds, di }
+    }
+
+    fn two_source_names(world: &World) -> (String, String) {
+        let mut names = world.corpus.sources().iter().map(|s| s.name.clone());
+        (names.next().unwrap(), names.next().unwrap())
+    }
+
+    #[test]
+    fn figure1_composition_executes_end_to_end() {
+        let f = fixture();
+        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let (src_a, src_b) = two_source_names(&f.world);
+        let composition = Composition::new("figure-1")
+            .with_component("a", "source", json!({"source": src_a}))
+            .with_component("b", "source", json!({"source": src_b}))
+            .with_component("influencers", "influencer-filter", json!({"top": 15}))
+            .with_component("senti", "sentiment", json!({}))
+            .with_component("list", "list-viewer", json!({"title": "Influencer posts"}))
+            .with_component("map", "map-viewer", json!({"title": "Post locations"}))
+            .with_data_edge("a", "influencers")
+            .with_data_edge("b", "influencers")
+            .with_data_edge("influencers", "senti")
+            .with_data_edge("senti", "list")
+            .with_data_edge("senti", "map")
+            .with_sync_edge("list", "map");
+
+        let registry = standard_registry();
+        let engine = Engine::new(&registry);
+        let exec = engine.execute(&composition, &env).unwrap();
+
+        // All components ran.
+        assert_eq!(exec.trace.len(), 6);
+        // The filter narrowed the stream.
+        let merged = exec.dataset("a").unwrap().len() + exec.dataset("b").unwrap().len();
+        let filtered = exec.dataset("influencers").unwrap().len();
+        assert!(filtered < merged, "{filtered} vs {merged}");
+        // Viewers render.
+        assert!(exec.render("list").unwrap().contains("Influencer posts"));
+        assert!(exec.render("map").unwrap().contains("Post locations"));
+        assert_eq!(exec.renders().len(), 2);
+    }
+
+    #[test]
+    fn selection_propagates_list_to_map() {
+        let f = fixture();
+        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let (src_a, _) = two_source_names(&f.world);
+        let composition = Composition::new("sync")
+            .with_component("a", "source", json!({"source": src_a}))
+            .with_component("list", "list-viewer", json!({"title": "L"}))
+            .with_component("map", "map-viewer", json!({"title": "M"}))
+            .with_data_edge("a", "list")
+            .with_data_edge("a", "map")
+            .with_sync_edge("list", "map");
+        let registry = standard_registry();
+        let engine = Engine::new(&registry);
+        let mut exec = engine.execute(&composition, &env).unwrap();
+
+        let affected = exec.select("list", 0).unwrap();
+        assert!(affected.contains(&"list".to_owned()));
+        assert!(affected.contains(&"map".to_owned()));
+    }
+
+    #[test]
+    fn structural_violations_are_caught() {
+        let f = fixture();
+        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let (src_a, src_b) = two_source_names(&f.world);
+        let registry = standard_registry();
+        let engine = Engine::new(&registry);
+
+        // Source with a data input.
+        let bad1 = Composition::new("bad")
+            .with_component("a", "source", json!({"source": src_a}))
+            .with_component("b", "source", json!({"source": src_b}))
+            .with_data_edge("a", "b");
+        assert!(matches!(
+            engine.execute(&bad1, &env),
+            Err(MashupError::BadWiring { .. })
+        ));
+
+        // Transform without input.
+        let bad2 = Composition::new("bad2")
+            .with_component("f", "time-filter", json!({"last_days": 5}));
+        assert!(matches!(
+            engine.execute(&bad2, &env),
+            Err(MashupError::BadWiring { .. })
+        ));
+
+        // Sync edge to a non-viewer.
+        let bad3 = Composition::new("bad3")
+            .with_component("a", "source", json!({"source": src_a}))
+            .with_component("list", "list-viewer", json!({}))
+            .with_data_edge("a", "list")
+            .with_sync_edge("list", "a");
+        assert!(matches!(
+            engine.execute(&bad3, &env),
+            Err(MashupError::BadWiring { .. })
+        ));
+    }
+
+    #[test]
+    fn selection_on_non_viewer_is_rejected() {
+        let f = fixture();
+        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let (src_a, _) = two_source_names(&f.world);
+        let composition = Composition::new("x")
+            .with_component("a", "source", json!({"source": src_a}))
+            .with_component("map", "map-viewer", json!({}))
+            .with_data_edge("a", "map");
+        let registry = standard_registry();
+        let engine = Engine::new(&registry);
+        let mut exec = engine.execute(&composition, &env).unwrap();
+        // Maps don't originate selections in this library.
+        assert!(matches!(
+            exec.select("map", 0),
+            Err(MashupError::SelectionUnsupported(_))
+        ));
+        assert!(matches!(
+            exec.select("ghost", 0),
+            Err(MashupError::UnknownComponent(_))
+        ));
+    }
+
+    #[test]
+    fn bad_params_name_the_instance() {
+        let f = fixture();
+        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let composition = Composition::new("x")
+            .with_component("myfilter", "quality-filter", json!({}));
+        let registry = standard_registry();
+        let engine = Engine::new(&registry);
+        match engine.execute(&composition, &env) {
+            Err(MashupError::BadParams { component, .. }) => assert_eq!(component, "myfilter"),
+            other => panic!("expected BadParams, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The shared execution environment.
+//!
+//! A mashup runs against one "installation": the crawled corpus, its
+//! analytics, a Domain of Interest, and the pre-computed quality and
+//! influence assessments the quality-driven components consult. The
+//! paper's platform computed these during the source-selection phase
+//! ("after a first-stage analysis of the source quality"); here
+//! [`MashupEnv::prepare`] does that stage.
+
+use obs_analytics::{AlexaPanel, FeedRegistry, LinkGraph};
+use obs_model::{Corpus, DomainOfInterest, SourceId, Timestamp, UserId};
+use obs_quality::{
+    assess_source, influence_profiles, Benchmarks, InfluenceProfile, SourceContext, Weights,
+};
+use std::collections::HashMap;
+
+/// The environment components execute against.
+pub struct MashupEnv<'a> {
+    /// The crawled corpus.
+    pub corpus: &'a Corpus,
+    /// Traffic panel.
+    pub panel: &'a AlexaPanel,
+    /// Link graph.
+    pub links: &'a LinkGraph,
+    /// Feed registry.
+    pub feeds: &'a FeedRegistry,
+    /// The Domain of Interest.
+    pub di: &'a DomainOfInterest,
+    /// Evaluation instant.
+    pub now: Timestamp,
+    /// Overall quality score per source.
+    quality: HashMap<SourceId, f64>,
+    /// Influence profiles, best first.
+    influence: Vec<InfluenceProfile>,
+    /// Combined influence score per user.
+    influence_by_user: HashMap<UserId, f64>,
+}
+
+impl<'a> MashupEnv<'a> {
+    /// Runs the first-stage quality and influence analysis and builds
+    /// the environment.
+    pub fn prepare(
+        corpus: &'a Corpus,
+        panel: &'a AlexaPanel,
+        links: &'a LinkGraph,
+        feeds: &'a FeedRegistry,
+        di: &'a DomainOfInterest,
+        now: Timestamp,
+    ) -> MashupEnv<'a> {
+        let ctx = SourceContext::new(corpus, panel, links, feeds, di, now);
+        let weights = Weights::uniform();
+        let benchmarks = Benchmarks::for_sources(&ctx, 0.9);
+        let quality: HashMap<SourceId, f64> = corpus
+            .sources()
+            .iter()
+            .map(|s| (s.id, assess_source(&ctx, s.id, &weights, &benchmarks).overall))
+            .collect();
+        let influence = influence_profiles(&ctx);
+        let influence_by_user = influence
+            .iter()
+            .map(|p| (p.user, p.combined_score))
+            .collect();
+        MashupEnv {
+            corpus,
+            panel,
+            links,
+            feeds,
+            di,
+            now,
+            quality,
+            influence,
+            influence_by_user,
+        }
+    }
+
+    /// Overall quality of a source (0 when unknown).
+    pub fn quality_of(&self, source: SourceId) -> f64 {
+        self.quality.get(&source).copied().unwrap_or(0.0)
+    }
+
+    /// Combined influence score of a user (0 when the user never
+    /// emitted anything).
+    pub fn influence_of(&self, user: UserId) -> f64 {
+        self.influence_by_user.get(&user).copied().unwrap_or(0.0)
+    }
+
+    /// The `count` most influential users.
+    pub fn top_influencers(&self, count: usize) -> Vec<UserId> {
+        self.influence.iter().take(count).map(|p| p.user).collect()
+    }
+
+    /// All influence profiles, best first.
+    pub fn influence_profiles(&self) -> &[InfluenceProfile] {
+        &self.influence
+    }
+
+    /// Source id by name (helper for composition parameters).
+    pub fn source_by_name(&self, name: &str) -> Option<SourceId> {
+        self.corpus
+            .sources()
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs_synth::{World, WorldConfig};
+
+    #[test]
+    fn prepare_computes_quality_and_influence() {
+        let world = World::generate(WorldConfig::small(111));
+        let panel = AlexaPanel::simulate(&world, 1);
+        let links = LinkGraph::simulate(&world, 2);
+        let feeds = FeedRegistry::simulate(&world, 3);
+        let di = world.open_di();
+        let env = MashupEnv::prepare(&world.corpus, &panel, &links, &feeds, &di, world.now);
+
+        for s in world.corpus.sources() {
+            let q = env.quality_of(s.id);
+            assert!((0.0..=1.0).contains(&q));
+        }
+        let top = env.top_influencers(5);
+        assert!(!top.is_empty());
+        // Top influencer has the best combined score.
+        let best = env.influence_of(top[0]);
+        for p in env.influence_profiles() {
+            assert!(best >= p.combined_score - 1e-12);
+        }
+        // Lookup by name.
+        let first = &world.corpus.sources()[0];
+        assert_eq!(env.source_by_name(&first.name), Some(first.id));
+        assert_eq!(env.source_by_name("no-such-source"), None);
+    }
+}

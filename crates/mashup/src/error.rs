@@ -1,0 +1,71 @@
+//! Mashup-framework errors.
+
+/// Errors raised while validating or executing compositions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MashupError {
+    /// A component id appears twice in a composition.
+    DuplicateComponent(String),
+    /// An edge references a component that is not declared.
+    UnknownComponent(String),
+    /// The data-flow graph has a cycle.
+    CyclicDataflow,
+    /// A component kind is not registered.
+    UnknownKind(String),
+    /// A component's parameters are invalid.
+    BadParams {
+        /// The component instance.
+        component: String,
+        /// What is wrong.
+        reason: String,
+    },
+    /// A structural rule is violated (source with inputs, viewer with
+    /// data consumers, transform without input, …).
+    BadWiring {
+        /// The component instance.
+        component: String,
+        /// What is wrong.
+        reason: String,
+    },
+    /// A wrapped source failed during data-service execution.
+    SourceFailure(String),
+    /// A selection was sent to a component that cannot handle it.
+    SelectionUnsupported(String),
+}
+
+impl std::fmt::Display for MashupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MashupError::DuplicateComponent(id) => write!(f, "duplicate component id {id:?}"),
+            MashupError::UnknownComponent(id) => write!(f, "edge references unknown component {id:?}"),
+            MashupError::CyclicDataflow => write!(f, "data-flow graph has a cycle"),
+            MashupError::UnknownKind(kind) => write!(f, "unknown component kind {kind:?}"),
+            MashupError::BadParams { component, reason } => {
+                write!(f, "bad parameters for {component:?}: {reason}")
+            }
+            MashupError::BadWiring { component, reason } => {
+                write!(f, "bad wiring at {component:?}: {reason}")
+            }
+            MashupError::SourceFailure(what) => write!(f, "data service failed: {what}"),
+            MashupError::SelectionUnsupported(id) => {
+                write!(f, "component {id:?} does not handle selections")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MashupError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_detail() {
+        let e = MashupError::BadParams {
+            component: "filter1".into(),
+            reason: "missing 'top'".into(),
+        };
+        assert!(e.to_string().contains("filter1"));
+        assert!(e.to_string().contains("missing 'top'"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # obs-mashup — the quality-driven mashup framework
+//!
+//! Section 5 of the paper: analysis services and data services are
+//! composed DashMash-style into *situational applications* — personal
+//! dashboards non-programmers assemble from ready components. This
+//! crate implements that framework:
+//!
+//! * [`data`] — the dataset flowing between components (normalized
+//!   content items enriched with sentiment/influence annotations) and
+//!   the selection events viewers exchange;
+//! * [`env`] — the shared environment (corpus, analytics, DI, quality
+//!   scores, influence profiles) components evaluate against;
+//! * [`component`] — the component contract (sources, transforms,
+//!   viewers);
+//! * [`components`] — the built-in library: source data services
+//!   (wrapper-backed), quality/influencer/category/time/geo filters,
+//!   the sentiment analysis service, and list/map/indicator viewers;
+//! * [`composition`] — the serializable composition document (JSON)
+//!   with validation and topological ordering;
+//! * [`registry`] — component factory registry;
+//! * [`engine`] — execution: run the dataflow, collect viewer
+//!   renders, and propagate selection events along synchronization
+//!   edges (the Figure 1 behaviour: clicking an influencer focuses
+//!   the maps and the post list).
+
+#![warn(missing_docs)]
+
+pub mod component;
+pub mod components;
+pub mod composition;
+pub mod data;
+pub mod engine;
+mod error;
+pub mod env;
+pub mod registry;
+
+pub use component::{Component, Role};
+pub use composition::{ComponentDecl, Composition};
+pub use data::{Dataset, Row, Selection};
+pub use engine::{Engine, Execution};
+pub use env::MashupEnv;
+pub use error::MashupError;
+pub use registry::Registry;

@@ -1,0 +1,86 @@
+//! The component factory registry.
+
+use crate::component::Component;
+use crate::error::MashupError;
+use std::collections::BTreeMap;
+
+/// Builds a component instance from its JSON parameters.
+pub type Factory = fn(&serde_json::Value) -> Result<Box<dyn Component>, MashupError>;
+
+/// Maps kind names to factories.
+#[derive(Default)]
+pub struct Registry {
+    factories: BTreeMap<&'static str, Factory>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers a kind (later registrations override).
+    pub fn register(&mut self, kind: &'static str, factory: Factory) {
+        self.factories.insert(kind, factory);
+    }
+
+    /// Instantiates a component.
+    pub fn create(
+        &self,
+        kind: &str,
+        params: &serde_json::Value,
+    ) -> Result<Box<dyn Component>, MashupError> {
+        let factory = self
+            .factories
+            .get(kind)
+            .ok_or_else(|| MashupError::UnknownKind(kind.to_owned()))?;
+        factory(params)
+    }
+
+    /// Registered kind names, sorted.
+    pub fn kinds(&self) -> Vec<&'static str> {
+        self.factories.keys().copied().collect()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").field("kinds", &self.kinds()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::standard_registry;
+
+    #[test]
+    fn standard_registry_has_the_paper_services() {
+        let r = standard_registry();
+        let kinds = r.kinds();
+        for expected in [
+            "source",
+            "quality-filter",
+            "influencer-filter",
+            "category-filter",
+            "time-filter",
+            "geo-filter",
+            "sentiment",
+            "buzzwords",
+            "list-viewer",
+            "map-viewer",
+            "indicator-viewer",
+        ] {
+            assert!(kinds.contains(&expected), "missing {expected}: {kinds:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_kind_errors() {
+        let r = standard_registry();
+        assert!(matches!(
+            r.create("teleporter", &serde_json::Value::Null),
+            Err(MashupError::UnknownKind(_))
+        ));
+    }
+}

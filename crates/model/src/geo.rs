@@ -1,0 +1,123 @@
+//! Geographic locations.
+//!
+//! The paper's Domain of Interest carries a set of geographical
+//! locations `<l1 … lm>` that scope the analysis (the concrete project
+//! targeted Milan tourism). We model locations as lat/lon points and
+//! circular regions; a post or user "matches" a DI location when it
+//! falls inside one of the DI's regions.
+
+use serde::{Deserialize, Serialize};
+
+/// A latitude/longitude pair in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Builds a point, clamping latitude to ±90 and wrapping longitude
+    /// into (−180, 180].
+    pub fn new(lat: f64, lon: f64) -> Self {
+        let lat = lat.clamp(-90.0, 90.0);
+        let mut lon = lon % 360.0;
+        if lon > 180.0 {
+            lon -= 360.0;
+        } else if lon <= -180.0 {
+            lon += 360.0;
+        }
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine).
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        const EARTH_RADIUS_KM: f64 = 6_371.0;
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+}
+
+/// A named circular region: the unit of the DI's location list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// Human-readable name ("Milan", "London", …).
+    pub name: String,
+    /// Region centre.
+    pub center: GeoPoint,
+    /// Radius in kilometres.
+    pub radius_km: f64,
+}
+
+impl Region {
+    /// Builds a region around a centre point.
+    pub fn new(name: impl Into<String>, center: GeoPoint, radius_km: f64) -> Self {
+        Region {
+            name: name.into(),
+            center,
+            radius_km: radius_km.max(0.0),
+        }
+    }
+
+    /// Whether `p` falls inside the region.
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        self.center.distance_km(p) <= self.radius_km
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn milan() -> GeoPoint {
+        GeoPoint::new(45.4642, 9.19)
+    }
+
+    fn london() -> GeoPoint {
+        GeoPoint::new(51.5072, -0.1276)
+    }
+
+    #[test]
+    fn distance_milan_london_plausible() {
+        let d = milan().distance_km(&london());
+        // Real-world distance is ~958 km.
+        assert!((900.0..1_020.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = milan();
+        let b = london();
+        assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+        assert!(a.distance_km(&a) < 1e-9);
+    }
+
+    #[test]
+    fn latitude_clamped_longitude_wrapped() {
+        let p = GeoPoint::new(123.0, 270.0);
+        assert_eq!(p.lat, 90.0);
+        assert!((p.lon - (-90.0)).abs() < 1e-9);
+        let q = GeoPoint::new(0.0, -200.0);
+        assert!((q.lon - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn region_contains_its_center_and_nearby_points() {
+        let r = Region::new("Milan", milan(), 25.0);
+        assert!(r.contains(&milan()));
+        assert!(r.contains(&GeoPoint::new(45.48, 9.2)));
+        assert!(!r.contains(&london()));
+    }
+
+    #[test]
+    fn negative_radius_is_clamped() {
+        let r = Region::new("degenerate", milan(), -5.0);
+        assert_eq!(r.radius_km, 0.0);
+        assert!(r.contains(&milan()));
+    }
+}

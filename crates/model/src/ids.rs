@@ -1,0 +1,113 @@
+//! Dense, typed identifiers for every entity in the corpus.
+//!
+//! Identifiers are plain indexes into the [`Corpus`](crate::Corpus)
+//! arenas. The newtype wrappers prevent cross-entity mixups at compile
+//! time while staying `Copy` and hash-friendly.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident($repr:ty)) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Wraps a raw index.
+            #[inline]
+            pub const fn new(raw: $repr) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index.
+            #[inline]
+            pub const fn raw(self) -> $repr {
+                self.0
+            }
+
+            /// Returns the index as `usize` for arena addressing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$repr> for $name {
+            #[inline]
+            fn from(raw: $repr) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "#{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a Web 2.0 source (a site: blog, forum, …).
+    SourceId(u32)
+);
+id_type!(
+    /// Identifier of a contributor account.
+    UserId(u32)
+);
+id_type!(
+    /// Identifier of a content category (topic).
+    CategoryId(u16)
+);
+id_type!(
+    /// Identifier of a discussion thread within a source.
+    DiscussionId(u32)
+);
+id_type!(
+    /// Identifier of a post (the opening content of a discussion).
+    PostId(u32)
+);
+id_type!(
+    /// Identifier of a comment attached to a discussion.
+    CommentId(u32)
+);
+id_type!(
+    /// Identifier of a social interaction event.
+    InteractionId(u32)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_raw_values() {
+        let s = SourceId::new(7);
+        assert_eq!(s.raw(), 7);
+        assert_eq!(s.index(), 7);
+        assert_eq!(SourceId::from(7), s);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(DiscussionId::new(1) < DiscussionId::new(2));
+        assert!(CommentId::new(10) > CommentId::new(9));
+    }
+
+    #[test]
+    fn ids_display_with_type_name() {
+        assert_eq!(UserId::new(3).to_string(), "UserId#3");
+        assert_eq!(CategoryId::new(0).to_string(), "CategoryId#0");
+    }
+
+    #[test]
+    fn ids_serialize_transparently() {
+        let json = serde_json::to_string(&PostId::new(42)).unwrap();
+        assert_eq!(json, "42");
+        let back: PostId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, PostId::new(42));
+    }
+}

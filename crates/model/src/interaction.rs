@@ -1,0 +1,138 @@
+//! Social interactions.
+//!
+//! Section 3.2 of the paper abstracts over concrete social tools: "we
+//! consider as interaction any social tool available (e.g., the
+//! Facebook likes, or the Twitter retweets, mentions, and shares)".
+//! [`InteractionKind`] enumerates those tools plus the passive *read*
+//! events counted by the Table 2 time/activity measure ("number of
+//! times comments are read by other users") and the generic
+//! *feedback* used by the dependability measures.
+
+use crate::{CommentId, InteractionId, PostId, Timestamp, UserId};
+use serde::{Deserialize, Serialize};
+
+/// What a social interaction points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ContentRef {
+    /// An opening post.
+    Post(PostId),
+    /// A comment.
+    Comment(CommentId),
+}
+
+impl ContentRef {
+    /// The post id when the target is a post.
+    pub fn as_post(self) -> Option<PostId> {
+        match self {
+            ContentRef::Post(p) => Some(p),
+            ContentRef::Comment(_) => None,
+        }
+    }
+
+    /// The comment id when the target is a comment.
+    pub fn as_comment(self) -> Option<CommentId> {
+        match self {
+            ContentRef::Comment(c) => Some(c),
+            ContentRef::Post(_) => None,
+        }
+    }
+}
+
+/// The concrete social tool used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum InteractionKind {
+    /// A like / upvote / "+1".
+    Like,
+    /// A share to one's own audience.
+    Share,
+    /// A retweet (microblog re-broadcast). The paper treats retweets
+    /// as the *feedback* measure of Twitter contributors.
+    Retweet,
+    /// A mention of another user (`@handle`); the *reply received*
+    /// measure of Twitter contributors.
+    Mention,
+    /// A generic quality feedback ("was this review helpful?").
+    Feedback,
+    /// A passive read of a comment by another user.
+    Read,
+}
+
+impl InteractionKind {
+    /// All kinds, in declaration order.
+    pub const ALL: [InteractionKind; 6] = [
+        InteractionKind::Like,
+        InteractionKind::Share,
+        InteractionKind::Retweet,
+        InteractionKind::Mention,
+        InteractionKind::Feedback,
+        InteractionKind::Read,
+    ];
+
+    /// Whether this kind counts as an *active* contribution by the
+    /// actor (reads are passive and excluded from activity volumes).
+    pub fn is_active(self) -> bool {
+        !matches!(self, InteractionKind::Read)
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            InteractionKind::Like => "like",
+            InteractionKind::Share => "share",
+            InteractionKind::Retweet => "retweet",
+            InteractionKind::Mention => "mention",
+            InteractionKind::Feedback => "feedback",
+            InteractionKind::Read => "read",
+        }
+    }
+}
+
+impl std::fmt::Display for InteractionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One social interaction event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interaction {
+    /// Dense identifier.
+    pub id: InteractionId,
+    /// Who performed the interaction.
+    pub actor: UserId,
+    /// What it targets.
+    pub target: ContentRef,
+    /// Which social tool was used.
+    pub kind: InteractionKind,
+    /// When it happened.
+    pub at: Timestamp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_ref_projections() {
+        let p = ContentRef::Post(PostId::new(3));
+        let c = ContentRef::Comment(CommentId::new(4));
+        assert_eq!(p.as_post(), Some(PostId::new(3)));
+        assert_eq!(p.as_comment(), None);
+        assert_eq!(c.as_comment(), Some(CommentId::new(4)));
+        assert_eq!(c.as_post(), None);
+    }
+
+    #[test]
+    fn reads_are_passive_everything_else_active() {
+        for k in InteractionKind::ALL {
+            assert_eq!(k.is_active(), k != InteractionKind::Read, "{k}");
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            InteractionKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), InteractionKind::ALL.len());
+    }
+}

@@ -1,0 +1,126 @@
+//! Web 2.0 sources.
+
+use crate::{GeoPoint, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// The kind of a Web 2.0 source.
+///
+/// The paper evaluates blogs and forums against Google (Section 4.1)
+/// and composes microblog (Twitter) and review (TripAdvisor,
+/// LonelyPlanet) sources in the mashup application (Section 6); wikis
+/// appear in the related-work quality literature. Each kind has its
+/// own *native* API shape, which the wrapper layer normalizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SourceKind {
+    /// A single- or multi-author blog with posts and comment trails.
+    Blog,
+    /// A threaded discussion forum.
+    Forum,
+    /// A micro-blogging service (Twitter-like).
+    Microblog,
+    /// A review site (TripAdvisor-like): rated reviews per venue.
+    ReviewSite,
+    /// A collaboratively edited wiki.
+    Wiki,
+}
+
+impl SourceKind {
+    /// All kinds, in declaration order.
+    pub const ALL: [SourceKind; 5] = [
+        SourceKind::Blog,
+        SourceKind::Forum,
+        SourceKind::Microblog,
+        SourceKind::ReviewSite,
+        SourceKind::Wiki,
+    ];
+
+    /// Short lowercase label used in URLs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SourceKind::Blog => "blog",
+            SourceKind::Forum => "forum",
+            SourceKind::Microblog => "microblog",
+            SourceKind::ReviewSite => "reviews",
+            SourceKind::Wiki => "wiki",
+        }
+    }
+
+    /// Whether the paper's Section 4.1 study would include this kind
+    /// (the Google comparison was restricted to blogs and forums).
+    pub fn in_search_study(self) -> bool {
+        matches!(self, SourceKind::Blog | SourceKind::Forum)
+    }
+}
+
+impl std::fmt::Display for SourceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Static description of a Web 2.0 source.
+///
+/// Dynamic facts (its discussions, comments, traffic…) live in the
+/// [`Corpus`](crate::Corpus) and in the analytics panels; this struct
+/// only carries identity and provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Source {
+    /// Dense identifier (index into the corpus arena).
+    pub id: crate::SourceId,
+    /// Source kind.
+    pub kind: SourceKind,
+    /// Site name, unique within the corpus.
+    pub name: String,
+    /// Synthetic URL, derived from kind and name.
+    pub url: String,
+    /// When the site was founded (simulated time).
+    pub founded: Timestamp,
+    /// Primary audience location, when known.
+    pub home: Option<GeoPoint>,
+}
+
+impl Source {
+    /// Builds the canonical synthetic URL for a source name/kind.
+    pub fn url_for(kind: SourceKind, name: &str) -> String {
+        let slug: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+            .collect();
+        format!("https://{}.example.net/{}", slug.trim_matches('-'), kind.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_distinct_labels() {
+        let labels: std::collections::HashSet<_> =
+            SourceKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), SourceKind::ALL.len());
+    }
+
+    #[test]
+    fn search_study_covers_blogs_and_forums_only() {
+        let included: Vec<_> = SourceKind::ALL
+            .iter()
+            .filter(|k| k.in_search_study())
+            .collect();
+        assert_eq!(included, vec![&SourceKind::Blog, &SourceKind::Forum]);
+    }
+
+    #[test]
+    fn url_slugging_normalizes_names() {
+        let url = Source::url_for(SourceKind::Blog, "Milan Diaries!");
+        assert_eq!(url, "https://milan-diaries.example.net/blog");
+    }
+
+    #[test]
+    fn url_slugging_handles_unicode_and_inner_dashes() {
+        let url = Source::url_for(SourceKind::Forum, "città à go-go");
+        assert!(url.starts_with("https://citt"));
+        assert!(url.ends_with("/forum"));
+        assert!(!url.contains(' '));
+    }
+}

@@ -1,0 +1,148 @@
+//! User-created contents: discussions, posts, comments, tags.
+//!
+//! The unit of conversation is the [`Discussion`]: a thread opened by
+//! a [`Post`] inside a source, classified under one content category,
+//! and accumulating [`Comment`]s over time. Tags annotate posts; the
+//! paper's interpretability measure counts distinct tags per post.
+
+use crate::{CategoryId, CommentId, DiscussionId, GeoPoint, PostId, SourceId, Timestamp, UserId};
+use serde::{Deserialize, Serialize};
+
+/// A free-form tag attached to a post.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Tag(pub String);
+
+impl Tag {
+    /// Builds a tag, lowercasing and trimming the label.
+    pub fn new(label: impl AsRef<str>) -> Self {
+        Tag(label.as_ref().trim().to_ascii_lowercase())
+    }
+
+    /// Tag text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for Tag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A discussion thread: the paper's unit for "open discussions",
+/// thread age, and comments-per-discussion measures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Discussion {
+    /// Dense identifier.
+    pub id: DiscussionId,
+    /// Hosting source.
+    pub source: SourceId,
+    /// Content category the thread is classified under.
+    pub category: CategoryId,
+    /// Thread title.
+    pub title: String,
+    /// Who opened the thread.
+    pub opened_by: UserId,
+    /// When the thread was opened.
+    pub opened_at: Timestamp,
+    /// Whether the thread has been closed by moderators. Open
+    /// discussions are the ones the paper's completeness and accuracy
+    /// measures count.
+    pub closed: bool,
+    /// The opening post.
+    pub root_post: PostId,
+}
+
+/// The opening content of a discussion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Post {
+    /// Dense identifier.
+    pub id: PostId,
+    /// Discussion this post opens.
+    pub discussion: DiscussionId,
+    /// Author.
+    pub author: UserId,
+    /// Publication instant.
+    pub published: Timestamp,
+    /// Body text.
+    pub body: String,
+    /// Tags attached by the author.
+    pub tags: Vec<Tag>,
+    /// Geo-tag, when the author shared a location (Figure 1 plots
+    /// these on the synchronized map viewer).
+    pub geo: Option<GeoPoint>,
+}
+
+impl Post {
+    /// Number of *distinct* tags (duplicate labels collapse), the raw
+    /// ingredient of the interpretability measure.
+    pub fn distinct_tag_count(&self) -> usize {
+        let mut tags: Vec<&str> = self.tags.iter().map(Tag::as_str).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        tags.len()
+    }
+}
+
+/// A comment inside a discussion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comment {
+    /// Dense identifier.
+    pub id: CommentId,
+    /// Discussion the comment belongs to.
+    pub discussion: DiscussionId,
+    /// Author.
+    pub author: UserId,
+    /// Publication instant.
+    pub published: Timestamp,
+    /// Body text.
+    pub body: String,
+    /// Parent comment when this is a reply to another comment; `None`
+    /// when it replies to the opening post. Replies received per
+    /// comment feed the authority measures of Table 2.
+    pub reply_to: Option<CommentId>,
+    /// Geo-tag, when shared.
+    pub geo: Option<GeoPoint>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_normalize_case_and_whitespace() {
+        assert_eq!(Tag::new("  Duomo "), Tag::new("duomo"));
+        assert_eq!(Tag::new("Duomo").as_str(), "duomo");
+        assert_eq!(Tag::new("duomo").to_string(), "#duomo");
+    }
+
+    #[test]
+    fn distinct_tags_collapse_duplicates() {
+        let p = Post {
+            id: PostId::new(0),
+            discussion: DiscussionId::new(0),
+            author: UserId::new(0),
+            published: Timestamp::EPOCH,
+            body: String::new(),
+            tags: vec![Tag::new("a"), Tag::new("B"), Tag::new("A "), Tag::new("c")],
+            geo: None,
+        };
+        assert_eq!(p.distinct_tag_count(), 3);
+    }
+
+    #[test]
+    fn empty_post_has_zero_distinct_tags() {
+        let p = Post {
+            id: PostId::new(0),
+            discussion: DiscussionId::new(0),
+            author: UserId::new(0),
+            published: Timestamp::EPOCH,
+            body: String::new(),
+            tags: vec![],
+            geo: None,
+        };
+        assert_eq!(p.distinct_tag_count(), 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Simulated time.
+//!
+//! The reproduction runs against a synthetic Web, so wall-clock time is
+//! replaced by a simulated epoch: [`Timestamp`] counts seconds since
+//! the beginning of the simulation, and every "age", "per day" or
+//! "freshness" quantity used by the paper's measures is derived from
+//! it. A [`TimeRange`] bounds an observation window (the `t` component
+//! of the paper's Domain of Interest), and [`Clock`] is a tiny mutable
+//! cursor used by generators and crawlers.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of simulated seconds in a simulated day.
+pub const SECONDS_PER_DAY: u64 = 86_400;
+
+/// A point in simulated time, in seconds since the simulation epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The simulation epoch (t = 0).
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    /// Builds a timestamp from whole simulated days.
+    #[inline]
+    pub const fn from_days(days: u64) -> Self {
+        Timestamp(days * SECONDS_PER_DAY)
+    }
+
+    /// Builds a timestamp from simulated hours.
+    #[inline]
+    pub const fn from_hours(hours: u64) -> Self {
+        Timestamp(hours * 3_600)
+    }
+
+    /// Raw seconds since the epoch.
+    #[inline]
+    pub const fn seconds(self) -> u64 {
+        self.0
+    }
+
+    /// Whole days since the epoch (floor).
+    #[inline]
+    pub const fn days(self) -> u64 {
+        self.0 / SECONDS_PER_DAY
+    }
+
+    /// Fractional days since the epoch.
+    #[inline]
+    pub fn days_f64(self) -> f64 {
+        self.0 as f64 / SECONDS_PER_DAY as f64
+    }
+
+    /// Timestamp advanced by `d`.
+    #[inline]
+    pub const fn plus(self, d: Duration) -> Timestamp {
+        Timestamp(self.0 + d.0)
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero.
+    #[inline]
+    pub const fn since(self, earlier: Timestamp) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl std::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let days = self.days();
+        let rem = self.0 % SECONDS_PER_DAY;
+        write!(f, "d{}+{:02}:{:02}", days, rem / 3_600, (rem % 3_600) / 60)
+    }
+}
+
+/// A span of simulated time, in seconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Duration(pub u64);
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Builds a duration from whole simulated days.
+    #[inline]
+    pub const fn from_days(days: u64) -> Self {
+        Duration(days * SECONDS_PER_DAY)
+    }
+
+    /// Builds a duration from simulated hours.
+    #[inline]
+    pub const fn from_hours(hours: u64) -> Self {
+        Duration(hours * 3_600)
+    }
+
+    /// Raw seconds.
+    #[inline]
+    pub const fn seconds(self) -> u64 {
+        self.0
+    }
+
+    /// Whole days (floor).
+    #[inline]
+    pub const fn days(self) -> u64 {
+        self.0 / SECONDS_PER_DAY
+    }
+
+    /// Fractional days.
+    #[inline]
+    pub fn days_f64(self) -> f64 {
+        self.0 as f64 / SECONDS_PER_DAY as f64
+    }
+}
+
+/// A half-open observation window `[start, end)` in simulated time.
+///
+/// This is the `t` component of the paper's Domain of Interest: every
+/// domain-dependent measure is evaluated against contents that fall
+/// inside the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeRange {
+    /// Inclusive lower bound.
+    pub start: Timestamp,
+    /// Exclusive upper bound.
+    pub end: Timestamp,
+}
+
+impl TimeRange {
+    /// Builds a window, normalizing inverted bounds.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        if end < start {
+            TimeRange { start: end, end: start }
+        } else {
+            TimeRange { start, end }
+        }
+    }
+
+    /// A window covering the whole simulation.
+    pub const ALL: TimeRange = TimeRange {
+        start: Timestamp(0),
+        end: Timestamp(u64::MAX),
+    };
+
+    /// Window of the `days` most recent days before `now`.
+    pub fn last_days(now: Timestamp, days: u64) -> Self {
+        let span = Duration::from_days(days);
+        let start = Timestamp(now.0.saturating_sub(span.0));
+        TimeRange { start, end: now }
+    }
+
+    /// Whether `t` lies inside the window.
+    #[inline]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Length of the window.
+    #[inline]
+    pub fn span(&self) -> Duration {
+        self.end.since(self.start)
+    }
+
+    /// Length of the window in fractional days, never below `min_days`.
+    ///
+    /// Per-day rates divide by this; the floor avoids the degenerate
+    /// "everything happened in one instant" blow-up for tiny windows.
+    pub fn span_days_at_least(&self, min_days: f64) -> f64 {
+        self.span().days_f64().max(min_days)
+    }
+}
+
+/// A mutable time cursor used by generators and crawl drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Clock {
+    now: Timestamp,
+}
+
+impl Clock {
+    /// Starts a clock at the given instant.
+    pub const fn starting_at(now: Timestamp) -> Self {
+        Clock { now }
+    }
+
+    /// Current simulated instant.
+    #[inline]
+    pub const fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Advances the clock and returns the new instant.
+    pub fn advance(&mut self, d: Duration) -> Timestamp {
+        self.now = self.now.plus(d);
+        self.now
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::starting_at(Timestamp::EPOCH)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_day_conversions() {
+        let t = Timestamp::from_days(3);
+        assert_eq!(t.seconds(), 3 * SECONDS_PER_DAY);
+        assert_eq!(t.days(), 3);
+        assert!((t.days_f64() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = Timestamp::from_days(1);
+        let late = Timestamp::from_days(2);
+        assert_eq!(late.since(early), Duration::from_days(1));
+        assert_eq!(early.since(late), Duration::ZERO);
+    }
+
+    #[test]
+    fn range_contains_is_half_open() {
+        let r = TimeRange::new(Timestamp::from_days(1), Timestamp::from_days(2));
+        assert!(!r.contains(Timestamp::from_days(0)));
+        assert!(r.contains(Timestamp::from_days(1)));
+        assert!(r.contains(Timestamp(2 * SECONDS_PER_DAY - 1)));
+        assert!(!r.contains(Timestamp::from_days(2)));
+    }
+
+    #[test]
+    fn range_normalizes_inverted_bounds() {
+        let r = TimeRange::new(Timestamp::from_days(5), Timestamp::from_days(2));
+        assert_eq!(r.start, Timestamp::from_days(2));
+        assert_eq!(r.end, Timestamp::from_days(5));
+    }
+
+    #[test]
+    fn last_days_clamps_at_epoch() {
+        let r = TimeRange::last_days(Timestamp::from_days(3), 10);
+        assert_eq!(r.start, Timestamp::EPOCH);
+        assert_eq!(r.end, Timestamp::from_days(3));
+    }
+
+    #[test]
+    fn span_days_floor() {
+        let r = TimeRange::new(Timestamp::EPOCH, Timestamp::from_hours(6));
+        assert!((r.span_days_at_least(1.0) - 1.0).abs() < 1e-12);
+        let r2 = TimeRange::new(Timestamp::EPOCH, Timestamp::from_days(4));
+        assert!((r2.span_days_at_least(1.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut c = Clock::default();
+        assert_eq!(c.now(), Timestamp::EPOCH);
+        c.advance(Duration::from_hours(5));
+        assert_eq!(c.now(), Timestamp::from_hours(5));
+    }
+
+    #[test]
+    fn timestamp_display_is_human_readable() {
+        let t = Timestamp(SECONDS_PER_DAY + 3_700);
+        assert_eq!(t.to_string(), "d1+01:01");
+    }
+}

@@ -1,0 +1,105 @@
+//! Contributor accounts.
+
+use crate::{GeoPoint, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// The kind of entity behind an account.
+///
+/// Section 4.2 of the paper manually annotates the Twitaholic dataset
+/// with exactly these three classes — a brand/company (e.g. the
+/// Coldplay), a news source (e.g. BBC), or a person (e.g. Scott
+/// Mills) — and shows that absolute interaction volumes differ by
+/// class while relative volumes do not (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AccountKind {
+    /// A private individual.
+    Person,
+    /// A brand or company account.
+    Brand,
+    /// A news outlet.
+    News,
+}
+
+impl AccountKind {
+    /// All kinds, in declaration order.
+    pub const ALL: [AccountKind; 3] = [AccountKind::Person, AccountKind::Brand, AccountKind::News];
+
+    /// Short label used in reports ("people", "brand", "news" — the
+    /// paper's Table 4 wording).
+    pub fn label(self) -> &'static str {
+        match self {
+            AccountKind::Person => "people",
+            AccountKind::Brand => "brand",
+            AccountKind::News => "news",
+        }
+    }
+}
+
+impl std::fmt::Display for AccountKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A contributor account.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Dense identifier (index into the corpus arena).
+    pub id: crate::UserId,
+    /// Handle, unique within the corpus.
+    pub handle: String,
+    /// What kind of entity operates the account.
+    pub kind: AccountKind,
+    /// Registration instant; "age of the user" in Table 2 is measured
+    /// from here.
+    pub registered: Timestamp,
+    /// Self-declared home location, when known.
+    pub home: Option<GeoPoint>,
+    /// Declared follower count (a raw popularity signal; the paper's
+    /// "million follower fallacy" reference warns it is *not* an
+    /// influence measure by itself).
+    pub followers: u32,
+}
+
+impl UserProfile {
+    /// Age of the account at `now`.
+    pub fn age_at(&self, now: Timestamp) -> crate::Duration {
+        now.since(self.registered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Duration, UserId};
+
+    fn sample() -> UserProfile {
+        UserProfile {
+            id: UserId::new(0),
+            handle: "ada".into(),
+            kind: AccountKind::Person,
+            registered: Timestamp::from_days(10),
+            home: None,
+            followers: 120,
+        }
+    }
+
+    #[test]
+    fn age_counts_from_registration() {
+        let u = sample();
+        assert_eq!(u.age_at(Timestamp::from_days(15)), Duration::from_days(5));
+    }
+
+    #[test]
+    fn age_saturates_before_registration() {
+        let u = sample();
+        assert_eq!(u.age_at(Timestamp::from_days(5)), Duration::ZERO);
+    }
+
+    #[test]
+    fn labels_match_paper_wording() {
+        assert_eq!(AccountKind::Person.label(), "people");
+        assert_eq!(AccountKind::Brand.label(), "brand");
+        assert_eq!(AccountKind::News.label(), "news");
+    }
+}

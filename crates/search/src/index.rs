@@ -1,0 +1,172 @@
+//! Inverted index over opening posts.
+//!
+//! Documents are the corpus's opening posts (title + body + tags),
+//! which is what a search engine of the paper's era would index of a
+//! blog or forum. Postings store term frequencies; document lengths
+//! feed BM25's length normalization.
+
+use crate::token::tokenize;
+use obs_model::{Corpus, PostId, SourceId};
+use std::collections::HashMap;
+
+/// A posting: document and term frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// Document (post) id.
+    pub doc: PostId,
+    /// Term frequency in the document.
+    pub tf: u32,
+}
+
+/// The inverted index.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<String, Vec<Posting>>,
+    doc_len: HashMap<PostId, u32>,
+    doc_source: HashMap<PostId, SourceId>,
+    total_len: u64,
+}
+
+impl InvertedIndex {
+    /// Indexes every opening post of the corpus.
+    pub fn build(corpus: &Corpus) -> InvertedIndex {
+        let mut index = InvertedIndex::default();
+        for post in corpus.posts() {
+            let discussion = match corpus.discussion(post.discussion) {
+                Ok(d) => d,
+                Err(_) => continue,
+            };
+            let mut text = String::with_capacity(
+                discussion.title.len() + post.body.len() + 16 * post.tags.len(),
+            );
+            text.push_str(&discussion.title);
+            text.push(' ');
+            text.push_str(&post.body);
+            for tag in &post.tags {
+                text.push(' ');
+                text.push_str(tag.as_str());
+            }
+            index.add_document(post.id, discussion.source, &text);
+        }
+        index
+    }
+
+    /// Adds one document.
+    pub fn add_document(&mut self, doc: PostId, source: SourceId, text: &str) {
+        let tokens = tokenize(text);
+        let mut tf: HashMap<String, u32> = HashMap::new();
+        for t in tokens {
+            *tf.entry(t).or_insert(0) += 1;
+        }
+        let len: u32 = tf.values().sum();
+        self.doc_len.insert(doc, len);
+        self.doc_source.insert(doc, source);
+        self.total_len += len as u64;
+        for (term, freq) in tf {
+            self.postings
+                .entry(term)
+                .or_default()
+                .push(Posting { doc, tf: freq });
+        }
+    }
+
+    /// Postings for a term (empty slice when absent).
+    pub fn postings(&self, term: &str) -> &[Posting] {
+        self.postings.get(term).map_or(&[], Vec::as_slice)
+    }
+
+    /// Document frequency of a term.
+    pub fn doc_frequency(&self, term: &str) -> usize {
+        self.postings(term).len()
+    }
+
+    /// Number of indexed documents.
+    pub fn doc_count(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// A document's token length.
+    pub fn doc_length(&self, doc: PostId) -> u32 {
+        self.doc_len.get(&doc).copied().unwrap_or(0)
+    }
+
+    /// Average document length.
+    pub fn avg_doc_length(&self) -> f64 {
+        if self.doc_len.is_empty() {
+            0.0
+        } else {
+            self.total_len as f64 / self.doc_len.len() as f64
+        }
+    }
+
+    /// Source hosting a document.
+    pub fn source_of(&self, doc: PostId) -> Option<SourceId> {
+        self.doc_source.get(&doc).copied()
+    }
+
+    /// Number of distinct terms.
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs_model::{AccountKind, CorpusBuilder, SourceKind, Tag, Timestamp};
+
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        let cat = b.add_category("attractions");
+        let s1 = b.add_source(SourceKind::Blog, "one", Timestamp::EPOCH);
+        let s2 = b.add_source(SourceKind::Forum, "two", Timestamp::EPOCH);
+        let u = b.add_user("u", AccountKind::Person, Timestamp::EPOCH);
+        b.add_discussion_with_post(
+            s1, cat, "duomo rooftop views", u, Timestamp::from_days(1),
+            "the duomo rooftop is amazing", vec![Tag::new("duomo")], None,
+        );
+        b.add_discussion_with_post(
+            s2, cat, "castle gardens", u, Timestamp::from_days(2),
+            "the castle gardens are lovely", vec![], None,
+        );
+        b.build()
+    }
+
+    #[test]
+    fn build_indexes_every_post() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        assert_eq!(idx.doc_count(), 2);
+        assert!(idx.vocabulary_size() > 4);
+        assert!(idx.avg_doc_length() > 0.0);
+    }
+
+    #[test]
+    fn term_frequencies_accumulate_title_body_tags() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        // "duomo" appears in title, body and tag of doc 0 → tf 3.
+        let postings = idx.postings("duomo");
+        assert_eq!(postings.len(), 1);
+        assert_eq!(postings[0].tf, 3);
+        assert_eq!(idx.doc_frequency("duomo"), 1);
+        assert_eq!(idx.doc_frequency("missing"), 0);
+    }
+
+    #[test]
+    fn documents_map_to_their_sources() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        assert_eq!(idx.source_of(PostId::new(0)), Some(SourceId::new(0)));
+        assert_eq!(idx.source_of(PostId::new(1)), Some(SourceId::new(1)));
+        assert_eq!(idx.source_of(PostId::new(99)), None);
+    }
+
+    #[test]
+    fn stopwords_are_not_indexed() {
+        let c = corpus();
+        let idx = InvertedIndex::build(&c);
+        assert_eq!(idx.doc_frequency("the"), 0);
+        assert_eq!(idx.doc_frequency("is"), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # obs-search — the general-purpose search baseline
+//!
+//! Section 4.1 compares the quality-based ranking against "the
+//! well-affirmed source ranking computed by Google" (2011-era).
+//! Google is not reproducible, so this crate implements a baseline
+//! engine with the ranking *philosophy* the paper measures: content
+//! relevance plus traffic/link authority, with the era's documented
+//! tilt **against** heavily user-generated, slow-consumption pages
+//! (the 2011 "content-farm"/freshness updates) — which is exactly the
+//! empirical relation Table 3 reports (traffic: positive;
+//! participation: negative; time-on-site: negative).
+//!
+//! * [`token`] — tokenizer shared with the sentiment services;
+//! * [`index`] — an inverted index over opening posts;
+//! * [`score`] — TF-IDF and BM25 document scoring;
+//! * [`pagerank`] — PageRank over the inter-source link graph;
+//! * [`engine`] — the [`SearchEngine`](engine::SearchEngine):
+//!   per-source signal blending and top-k query evaluation.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod index;
+pub mod pagerank;
+pub mod score;
+pub mod token;
+
+pub use engine::{BlendWeights, SearchEngine, SearchHit};
+pub use index::InvertedIndex;
+pub use pagerank::pagerank;
+pub use token::tokenize;

@@ -1,0 +1,126 @@
+//! Document relevance scoring: TF-IDF and BM25.
+
+use crate::index::InvertedIndex;
+use obs_model::PostId;
+use std::collections::HashMap;
+
+/// BM25 parameters (classic defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bm25Params {
+    /// Term-frequency saturation.
+    pub k1: f64,
+    /// Length-normalization strength.
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// Smoothed IDF used by both scorers (never negative).
+pub fn idf(index: &InvertedIndex, term: &str) -> f64 {
+    let n = index.doc_count() as f64;
+    let df = index.doc_frequency(term) as f64;
+    ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+}
+
+/// TF-IDF scores of all documents matching any query term.
+pub fn tfidf_scores(index: &InvertedIndex, terms: &[String]) -> HashMap<PostId, f64> {
+    let mut scores: HashMap<PostId, f64> = HashMap::new();
+    for term in terms {
+        let w = idf(index, term);
+        for p in index.postings(term) {
+            *scores.entry(p.doc).or_insert(0.0) += (1.0 + (p.tf as f64).ln()) * w;
+        }
+    }
+    scores
+}
+
+/// BM25 scores of all documents matching any query term.
+pub fn bm25_scores(
+    index: &InvertedIndex,
+    terms: &[String],
+    params: Bm25Params,
+) -> HashMap<PostId, f64> {
+    let avg_len = index.avg_doc_length().max(1.0);
+    let mut scores: HashMap<PostId, f64> = HashMap::new();
+    for term in terms {
+        let w = idf(index, term);
+        for p in index.postings(term) {
+            let tf = p.tf as f64;
+            let len_norm = 1.0 - params.b + params.b * index.doc_length(p.doc) as f64 / avg_len;
+            let sat = tf * (params.k1 + 1.0) / (tf + params.k1 * len_norm);
+            *scores.entry(p.doc).or_insert(0.0) += w * sat;
+        }
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs_model::SourceId;
+
+    fn tiny_index() -> InvertedIndex {
+        let mut idx = InvertedIndex::default();
+        let s = SourceId::new(0);
+        idx.add_document(PostId::new(0), s, "duomo duomo rooftop");
+        idx.add_document(PostId::new(1), s, "castle gardens fountain gardens castle park");
+        idx.add_document(PostId::new(2), s, "duomo castle");
+        idx
+    }
+
+    #[test]
+    fn idf_prefers_rare_terms() {
+        let idx = tiny_index();
+        assert!(idf(&idx, "rooftop") > idf(&idx, "duomo"));
+        assert!(idf(&idx, "duomo") > 0.0);
+        // Unknown terms get the maximum idf.
+        assert!(idf(&idx, "zzz") >= idf(&idx, "rooftop"));
+    }
+
+    #[test]
+    fn tfidf_ranks_repeated_terms_higher() {
+        let idx = tiny_index();
+        let scores = tfidf_scores(&idx, &["duomo".to_owned()]);
+        assert_eq!(scores.len(), 2);
+        assert!(scores[&PostId::new(0)] > scores[&PostId::new(2)]);
+    }
+
+    #[test]
+    fn bm25_saturates_term_frequency() {
+        let mut idx = InvertedIndex::default();
+        let s = SourceId::new(0);
+        idx.add_document(PostId::new(0), s, "duomo filler filler filler");
+        idx.add_document(PostId::new(1), s, &"duomo ".repeat(50));
+        idx.add_document(PostId::new(2), s, "other words entirely here");
+        let scores = bm25_scores(&idx, &["duomo".to_owned()], Bm25Params::default());
+        let once = scores[&PostId::new(0)];
+        let fifty = scores[&PostId::new(1)];
+        assert!(fifty > once);
+        // Far less than 50×: saturation at work.
+        assert!(fifty < once * 5.0, "once {once} fifty {fifty}");
+    }
+
+    #[test]
+    fn multi_term_queries_accumulate() {
+        let idx = tiny_index();
+        let scores = bm25_scores(
+            &idx,
+            &["duomo".to_owned(), "castle".to_owned()],
+            Bm25Params::default(),
+        );
+        // Doc 2 matches both terms.
+        assert!(scores[&PostId::new(2)] > 0.0);
+        assert_eq!(scores.len(), 3);
+    }
+
+    #[test]
+    fn empty_query_scores_nothing() {
+        let idx = tiny_index();
+        assert!(tfidf_scores(&idx, &[]).is_empty());
+        assert!(bm25_scores(&idx, &[], Bm25Params::default()).is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Tokenization.
+
+/// Minimal English stopword list (enough to keep the index and the
+/// sentiment services from drowning in glue words).
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "had", "has", "have",
+    "he", "her", "his", "i", "in", "is", "it", "its", "of", "on", "or", "our", "she", "that",
+    "the", "their", "they", "this", "to", "was", "we", "were", "with", "you", "your",
+];
+
+/// Whether a token is a stopword.
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.binary_search(&token).is_ok()
+}
+
+/// Lowercases, splits on non-alphanumeric boundaries, drops
+/// single-character tokens and stopwords.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            current.extend(c.to_lowercase());
+        } else if !current.is_empty() {
+            push_token(&mut out, std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        push_token(&mut out, current);
+    }
+    out
+}
+
+fn push_token(out: &mut Vec<String>, token: String) {
+    if token.len() >= 2 && !is_stopword(&token) {
+        out.push(token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopword_list_is_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS, "STOPWORDS must stay sorted");
+    }
+
+    #[test]
+    fn tokenize_basics() {
+        assert_eq!(
+            tokenize("The Duomo was AMAZING!"),
+            vec!["duomo", "amazing"]
+        );
+        assert_eq!(tokenize(""), Vec::<String>::new());
+        assert_eq!(tokenize("a I at"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn tokenize_handles_punctuation_and_digits() {
+        assert_eq!(
+            tokenize("metro-line 4, opens 2015?"),
+            vec!["metro", "line", "opens", "2015"]
+        );
+    }
+
+    #[test]
+    fn tokenize_lowercases_unicode() {
+        assert_eq!(tokenize("CAFFÈ Milano"), vec!["caffè", "milano"]);
+    }
+}

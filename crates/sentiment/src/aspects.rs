@@ -1,0 +1,109 @@
+//! The Anholt city-brand hexagon and the category mapping.
+//!
+//! The paper's footnote 2: *"The domain of interest defined for the
+//! sentiment analysis, and in particular the categories of relevant
+//! contents to be analyzed, derive from the well-known Anholt model
+//! that addresses the tourism domain."* Anholt's *Competitive
+//! Identity* hexagon rates a city on six dimensions; we map the
+//! corpus's content categories onto them so sentiment indicators can
+//! be reported per dimension, as the Milan dashboards did.
+
+use serde::{Deserialize, Serialize};
+
+/// The six dimensions of the Anholt city-brand hexagon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AnholtDimension {
+    /// International status and standing.
+    Presence,
+    /// Physical aspects: outdoors, landmarks, beauty.
+    Place,
+    /// Economic and educational opportunities.
+    Potential,
+    /// Vibrancy of urban lifestyle.
+    Pulse,
+    /// Warmth and openness of the inhabitants.
+    People,
+    /// Basic qualities: accommodation, transport, services.
+    Prerequisites,
+}
+
+impl AnholtDimension {
+    /// All six, hexagon order.
+    pub const ALL: [AnholtDimension; 6] = [
+        AnholtDimension::Presence,
+        AnholtDimension::Place,
+        AnholtDimension::Potential,
+        AnholtDimension::Pulse,
+        AnholtDimension::People,
+        AnholtDimension::Prerequisites,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AnholtDimension::Presence => "Presence",
+            AnholtDimension::Place => "Place",
+            AnholtDimension::Potential => "Potential",
+            AnholtDimension::Pulse => "Pulse",
+            AnholtDimension::People => "People",
+            AnholtDimension::Prerequisites => "Prerequisites",
+        }
+    }
+
+    /// Maps a content-category name to its Anholt dimension. Unknown
+    /// categories land on `Presence` (general reputation talk).
+    pub fn of_category(category: &str) -> AnholtDimension {
+        match category {
+            "attractions" | "museums" => AnholtDimension::Place,
+            "events" | "nightlife" | "music" | "cinema" | "fashion" => AnholtDimension::Pulse,
+            "technology" | "finance" | "education" => AnholtDimension::Potential,
+            "sports" | "food-markets" => AnholtDimension::People,
+            "hotels" | "transport" | "restaurants" | "health" | "shopping" => {
+                AnholtDimension::Prerequisites
+            }
+            _ => AnholtDimension::Presence,
+        }
+    }
+}
+
+impl std::fmt::Display for AnholtDimension {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hexagon_has_six_distinct_dimensions() {
+        let set: std::collections::HashSet<_> = AnholtDimension::ALL.iter().collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn tourism_categories_map_sensibly() {
+        assert_eq!(AnholtDimension::of_category("attractions"), AnholtDimension::Place);
+        assert_eq!(AnholtDimension::of_category("hotels"), AnholtDimension::Prerequisites);
+        assert_eq!(AnholtDimension::of_category("nightlife"), AnholtDimension::Pulse);
+        assert_eq!(AnholtDimension::of_category("education"), AnholtDimension::Potential);
+        assert_eq!(AnholtDimension::of_category("unknown-topic"), AnholtDimension::Presence);
+    }
+
+    #[test]
+    fn every_generator_category_is_mapped() {
+        // No category of the synthetic catalog may fall through to a
+        // *panic*; falling back to Presence is allowed but the six
+        // tourism categories must map to concrete dimensions.
+        for c in obs_synth::text::CATEGORIES.iter().take(6) {
+            let d = AnholtDimension::of_category(c.name);
+            assert_ne!(
+                d,
+                AnholtDimension::Presence,
+                "{} should have a dedicated dimension",
+                c.name
+            );
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Buzzword extraction.
+//!
+//! Section 5 lists "content-based analysis (e.g., feature extraction
+//! for buzz word identification)" among the analysis services. We
+//! implement the classic contrastive approach: terms whose frequency
+//! in the *focus* texts is disproportionate against a *background*
+//! set, scored by smoothed log-odds.
+
+use std::collections::HashMap;
+
+/// One extracted buzzword.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buzzword {
+    /// The term.
+    pub term: String,
+    /// Smoothed log-odds of focus vs background frequency
+    /// (higher = more distinctive).
+    pub score: f64,
+    /// Occurrences in the focus texts.
+    pub focus_count: usize,
+}
+
+fn term_counts<'a>(texts: impl Iterator<Item = &'a str>) -> (HashMap<String, usize>, usize) {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut total = 0usize;
+    for text in texts {
+        let mut current = String::new();
+        let flush = |current: &mut String, counts: &mut HashMap<String, usize>, total: &mut usize| {
+            if current.len() >= 3 {
+                *counts.entry(std::mem::take(current)).or_insert(0) += 1;
+                *total += 1;
+            } else {
+                current.clear();
+            }
+        };
+        for c in text.chars() {
+            if c.is_alphanumeric() {
+                current.extend(c.to_lowercase());
+            } else {
+                flush(&mut current, &mut counts, &mut total);
+            }
+        }
+        flush(&mut current, &mut counts, &mut total);
+    }
+    (counts, total)
+}
+
+/// Extracts the `top_n` most distinctive terms of `focus` relative to
+/// `background`. Terms must appear at least `min_count` times in the
+/// focus set.
+pub fn extract_buzzwords<'a>(
+    focus: impl Iterator<Item = &'a str>,
+    background: impl Iterator<Item = &'a str>,
+    top_n: usize,
+    min_count: usize,
+) -> Vec<Buzzword> {
+    let (focus_counts, focus_total) = term_counts(focus);
+    let (bg_counts, bg_total) = term_counts(background);
+    if focus_total == 0 {
+        return Vec::new();
+    }
+    let mut words: Vec<Buzzword> = focus_counts
+        .into_iter()
+        .filter(|(_, c)| *c >= min_count)
+        .map(|(term, c)| {
+            let f_rate = (c as f64 + 0.5) / (focus_total as f64 + 1.0);
+            let b = bg_counts.get(&term).copied().unwrap_or(0);
+            let b_rate = (b as f64 + 0.5) / (bg_total as f64 + 1.0);
+            Buzzword {
+                score: (f_rate / b_rate).ln(),
+                focus_count: c,
+                term,
+            }
+        })
+        .collect();
+    words.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.term.cmp(&b.term)));
+    words.truncate(top_n);
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinctive_terms_surface() {
+        let focus = [
+            "the biennale opening drew crowds",
+            "biennale pavilions were stunning",
+            "everyone talks about the biennale",
+        ];
+        let background = [
+            "the metro was crowded today",
+            "a nice espresso near the station",
+            "the match ended in a draw",
+        ];
+        let buzz = extract_buzzwords(
+            focus.iter().copied(),
+            background.iter().copied(),
+            5,
+            2,
+        );
+        assert!(!buzz.is_empty());
+        assert_eq!(buzz[0].term, "biennale");
+        assert_eq!(buzz[0].focus_count, 3);
+        assert!(buzz[0].score > 0.0);
+    }
+
+    #[test]
+    fn common_terms_do_not_dominate() {
+        let focus = ["the duomo the duomo the rooftop"];
+        let background = ["the the the the castle the the"];
+        let buzz = extract_buzzwords(focus.iter().copied(), background.iter().copied(), 3, 1);
+        // "the" occurs everywhere → low score; "duomo" wins.
+        assert_eq!(buzz[0].term, "duomo");
+        let the_score = buzz.iter().find(|b| b.term == "the").map(|b| b.score);
+        if let Some(s) = the_score {
+            assert!(s < buzz[0].score);
+        }
+    }
+
+    #[test]
+    fn min_count_filters_noise() {
+        let focus = ["solitary word appears once", "common common"];
+        let background = ["unrelated text"];
+        let buzz = extract_buzzwords(focus.iter().copied(), background.iter().copied(), 10, 2);
+        assert!(buzz.iter().all(|b| b.focus_count >= 2));
+        assert!(buzz.iter().any(|b| b.term == "common"));
+    }
+
+    #[test]
+    fn empty_focus_yields_nothing() {
+        let buzz = extract_buzzwords(
+            std::iter::empty(),
+            ["background"].iter().copied(),
+            5,
+            1,
+        );
+        assert!(buzz.is_empty());
+    }
+
+    #[test]
+    fn short_tokens_are_dropped() {
+        let focus = ["ab cd efg efg efg"];
+        let buzz = extract_buzzwords(focus.iter().copied(), std::iter::empty(), 5, 1);
+        assert!(buzz.iter().all(|b| b.term.len() >= 3));
+    }
+}

@@ -1,0 +1,150 @@
+//! The embedded opinion lexicon.
+//!
+//! Deliberately aligned with the vocabulary the synthetic text
+//! generator emits (plus common variants), so the analysis services
+//! have real signal to extract — the same way the paper's services
+//! were tuned on the tourism domain they analyzed.
+
+/// Positive words with intensity in `(0, 1]`.
+pub const POSITIVE: &[(&str, f64)] = &[
+    ("amazing", 1.0),
+    ("wonderful", 0.9),
+    ("excellent", 0.9),
+    ("stunning", 0.9),
+    ("fantastic", 0.9),
+    ("delightful", 0.8),
+    ("superb", 0.8),
+    ("great", 0.7),
+    ("beautiful", 0.7),
+    ("friendly", 0.6),
+    ("lovely", 0.6),
+    ("charming", 0.6),
+    ("tasty", 0.6),
+    ("delicious", 0.7),
+    ("clean", 0.5),
+    ("helpful", 0.5),
+    ("comfortable", 0.5),
+    ("good", 0.4),
+    ("pleasant", 0.4),
+    ("nice", 0.3),
+    ("decent", 0.2),
+    ("fine", 0.2),
+];
+
+/// Negative words with intensity in `(0, 1]`.
+pub const NEGATIVE: &[(&str, f64)] = &[
+    ("horrible", 1.0),
+    ("terrible", 1.0),
+    ("awful", 0.9),
+    ("disgusting", 0.9),
+    ("dreadful", 0.9),
+    ("rude", 0.7),
+    ("dirty", 0.7),
+    ("filthy", 0.8),
+    ("overpriced", 0.6),
+    ("disappointing", 0.6),
+    ("crowded", 0.5),
+    ("noisy", 0.5),
+    ("shabby", 0.5),
+    ("slow", 0.4),
+    ("bland", 0.4),
+    ("bad", 0.4),
+    ("mediocre", 0.3),
+    ("confusing", 0.3),
+    ("poor", 0.4),
+    ("broken", 0.5),
+];
+
+/// Negation markers: flip the polarity of the next opinion word
+/// within the negation window.
+pub const NEGATORS: &[&str] = &["not", "never", "no", "hardly", "barely", "isnt", "wasnt"];
+
+/// Intensity modifiers: multiply the intensity of the immediately
+/// following opinion word.
+pub const INTENSIFIERS: &[(&str, f64)] = &[
+    ("very", 1.5),
+    ("really", 1.4),
+    ("absolutely", 1.8),
+    ("extremely", 1.8),
+    ("quite", 1.2),
+    ("somewhat", 0.6),
+    ("slightly", 0.5),
+    ("barely", 0.4),
+];
+
+/// Polarity of a single token: `Some(intensity)` positive,
+/// `Some(-intensity)` negative, `None` neutral.
+pub fn polarity_of(token: &str) -> Option<f64> {
+    if let Some((_, w)) = POSITIVE.iter().find(|(t, _)| *t == token) {
+        return Some(*w);
+    }
+    if let Some((_, w)) = NEGATIVE.iter().find(|(t, _)| *t == token) {
+        return Some(-*w);
+    }
+    None
+}
+
+/// Whether a token negates.
+pub fn is_negator(token: &str) -> bool {
+    NEGATORS.contains(&token)
+}
+
+/// Intensity multiplier of a token, when it is an intensifier.
+pub fn intensifier_of(token: &str) -> Option<f64> {
+    INTENSIFIERS.iter().find(|(t, _)| *t == token).map(|(_, m)| *m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicons_do_not_overlap() {
+        for (w, _) in NEGATIVE {
+            assert!(
+                POSITIVE.iter().all(|(p, _)| p != w),
+                "{w} appears in both lexicons"
+            );
+        }
+    }
+
+    #[test]
+    fn intensities_are_in_unit_interval() {
+        for (w, i) in POSITIVE.iter().chain(NEGATIVE) {
+            assert!((0.0..=1.0).contains(i), "{w}: {i}");
+        }
+    }
+
+    #[test]
+    fn polarity_lookup() {
+        assert_eq!(polarity_of("amazing"), Some(1.0));
+        assert_eq!(polarity_of("terrible"), Some(-1.0));
+        assert_eq!(polarity_of("table"), None);
+    }
+
+    #[test]
+    fn negators_and_intensifiers() {
+        assert!(is_negator("not"));
+        assert!(!is_negator("very"));
+        assert_eq!(intensifier_of("very"), Some(1.5));
+        assert_eq!(intensifier_of("duomo"), None);
+    }
+
+    #[test]
+    fn generator_vocabulary_is_covered() {
+        // The synthetic text generator's opinion words must all be
+        // recognized, otherwise sentiment recovery drifts.
+        for (w, _) in obs_synth::text::POSITIVE_WORDS {
+            assert!(polarity_of(w).map_or(false, |p| p > 0.0), "{w} missing");
+        }
+        for (w, _) in obs_synth::text::NEGATIVE_WORDS {
+            assert!(polarity_of(w).map_or(false, |p| p < 0.0), "{w} missing");
+        }
+        for n in obs_synth::text::NEGATORS {
+            assert!(is_negator(n), "{n} missing");
+        }
+        for (i, _) in obs_synth::text::INTENSIFIERS {
+            assert!(intensifier_of(i).is_some(), "{i} missing");
+        }
+    }
+}

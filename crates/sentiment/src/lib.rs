@@ -1,0 +1,32 @@
+//! # obs-sentiment — lexicon-based sentiment analysis
+//!
+//! Section 6 of the paper builds mashup dashboards for *sentiment
+//! analysis* in the Milan tourism domain: "the automatic extraction
+//! of sentiment indicators summarizing the opinions contained in user
+//! generated contents", with "the overall sentiment assessment […]
+//! weighed with respect to the quality of the Web sources", and
+//! content categories derived from the Anholt city-brand model.
+//!
+//! * [`lexicon`] — the embedded opinion lexicon (polarity-bearing
+//!   words with intensities, negators, intensifiers);
+//! * [`polarity`] — sentence/body scoring with negation and
+//!   intensifier handling;
+//! * [`aspects`] — the Anholt hexagon and the category→dimension
+//!   mapping;
+//! * [`buzz`] — buzzword extraction (the paper's "feature extraction
+//!   for buzz word identification" analysis service);
+//! * [`indicators`] — sentiment indicators over normalized content
+//!   items, optionally weighted by source quality.
+
+#![warn(missing_docs)]
+
+pub mod aspects;
+pub mod buzz;
+pub mod indicators;
+pub mod lexicon;
+pub mod polarity;
+
+pub use aspects::AnholtDimension;
+pub use buzz::extract_buzzwords;
+pub use indicators::{sentiment_indicator, SentimentIndicator};
+pub use polarity::{score_text, SentimentScore};

@@ -1,0 +1,201 @@
+//! Polarity scoring with negation and intensifier handling.
+
+use crate::lexicon::{intensifier_of, is_negator, polarity_of};
+
+/// How many tokens back a negator keeps flipping polarity.
+const NEGATION_WINDOW: usize = 3;
+
+/// The sentiment analysis of one text.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SentimentScore {
+    /// Overall polarity in `[−1, 1]` (0 when no opinion words hit).
+    pub polarity: f64,
+    /// Weighted positive mass.
+    pub positive: f64,
+    /// Weighted negative mass.
+    pub negative: f64,
+    /// Number of opinion words matched.
+    pub hits: usize,
+    /// Number of tokens scanned.
+    pub tokens: usize,
+}
+
+impl SentimentScore {
+    /// Whether any opinion word was found.
+    pub fn is_opinionated(&self) -> bool {
+        self.hits > 0
+    }
+}
+
+/// Lowercased alphanumeric tokens, order-preserving (negation needs
+/// the sequence, so no stopword removal happens here).
+fn words(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            current.extend(c.to_lowercase());
+        } else if !current.is_empty() {
+            out.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Scores a text: each opinion word contributes its intensity,
+/// multiplied by the closest preceding intensifier and flipped by a
+/// negator within the last [`NEGATION_WINDOW`] tokens.
+pub fn score_text(text: &str) -> SentimentScore {
+    let tokens = words(text);
+    let mut positive = 0.0;
+    let mut negative = 0.0;
+    let mut hits = 0usize;
+
+    for (i, tok) in tokens.iter().enumerate() {
+        let Some(base) = polarity_of(tok) else { continue };
+        hits += 1;
+
+        // Closest preceding intensifier (immediately before, or one
+        // step back across a negator: "not very good").
+        let mut intensity = 1.0;
+        if i >= 1 {
+            if let Some(m) = intensifier_of(&tokens[i - 1]) {
+                intensity = m;
+            } else if i >= 2 && is_negator(&tokens[i - 1]) {
+                if let Some(m) = intensifier_of(&tokens[i - 2]) {
+                    intensity = m;
+                }
+            }
+        }
+
+        // Negation within the window.
+        let window_start = i.saturating_sub(NEGATION_WINDOW);
+        let negated = tokens[window_start..i].iter().any(|t| is_negator(t));
+
+        let mut value = base * intensity;
+        if negated {
+            // Flipping also dampens: "not amazing" is weaker criticism
+            // than "terrible".
+            value = -value * 0.75;
+        }
+        if value >= 0.0 {
+            positive += value;
+        } else {
+            negative += -value;
+        }
+    }
+
+    let polarity = if hits == 0 {
+        0.0
+    } else {
+        ((positive - negative) / (positive + negative)).clamp(-1.0, 1.0)
+    };
+    SentimentScore {
+        polarity,
+        positive,
+        negative,
+        hits,
+        tokens: tokens.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_positive_and_negative() {
+        assert!(score_text("the duomo was amazing").polarity > 0.9);
+        assert!(score_text("the hotel was horrible").polarity < -0.9);
+        assert_eq!(score_text("the metro runs daily").polarity, 0.0);
+    }
+
+    #[test]
+    fn negation_flips_polarity() {
+        let pos = score_text("the room was clean");
+        let neg = score_text("the room was not clean");
+        assert!(pos.polarity > 0.0);
+        assert!(neg.polarity < 0.0);
+    }
+
+    #[test]
+    fn negation_is_damped() {
+        let direct = score_text("the food was bad");
+        let flipped = score_text("the food was not tasty");
+        assert!(flipped.polarity < 0.0);
+        assert!(
+            flipped.negative < direct.negative + 1e-12 || flipped.polarity >= direct.polarity,
+            "negated positives should not exceed direct negatives"
+        );
+    }
+
+    #[test]
+    fn negation_window_is_bounded() {
+        // Negator too far back (4 tokens) no longer flips.
+        let s = score_text("not the best spot overall good");
+        // "good" is 5 tokens after "not": stays positive.
+        assert!(s.polarity > 0.0, "{s:?}");
+    }
+
+    #[test]
+    fn intensifiers_scale() {
+        let plain = score_text("the staff was friendly");
+        let strong = score_text("the staff was very friendly");
+        assert!(strong.positive > plain.positive);
+        let weak = score_text("the staff was slightly friendly");
+        assert!(weak.positive < plain.positive);
+    }
+
+    #[test]
+    fn intensified_negation() {
+        // "not very good": the intensifier is looked through the
+        // negator, and the result is negative.
+        let s = score_text("the visit was not very good");
+        assert!(s.polarity < 0.0, "{s:?}");
+    }
+
+    #[test]
+    fn mixed_text_balances() {
+        let s = score_text("the gallery was amazing but the queue was terrible");
+        assert_eq!(s.hits, 2);
+        assert!(s.polarity.abs() < 0.3, "{s:?}");
+    }
+
+    #[test]
+    fn empty_text_is_neutral() {
+        let s = score_text("");
+        assert_eq!(s.polarity, 0.0);
+        assert_eq!(s.hits, 0);
+        assert!(!s.is_opinionated());
+    }
+
+    #[test]
+    fn polarity_is_bounded() {
+        let s = score_text("amazing wonderful excellent horrible terrible awful");
+        assert!((-1.0..=1.0).contains(&s.polarity));
+    }
+
+    #[test]
+    fn recovers_generator_polarity_on_average() {
+        // End-to-end with the synthetic text generator: strongly
+        // positive prompts should yield positive mean polarity and
+        // vice versa.
+        use obs_synth::{Rng64, TextGenerator};
+        let gen = TextGenerator::new();
+        let mut rng = Rng64::seeded(31);
+        let mut pos_mean = 0.0;
+        let mut neg_mean = 0.0;
+        let n = 60;
+        for _ in 0..n {
+            pos_mean += score_text(&gen.body(&mut rng, "restaurants", 0.9, 3)).polarity;
+            neg_mean += score_text(&gen.body(&mut rng, "restaurants", -0.9, 3)).polarity;
+        }
+        pos_mean /= n as f64;
+        neg_mean /= n as f64;
+        assert!(pos_mean > 0.4, "positive mean {pos_mean}");
+        assert!(neg_mean < -0.4, "negative mean {neg_mean}");
+    }
+}

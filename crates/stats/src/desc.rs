@@ -1,0 +1,168 @@
+//! Descriptive statistics.
+
+/// Arithmetic mean; `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Unbiased sample variance (n − 1 denominator); `None` when fewer
+/// than two observations.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Some(ss / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Linear-interpolated quantile `q ∈ [0, 1]` (type-7, the R default);
+/// `None` for empty input.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = h - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (0.5 quantile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Five-number-plus summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub median: f64,
+    /// Sample standard deviation (0 when n < 2).
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample; `None` for empty input.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Some(Summary {
+            n: xs.len(),
+            min,
+            max,
+            mean: mean(xs)?,
+            median: median(xs)?,
+            std_dev: std_dev(xs).unwrap_or(0.0),
+        })
+    }
+
+    /// Max/min span in orders of magnitude (base 10); `None` when the
+    /// minimum is non-positive. Section 4.2 of the paper characterizes
+    /// its Twitter dataset by a ~4-order-of-magnitude spread.
+    pub fn orders_of_magnitude(&self) -> Option<f64> {
+        if self.min <= 0.0 || self.max <= 0.0 {
+            return None;
+        }
+        Some((self.max / self.min).log10())
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min={:.3} med={:.3} mean={:.3} max={:.3} sd={:.3}",
+            self.n, self.min, self.median, self.mean, self.max, self.std_dev
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        // Sample variance = 32/7.
+        assert!((variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[1.0]), None);
+        assert_eq!(median(&[]), None);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert!((quantile(&xs, 0.25).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_singleton() {
+        let s = Summary::of(&[5.0]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn orders_of_magnitude() {
+        let s = Summary::of(&[1.0, 10_000.0]).unwrap();
+        assert!((s.orders_of_magnitude().unwrap() - 4.0).abs() < 1e-12);
+        let z = Summary::of(&[0.0, 10.0]).unwrap();
+        assert_eq!(z.orders_of_magnitude(), None);
+    }
+
+    #[test]
+    fn quantile_clamps_q() {
+        let xs = [1.0, 2.0];
+        assert_eq!(quantile(&xs, -0.5), Some(1.0));
+        assert_eq!(quantile(&xs, 1.5), Some(2.0));
+    }
+}

@@ -1,0 +1,247 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! PCA diagonalizes a correlation matrix — symmetric by construction
+//! and tiny (one row per measure), which is exactly where Jacobi
+//! shines: simple, unconditionally stable, and accurate to machine
+//! precision.
+
+use crate::matrix::Matrix;
+use crate::StatsError;
+
+/// Eigenvalues (descending) with matching eigenvectors (columns of
+/// `vectors`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Eigen {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<f64>,
+    /// Column `j` of the matrix is the unit eigenvector for
+    /// `values[j]`.
+    pub vectors: Matrix,
+}
+
+/// Decomposes a symmetric matrix. Errors when the input is not
+/// (numerically) symmetric or the sweep limit is exhausted.
+pub fn symmetric_eigen(m: &Matrix) -> Result<Eigen, StatsError> {
+    if !m.is_symmetric(1e-9) {
+        return Err(StatsError::Singular("symmetric_eigen: matrix not symmetric"));
+    }
+    let n = m.rows();
+    let mut a = m.clone();
+    let mut v = Matrix::identity(n);
+
+    const MAX_SWEEPS: usize = 100;
+    for _sweep in 0..MAX_SWEEPS {
+        // Sum of squared off-diagonal entries.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[(i, j)] * a[(i, j)];
+            }
+        }
+        if off < 1e-22 {
+            return Ok(sorted_eigen(a, v));
+        }
+
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = a[(p, p)];
+                let aqq = a[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                // tan of rotation angle, the stable small-root choice.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Apply the rotation G(p,q,θ)ᵀ · A · G(p,q,θ).
+                for k in 0..n {
+                    let akp = a[(k, p)];
+                    let akq = a[(k, q)];
+                    a[(k, p)] = c * akp - s * akq;
+                    a[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[(p, k)];
+                    let aqk = a[(q, k)];
+                    a[(p, k)] = c * apk - s * aqk;
+                    a[(q, k)] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(StatsError::NoConvergence("symmetric_eigen"))
+}
+
+fn sorted_eigen(a: Matrix, v: Matrix) -> Eigen {
+    let n = a.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[j].total_cmp(&diag[i]));
+
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        // Canonical sign: make the largest-magnitude entry positive,
+        // so decompositions are deterministic across runs.
+        let col: Vec<f64> = (0..n).map(|r| v[(r, old_col)]).collect();
+        let max_idx = col
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let sign = if col[max_idx] < 0.0 { -1.0 } else { 1.0 };
+        for r in 0..n {
+            vectors[(r, new_col)] = sign * col[r];
+        }
+    }
+    Eigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_diagonal() {
+        let m = Matrix::from_rows(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ])
+        .unwrap();
+        let e = symmetric_eigen(&m).unwrap();
+        assert_eq!(e.values.len(), 3);
+        close(e.values[0], 3.0, 1e-12);
+        close(e.values[1], 2.0, 1e-12);
+        close(e.values[2], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn known_2x2_decomposition() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let e = symmetric_eigen(&m).unwrap();
+        close(e.values[0], 3.0, 1e-10);
+        close(e.values[1], 1.0, 1e-10);
+        // Eigenvector for 3 is (1,1)/√2.
+        let inv_sqrt2 = 1.0 / 2f64.sqrt();
+        close(e.vectors[(0, 0)].abs(), inv_sqrt2, 1e-10);
+        close(e.vectors[(1, 0)].abs(), inv_sqrt2, 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_a_v_equals_v_lambda() {
+        let m = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 2.0],
+        ])
+        .unwrap();
+        let e = symmetric_eigen(&m).unwrap();
+        let av = m.mul(&e.vectors).unwrap();
+        for j in 0..3 {
+            for i in 0..3 {
+                close(av[(i, j)], e.values[j] * e.vectors[(i, j)], 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = Matrix::from_rows(&[
+            vec![5.0, 2.0, 1.0, 0.0],
+            vec![2.0, 4.0, 0.5, 0.3],
+            vec![1.0, 0.5, 3.0, 0.7],
+            vec![0.0, 0.3, 0.7, 2.0],
+        ])
+        .unwrap();
+        let e = symmetric_eigen(&m).unwrap();
+        let vtv = e.vectors.transpose().mul(&e.vectors).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                close(vtv[(i, j)], want, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 0.3, 0.3],
+            vec![0.3, 1.0, 0.3],
+            vec![0.3, 0.3, 1.0],
+        ])
+        .unwrap();
+        let e = symmetric_eigen(&m).unwrap();
+        let trace: f64 = e.values.iter().sum();
+        close(trace, 3.0, 1e-10);
+    }
+
+    #[test]
+    fn asymmetric_matrix_is_rejected() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]).unwrap();
+        assert!(symmetric_eigen(&m).is_err());
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn random_symmetric(seed_vals: &[f64], n: usize) -> Matrix {
+            let mut m = Matrix::zeros(n, n);
+            let mut k = 0;
+            for i in 0..n {
+                for j in i..n {
+                    let v = seed_vals[k % seed_vals.len()];
+                    m[(i, j)] = v;
+                    m[(j, i)] = v;
+                    k += 1;
+                }
+            }
+            m
+        }
+
+        proptest! {
+            #[test]
+            fn eigen_invariants_hold(
+                vals in proptest::collection::vec(-10.0f64..10.0, 10..=10),
+                n in 2usize..5
+            ) {
+                let m = random_symmetric(&vals, n);
+                let e = symmetric_eigen(&m).unwrap();
+                // Trace preserved.
+                let trace_m: f64 = (0..n).map(|i| m[(i, i)]).sum();
+                let trace_e: f64 = e.values.iter().sum();
+                prop_assert!((trace_m - trace_e).abs() < 1e-8);
+                // Values sorted descending.
+                for w in e.values.windows(2) {
+                    prop_assert!(w[0] >= w[1] - 1e-12);
+                }
+                // Orthonormal vectors.
+                let vtv = e.vectors.transpose().mul(&e.vectors).unwrap();
+                for i in 0..n {
+                    for j in 0..n {
+                        let want = if i == j { 1.0 } else { 0.0 };
+                        prop_assert!((vtv[(i, j)] - want).abs() < 1e-8);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Principal-component factor analysis with varimax rotation.
+//!
+//! Section 4.1: *"we performed a factor analysis, based on the
+//! principal component technique […] this analysis allowed us to
+//! reduce the measures to three component indicators: traffic,
+//! participation, and time, each one aggregating a subset of the
+//! original measures"* (Table 3). This module provides exactly that
+//! pipeline: correlation-matrix PCA, Kaiser retention, varimax
+//! rotation, and the variable→component assignment that forms the
+//! table's grouping.
+
+use crate::eigen::symmetric_eigen;
+use crate::matrix::Matrix;
+use crate::StatsError;
+
+/// How many components to retain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Retention {
+    /// Keep components with eigenvalue > 1 (Kaiser criterion, the
+    /// SPSS default the paper's era used).
+    Kaiser,
+    /// Keep exactly `k` components.
+    Fixed(usize),
+    /// Keep the smallest number of components explaining at least
+    /// this fraction of total variance.
+    ExplainedVariance(f64),
+}
+
+/// PCA configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcaOptions {
+    /// Component retention rule.
+    pub retention: Retention,
+    /// Whether to varimax-rotate the retained loadings.
+    pub varimax: bool,
+    /// Iteration cap for the rotation.
+    pub max_rotation_iter: usize,
+}
+
+impl Default for PcaOptions {
+    fn default() -> Self {
+        PcaOptions {
+            retention: Retention::Kaiser,
+            varimax: true,
+            max_rotation_iter: 100,
+        }
+    }
+}
+
+/// A fitted PCA / factor model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pca {
+    /// All eigenvalues of the correlation matrix, descending.
+    pub eigenvalues: Vec<f64>,
+    /// Fraction of total variance per eigenvalue.
+    pub explained: Vec<f64>,
+    /// Number of retained components.
+    pub retained: usize,
+    /// Loadings (variables × retained components), rotated when
+    /// requested.
+    pub loadings: Matrix,
+    /// Standardized component scores (observations × retained
+    /// components), rotated consistently with the loadings.
+    pub scores: Matrix,
+    /// Per-variable means used for standardization.
+    pub means: Vec<f64>,
+    /// Per-variable standard deviations used for standardization.
+    pub std_devs: Vec<f64>,
+}
+
+impl Pca {
+    /// The component a variable loads on most strongly (by absolute
+    /// loading).
+    pub fn component_of(&self, variable: usize) -> usize {
+        let mut best = 0;
+        let mut best_abs = -1.0;
+        for j in 0..self.retained {
+            let a = self.loadings[(variable, j)].abs();
+            if a > best_abs {
+                best_abs = a;
+                best = j;
+            }
+        }
+        best
+    }
+
+    /// Variables grouped by dominant component: `grouping()[c]` lists
+    /// the variable indexes assigned to component `c`. This is the
+    /// structure of the paper's Table 3.
+    pub fn grouping(&self) -> Vec<Vec<usize>> {
+        let p = self.loadings.rows();
+        let mut groups = vec![Vec::new(); self.retained];
+        for v in 0..p {
+            groups[self.component_of(v)].push(v);
+        }
+        groups
+    }
+
+    /// Communality of a variable (fraction of its variance captured
+    /// by the retained components); invariant under rotation.
+    pub fn communality(&self, variable: usize) -> f64 {
+        (0..self.retained)
+            .map(|j| self.loadings[(variable, j)].powi(2))
+            .sum()
+    }
+
+    /// Cumulative explained variance over the retained components.
+    pub fn cumulative_explained(&self) -> f64 {
+        self.explained.iter().take(self.retained).sum()
+    }
+}
+
+/// Runs a correlation-matrix PCA over `variables` (each inner vector
+/// is one variable's observations; all must share the same length).
+pub fn pca(variables: &[Vec<f64>], options: PcaOptions) -> Result<Pca, StatsError> {
+    let p = variables.len();
+    if p < 2 {
+        return Err(StatsError::NotEnoughData {
+            context: "pca",
+            needed: 2,
+            got: p,
+        });
+    }
+    let n = variables[0].len();
+    for v in variables {
+        if v.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                context: "pca",
+                left: n,
+                right: v.len(),
+            });
+        }
+    }
+    if n < 3 {
+        return Err(StatsError::NotEnoughData {
+            context: "pca",
+            needed: 3,
+            got: n,
+        });
+    }
+
+    // Standardize: z = (x − mean) / sd (population sd, the PCA
+    // convention that makes Z'Z/n the correlation matrix exactly).
+    let mut means = Vec::with_capacity(p);
+    let mut sds = Vec::with_capacity(p);
+    let mut z = Matrix::zeros(n, p);
+    for (j, var) in variables.iter().enumerate() {
+        let mean = var.iter().sum::<f64>() / n as f64;
+        let var_pop = var.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let sd = var_pop.sqrt();
+        if sd == 0.0 {
+            return Err(StatsError::Singular("pca: zero-variance variable"));
+        }
+        for i in 0..n {
+            z[(i, j)] = (var[i] - mean) / sd;
+        }
+        means.push(mean);
+        sds.push(sd);
+    }
+
+    // Correlation matrix R = ZᵀZ / n.
+    let mut r = Matrix::zeros(p, p);
+    for a in 0..p {
+        for b in a..p {
+            let mut s = 0.0;
+            for i in 0..n {
+                s += z[(i, a)] * z[(i, b)];
+            }
+            let v = s / n as f64;
+            r[(a, b)] = v;
+            r[(b, a)] = v;
+        }
+    }
+
+    let eig = symmetric_eigen(&r)?;
+    let total: f64 = eig.values.iter().sum();
+    let explained: Vec<f64> = eig.values.iter().map(|&v| (v / total).max(0.0)).collect();
+
+    let retained = match options.retention {
+        Retention::Kaiser => eig.values.iter().filter(|&&v| v > 1.0).count().max(1),
+        Retention::Fixed(k) => k.clamp(1, p),
+        Retention::ExplainedVariance(frac) => {
+            let mut acc = 0.0;
+            let mut k = 0;
+            for &e in &explained {
+                acc += e;
+                k += 1;
+                if acc >= frac {
+                    break;
+                }
+            }
+            k.max(1)
+        }
+    };
+
+    // Loadings: column j = eigvec_j · √λ_j.
+    let mut loadings = Matrix::from_fn(p, retained, |i, j| {
+        eig.vectors[(i, j)] * eig.values[j].max(0.0).sqrt()
+    });
+
+    // Standardized principal-component scores: Z v_j / √λ_j.
+    let mut scores = Matrix::from_fn(n, retained, |i, j| {
+        let lambda = eig.values[j].max(1e-12);
+        let mut s = 0.0;
+        for k in 0..p {
+            s += z[(i, k)] * eig.vectors[(k, j)];
+        }
+        s / lambda.sqrt()
+    });
+
+    if options.varimax && retained > 1 {
+        let rotation = varimax(&mut loadings, options.max_rotation_iter);
+        scores = scores.mul(&rotation)?;
+    }
+
+    Ok(Pca {
+        eigenvalues: eig.values,
+        explained,
+        retained,
+        loadings,
+        scores,
+        means,
+        std_devs: sds,
+    })
+}
+
+/// In-place varimax rotation with Kaiser row normalization; returns
+/// the accumulated orthogonal rotation matrix.
+fn varimax(loadings: &mut Matrix, max_iter: usize) -> Matrix {
+    let p = loadings.rows();
+    let k = loadings.cols();
+
+    // Kaiser normalization: scale rows to unit communality.
+    let mut h = vec![0.0; p];
+    for i in 0..p {
+        let comm: f64 = (0..k).map(|j| loadings[(i, j)].powi(2)).sum();
+        h[i] = comm.sqrt().max(1e-12);
+        for j in 0..k {
+            loadings[(i, j)] /= h[i];
+        }
+    }
+
+    let mut rotation = Matrix::identity(k);
+    for _ in 0..max_iter {
+        let mut total_angle = 0.0;
+        for a in 0..k {
+            for b in (a + 1)..k {
+                let (mut s_u, mut s_v, mut s_c, mut s_d) = (0.0, 0.0, 0.0, 0.0);
+                for i in 0..p {
+                    let x = loadings[(i, a)];
+                    let y = loadings[(i, b)];
+                    let u = x * x - y * y;
+                    let v = 2.0 * x * y;
+                    s_u += u;
+                    s_v += v;
+                    s_c += u * u - v * v;
+                    s_d += 2.0 * u * v;
+                }
+                let num = s_d - 2.0 * s_u * s_v / p as f64;
+                let den = s_c - (s_u * s_u - s_v * s_v) / p as f64;
+                let phi = 0.25 * num.atan2(den);
+                if phi.abs() < 1e-10 {
+                    continue;
+                }
+                total_angle += phi.abs();
+                let (c, s) = (phi.cos(), phi.sin());
+                for i in 0..p {
+                    let x = loadings[(i, a)];
+                    let y = loadings[(i, b)];
+                    loadings[(i, a)] = c * x + s * y;
+                    loadings[(i, b)] = -s * x + c * y;
+                }
+                for i in 0..k {
+                    let x = rotation[(i, a)];
+                    let y = rotation[(i, b)];
+                    rotation[(i, a)] = c * x + s * y;
+                    rotation[(i, b)] = -s * x + c * y;
+                }
+            }
+        }
+        if total_angle < 1e-9 {
+            break;
+        }
+    }
+
+    // Undo Kaiser normalization.
+    for i in 0..p {
+        for j in 0..k {
+            loadings[(i, j)] *= h[i];
+        }
+    }
+    rotation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    /// Two perfectly correlated variables: one component captures
+    /// everything.
+    #[test]
+    fn perfectly_correlated_pair() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        let fit = pca(&[x, y], PcaOptions::default()).unwrap();
+        close(fit.eigenvalues[0], 2.0, 1e-9);
+        close(fit.eigenvalues[1], 0.0, 1e-9);
+        assert_eq!(fit.retained, 1);
+        close(fit.explained[0], 1.0, 1e-9);
+        // Both variables load ±1 on the single component.
+        close(fit.loadings[(0, 0)].abs(), 1.0, 1e-9);
+        close(fit.loadings[(1, 0)].abs(), 1.0, 1e-9);
+    }
+
+    /// Two independent blocks of correlated variables separate into
+    /// two components, and the grouping recovers the blocks.
+    #[test]
+    fn block_structure_is_recovered() {
+        let n = 200;
+        // Deterministic pseudo-noise from a tiny LCG, no rand needed.
+        let mut state = 12345u64;
+        let mut noise = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let f1: Vec<f64> = (0..n).map(|_| noise()).collect();
+        let f2: Vec<f64> = (0..n).map(|_| noise()).collect();
+        let v0: Vec<f64> = f1.iter().map(|v| v + 0.05 * noise()).collect();
+        let v1: Vec<f64> = f1.iter().map(|v| 2.0 * v + 0.05 * noise()).collect();
+        let v2: Vec<f64> = f2.iter().map(|v| -v + 0.05 * noise()).collect();
+        let v3: Vec<f64> = f2.iter().map(|v| 0.5 * v + 0.05 * noise()).collect();
+
+        let fit = pca(&[v0, v1, v2, v3], PcaOptions::default()).unwrap();
+        assert_eq!(fit.retained, 2);
+        let groups = fit.grouping();
+        let mut g0 = groups[fit.component_of(0)].clone();
+        g0.sort_unstable();
+        let mut g2 = groups[fit.component_of(2)].clone();
+        g2.sort_unstable();
+        assert_eq!(g0, vec![0, 1]);
+        assert_eq!(g2, vec![2, 3]);
+    }
+
+    #[test]
+    fn communalities_are_rotation_invariant() {
+        let n = 120;
+        let mut state = 99u64;
+        let mut noise = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let f1: Vec<f64> = (0..n).map(|_| noise()).collect();
+        let f2: Vec<f64> = (0..n).map(|_| noise()).collect();
+        let vars: Vec<Vec<f64>> = vec![
+            f1.iter().map(|v| v + 0.1 * noise()).collect(),
+            f1.iter().map(|v| v - 0.1 * noise()).collect(),
+            f2.iter().map(|v| v + 0.1 * noise()).collect(),
+            f2.iter().map(|v| v - 0.1 * noise()).collect(),
+        ];
+        let plain = pca(
+            &vars,
+            PcaOptions { varimax: false, ..PcaOptions::default() },
+        )
+        .unwrap();
+        let rotated = pca(&vars, PcaOptions::default()).unwrap();
+        assert_eq!(plain.retained, rotated.retained);
+        for v in 0..4 {
+            close(plain.communality(v), rotated.communality(v), 1e-8);
+        }
+    }
+
+    #[test]
+    fn scores_are_standardized_and_uncorrelated() {
+        let n = 300;
+        let mut state = 7u64;
+        let mut noise = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let f1: Vec<f64> = (0..n).map(|_| noise()).collect();
+        let f2: Vec<f64> = (0..n).map(|_| noise()).collect();
+        let vars: Vec<Vec<f64>> = vec![
+            f1.iter().map(|v| v + 0.2 * noise()).collect(),
+            f1.iter().map(|v| 0.8 * v + 0.2 * noise()).collect(),
+            f2.iter().map(|v| v + 0.2 * noise()).collect(),
+            f2.iter().map(|v| 1.2 * v + 0.2 * noise()).collect(),
+        ];
+        let fit = pca(&vars, PcaOptions::default()).unwrap();
+        assert_eq!(fit.retained, 2);
+        for j in 0..fit.retained {
+            let col = fit.scores.column(j);
+            let mean = col.iter().sum::<f64>() / n as f64;
+            let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+            close(mean, 0.0, 1e-9);
+            close(var, 1.0, 0.05);
+        }
+        // Orthogonality of score columns.
+        let c0 = fit.scores.column(0);
+        let c1 = fit.scores.column(1);
+        let dot: f64 = c0.iter().zip(&c1).map(|(a, b)| a * b).sum();
+        close(dot / n as f64, 0.0, 0.05);
+    }
+
+    #[test]
+    fn fixed_retention_is_respected() {
+        let x: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+        let z: Vec<f64> = x.iter().map(|v| v.sin()).collect();
+        let fit = pca(
+            &[x, y, z],
+            PcaOptions { retention: Retention::Fixed(2), ..PcaOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(fit.retained, 2);
+        assert_eq!(fit.loadings.cols(), 2);
+        assert_eq!(fit.scores.cols(), 2);
+    }
+
+    #[test]
+    fn explained_variance_retention() {
+        let x: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+        let fit = pca(
+            &[x.clone(), y],
+            PcaOptions {
+                retention: Retention::ExplainedVariance(0.9),
+                ..PcaOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(fit.retained, 1);
+        assert!(fit.cumulative_explained() >= 0.9);
+    }
+
+    #[test]
+    fn zero_variance_variable_is_rejected() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let c = vec![5.0; 10];
+        assert!(matches!(
+            pca(&[x, c], PcaOptions::default()),
+            Err(StatsError::Singular(_))
+        ));
+    }
+
+    #[test]
+    fn shape_errors() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![1.0, 2.0];
+        assert!(pca(&[x.clone(), y], PcaOptions::default()).is_err());
+        assert!(pca(&[x], PcaOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Rank assignment with tie handling.
+//!
+//! The Section 4.1 experiment compares two *orderings* of the same
+//! search results; both Spearman correlation and positional distances
+//! need fractional ("average") ranks when scores tie.
+
+/// Whether larger values should receive better (smaller) ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Rank 1 goes to the smallest value.
+    Ascending,
+    /// Rank 1 goes to the largest value (typical for quality scores).
+    Descending,
+}
+
+/// Assigns 1-based average ranks to `xs`.
+///
+/// Tied values share the mean of the ranks they span, so the output
+/// sums to `n(n+1)/2` regardless of ties.
+pub fn average_ranks(xs: &[f64], direction: Direction) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    match direction {
+        Direction::Ascending => order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b])),
+        Direction::Descending => order.sort_by(|&a, &b| xs[b].total_cmp(&xs[a])),
+    }
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        // Find the tie group [i, j).
+        let mut j = i + 1;
+        while j < n && xs[order[j]] == xs[order[i]] {
+            j += 1;
+        }
+        // Average of 1-based ranks i+1 ..= j.
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            ranks[idx] = avg;
+        }
+        i = j;
+    }
+    ranks
+}
+
+/// Assigns strict 1-based positions (ties broken by original index,
+/// i.e. a stable sort). This mirrors what a search-result page shows:
+/// every item has exactly one position.
+pub fn positions(xs: &[f64], direction: Direction) -> Vec<usize> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    match direction {
+        Direction::Ascending => order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]).then(a.cmp(&b))),
+        Direction::Descending => order.sort_by(|&a, &b| xs[b].total_cmp(&xs[a]).then(a.cmp(&b))),
+    }
+    let mut pos = vec![0usize; n];
+    for (p, &idx) in order.iter().enumerate() {
+        pos[idx] = p + 1;
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_without_ties() {
+        let r = average_ranks(&[10.0, 30.0, 20.0], Direction::Ascending);
+        assert_eq!(r, vec![1.0, 3.0, 2.0]);
+        let r = average_ranks(&[10.0, 30.0, 20.0], Direction::Descending);
+        assert_eq!(r, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn tied_values_share_average_rank() {
+        let r = average_ranks(&[1.0, 2.0, 2.0, 3.0], Direction::Ascending);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn rank_sum_is_invariant_under_ties() {
+        let with_ties = average_ranks(&[5.0, 5.0, 5.0, 1.0], Direction::Descending);
+        let sum: f64 = with_ties.iter().sum();
+        assert_eq!(sum, 10.0); // 4·5/2
+    }
+
+    #[test]
+    fn positions_are_a_permutation() {
+        let p = positions(&[0.5, 0.9, 0.1, 0.9], Direction::Descending);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3, 4]);
+        // Stable tie-break: first 0.9 beats second 0.9.
+        assert!(p[1] < p[3]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(average_ranks(&[], Direction::Ascending).is_empty());
+        assert!(positions(&[], Direction::Descending).is_empty());
+    }
+
+    #[test]
+    fn all_equal_values() {
+        let r = average_ranks(&[7.0; 5], Direction::Ascending);
+        assert!(r.iter().all(|&x| x == 3.0));
+    }
+}

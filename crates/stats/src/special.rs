@@ -1,0 +1,308 @@
+//! Special functions: log-gamma, regularized incomplete beta, `erf`.
+//!
+//! These are the numerical bedrock for every p-value in the crate:
+//! the Student-t and F tail probabilities reduce to the regularized
+//! incomplete beta function, and the normal CDF reduces to `erf`.
+//! Implementations follow the classic Lanczos / modified-Lentz
+//! formulations with double-precision accuracy (absolute error below
+//! ~1e-10 across the tested domain).
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7,
+/// 9 coefficients). Valid for `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients from the Lanczos g=7, n=9 fit.
+    const COEFFS: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    debug_assert!(x > 0.0, "ln_gamma needs x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = 0.999_999_999_999_809_93;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        acc += c / (x + (i + 1) as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Continued-fraction kernel of the incomplete beta function
+/// (modified Lentz's method, Numerical Recipes `betacf`).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            return h;
+        }
+    }
+    // Convergence is extremely robust for the (a, b) ranges used by
+    // t/F tails; return the best estimate rather than poisoning the
+    // caller with NaN.
+    h
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `a, b > 0`
+/// and `x ∈ [0, 1]`.
+pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
+    debug_assert!(a > 0.0 && b > 0.0, "beta_inc needs a,b > 0");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Regularized lower incomplete gamma `P(a, x)`: series expansion for
+/// `x < a + 1`, continued fraction otherwise (Numerical Recipes
+/// `gammp`, double precision).
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    debug_assert!(a > 0.0 && x >= 0.0, "gamma_p needs a > 0, x >= 0");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    debug_assert!(a > 0.0 && x >= 0.0, "gamma_q needs a > 0, x >= 0");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_series(a, x)
+    } else {
+        gamma_cf(a, x)
+    }
+}
+
+/// Series representation of `P(a, x)`, convergent for `x < a + 1`.
+fn gamma_series(a: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 3e-16;
+    let mut ap = a;
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued-fraction representation of `Q(a, x)`, convergent for
+/// `x ≥ a + 1` (modified Lentz).
+fn gamma_cf(a: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 3e-16;
+    const FPMIN: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Error function via the identity `erf(x) = P(1/2, x²)` (double
+/// precision, ~1e-14 relative accuracy).
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let v = gamma_p(0.5, x * x);
+    if x > 0.0 {
+        v
+    } else {
+        -v
+    }
+}
+
+/// Complementary error function `erfc(x) = Q(1/2, x²)` for positive
+/// `x` (keeps full precision in the far tail).
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    if x == 0.0 {
+        return 1.0;
+    }
+    gamma_q(0.5, x * x)
+}
+
+/// Standard normal cumulative distribution function.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        close(ln_gamma(1.0), 0.0, 1e-12);
+        close(ln_gamma(2.0), 0.0, 1e-12);
+        close(ln_gamma(5.0), 24f64.ln(), 1e-10); // Γ(5) = 4! = 24
+        close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-10);
+        close(ln_gamma(10.0), 362_880f64.ln(), 1e-9); // 9!
+    }
+
+    #[test]
+    fn ln_gamma_reflection_region() {
+        // Γ(0.25) ≈ 3.625609908
+        close(ln_gamma(0.25), 3.625_609_908_221_908f64.ln(), 1e-9);
+    }
+
+    #[test]
+    fn beta_inc_boundaries() {
+        assert_eq!(beta_inc(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(beta_inc(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn beta_inc_symmetry() {
+        // I_x(a,b) = 1 − I_{1−x}(b,a)
+        for &(a, b, x) in &[(2.0, 3.0, 0.3), (0.5, 0.5, 0.7), (5.0, 1.5, 0.42)] {
+            close(beta_inc(a, b, x), 1.0 - beta_inc(b, a, 1.0 - x), 1e-10);
+        }
+    }
+
+    #[test]
+    fn beta_inc_uniform_case() {
+        // I_x(1,1) = x
+        for x in [0.1, 0.25, 0.5, 0.9] {
+            close(beta_inc(1.0, 1.0, x), x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn beta_inc_closed_form_a2_b1() {
+        // I_x(2,1) = x^2
+        for x in [0.2, 0.5, 0.8] {
+            close(beta_inc(2.0, 1.0, x), x * x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn beta_inc_is_monotone_in_x() {
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let x = i as f64 / 100.0;
+            let v = beta_inc(3.5, 2.25, x);
+            assert!(v >= prev - 1e-14, "non-monotone at x={x}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn erf_known_values() {
+        close(erf(0.0), 0.0, 1e-12);
+        close(erf(1.0), 0.842_700_792_949_715, 2e-7);
+        close(erf(2.0), 0.995_322_265_018_953, 2e-7);
+        close(erf(-1.0), -0.842_700_792_949_715, 2e-7);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        close(normal_cdf(0.0), 0.5, 1e-9);
+        close(normal_cdf(1.959_964), 0.975, 1e-5);
+        close(normal_cdf(-1.959_964), 0.025, 1e-5);
+        close(normal_cdf(3.0), 0.998_650_101_968_37, 1e-6);
+    }
+
+    #[test]
+    fn erfc_tail_is_positive_and_tiny() {
+        let v = erfc(5.0);
+        assert!(v > 0.0);
+        assert!(v < 2e-11);
+    }
+}

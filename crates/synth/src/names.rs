@@ -1,0 +1,91 @@
+//! Deterministic name generation for sources and user handles.
+
+use crate::rng::Rng64;
+use obs_model::SourceKind;
+
+const PREFIXES: &[&str] = &[
+    "milan", "urban", "city", "lombard", "navigli", "brera", "daily", "vero", "nuovo", "gran",
+    "bella", "meta", "alto", "monte", "porta", "corso", "villa", "riva", "sempione", "centrale",
+];
+
+const STEMS: &[&str] = &[
+    "voices", "diaries", "notes", "talk", "board", "corner", "lounge", "journal", "gazette",
+    "pulse", "wire", "echo", "report", "scene", "guide", "chronicle", "digest", "review",
+    "observer", "post",
+];
+
+const HANDLE_SYLLABLES: &[&str] = &[
+    "al", "be", "ca", "da", "el", "fi", "gio", "lu", "ma", "ni", "or", "pa", "ro", "sa", "te",
+    "va", "zo", "an", "re", "mi",
+];
+
+/// Generates a source name unique per `(draws)` stream, e.g.
+/// `"brera-gazette-17"`.
+pub fn source_name(rng: &mut Rng64, kind: SourceKind, ordinal: usize) -> String {
+    let prefix = rng.pick(PREFIXES);
+    let stem = rng.pick(STEMS);
+    format!("{prefix}-{stem}-{}{ordinal}", kind.label().chars().next().unwrap_or('x'))
+}
+
+/// Generates a user handle, e.g. `"carosa42"`.
+pub fn user_handle(rng: &mut Rng64, ordinal: usize) -> String {
+    let a = rng.pick(HANDLE_SYLLABLES);
+    let b = rng.pick(HANDLE_SYLLABLES);
+    let c = rng.pick(HANDLE_SYLLABLES);
+    format!("{a}{b}{c}{ordinal}")
+}
+
+/// Generates a brand-style handle, e.g. `"velvetlabs_official"`.
+pub fn brand_handle(rng: &mut Rng64, ordinal: usize) -> String {
+    let a = rng.pick(PREFIXES);
+    let b = rng.pick(STEMS);
+    format!("{a}{b}_official{ordinal}")
+}
+
+/// Generates a news-outlet handle, e.g. `"metropulse_news"`.
+pub fn news_handle(rng: &mut Rng64, ordinal: usize) -> String {
+    let a = rng.pick(PREFIXES);
+    let b = rng.pick(STEMS);
+    format!("{a}{b}_news{ordinal}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_embed_ordinal_for_uniqueness() {
+        let mut rng = Rng64::seeded(1);
+        let names: Vec<String> = (0..100)
+            .map(|i| source_name(&mut rng, SourceKind::Blog, i))
+            .collect();
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+        assert!(names[7].ends_with("b7"));
+    }
+
+    #[test]
+    fn handles_are_unique_by_ordinal() {
+        let mut rng = Rng64::seeded(2);
+        let handles: Vec<String> = (0..200).map(|i| user_handle(&mut rng, i)).collect();
+        let unique: std::collections::HashSet<_> = handles.iter().collect();
+        assert_eq!(unique.len(), handles.len());
+    }
+
+    #[test]
+    fn branded_handles_are_marked() {
+        let mut rng = Rng64::seeded(3);
+        assert!(brand_handle(&mut rng, 5).contains("_official"));
+        assert!(news_handle(&mut rng, 5).contains("_news"));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = Rng64::seeded(42);
+        let mut b = Rng64::seeded(42);
+        assert_eq!(
+            source_name(&mut a, SourceKind::Forum, 3),
+            source_name(&mut b, SourceKind::Forum, 3)
+        );
+    }
+}

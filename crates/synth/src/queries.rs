@@ -1,0 +1,124 @@
+//! Query workload generation for the Section 4.1 ranking study.
+//!
+//! The paper *"performed over 100 queries with Google, limiting the
+//! results of each query to the first 20 blogs and forums"*. Queries
+//! here are 1–3 keyword bags drawn from a category's vocabulary
+//! (occasionally mixing a second category in, as real user queries
+//! do), which the `obs-search` baseline evaluates against the post
+//! index.
+
+use crate::rng::Rng64;
+use crate::text::CATEGORIES;
+
+/// One search query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Workload-local identifier.
+    pub id: u32,
+    /// Search terms.
+    pub terms: Vec<String>,
+    /// The category the query is mainly about (name from the
+    /// category catalog).
+    pub category: String,
+}
+
+impl Query {
+    /// Terms joined for display.
+    pub fn text(&self) -> String {
+        self.terms.join(" ")
+    }
+}
+
+/// A generated set of queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryWorkload {
+    /// The queries, id-ordered.
+    pub queries: Vec<Query>,
+}
+
+impl QueryWorkload {
+    /// Generates `count` queries over the first `categories` catalog
+    /// entries.
+    pub fn generate(seed: u64, count: usize, categories: usize) -> QueryWorkload {
+        let mut rng = Rng64::seeded(seed);
+        let n_cats = categories.clamp(1, CATEGORIES.len());
+        let mut queries = Vec::with_capacity(count);
+        for id in 0..count {
+            let cat = &CATEGORIES[rng.index(n_cats)];
+            let n_terms = 1 + rng.index(3);
+            let mut terms = Vec::with_capacity(n_terms + 1);
+            let mut pool: Vec<&str> = cat.keywords.to_vec();
+            rng.shuffle(&mut pool);
+            terms.extend(pool.into_iter().take(n_terms).map(str::to_owned));
+            // ~20% of queries mix in a term from another category.
+            if rng.chance(0.2) {
+                let other = &CATEGORIES[rng.index(n_cats)];
+                terms.push(other.keywords[rng.index(other.keywords.len())].to_owned());
+            }
+            queries.push(Query {
+                id: id as u32,
+                terms,
+                category: cat.name.to_owned(),
+            });
+        }
+        QueryWorkload { queries }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::keywords_for;
+
+    #[test]
+    fn workload_has_requested_size() {
+        let w = QueryWorkload::generate(1, 120, 10);
+        assert_eq!(w.len(), 120);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = QueryWorkload::generate(5, 50, 8);
+        let b = QueryWorkload::generate(5, 50, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn queries_have_one_to_four_terms() {
+        let w = QueryWorkload::generate(9, 200, 12);
+        for q in &w.queries {
+            assert!((1..=4).contains(&q.terms.len()), "{:?}", q.terms);
+        }
+    }
+
+    #[test]
+    fn primary_terms_come_from_the_declared_category() {
+        let w = QueryWorkload::generate(13, 100, 12);
+        for q in &w.queries {
+            let kws = keywords_for(&q.category).unwrap();
+            // At least the first term is from the category vocabulary.
+            assert!(kws.contains(&q.terms[0].as_str()), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn text_joins_terms() {
+        let q = Query {
+            id: 0,
+            terms: vec!["duomo".into(), "rooftop".into()],
+            category: "attractions".into(),
+        };
+        assert_eq!(q.text(), "duomo rooftop");
+    }
+}

@@ -1,0 +1,542 @@
+//! Self-contained seeded PRNG and the heavy-tailed samplers the
+//! world generator draws from.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — small,
+//! fast, and fully deterministic, so every experiment in the
+//! reproduction can be pinned to a seed. `rand` stays out of library
+//! code on purpose: its API and value streams shift across major
+//! versions, which would silently invalidate the calibrated worlds.
+
+/// SplitMix64 step, used for seeding and stream derivation.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ pseudo-random generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rng64 {
+    s: [u64; 4],
+    /// Cached second normal variate from the polar method.
+    cached_normal: Option<f64>,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed.
+    pub fn seeded(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng64 { s, cached_normal: None }
+    }
+
+    /// Derives an independent child generator for a named stream.
+    /// Forking keeps sub-generators stable when unrelated parts of
+    /// the world generation change their draw counts.
+    pub fn fork(&self, stream: u64) -> Rng64 {
+        let mut sm = self.s[0] ^ self.s[2] ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng64 { s, cached_normal: None }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)`, 53-bit resolution.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics when `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Multiply-shift rejection-free mapping (bias < 2^-64·span,
+        // negligible for the spans used here).
+        let hi128 = (self.next_u64() as u128 * span as u128) >> 64;
+        lo + hi128 as u64
+    }
+
+    /// Uniform index in `[0, n)`. Panics when `n == 0`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        self.range_u64(0, n as u64) as usize
+    }
+
+    /// Bernoulli draw.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Standard normal variate (Marsaglia polar method with caching).
+    pub fn normal(&mut self) -> f64 {
+        if let Some(v) = self.cached_normal.take() {
+            return v;
+        }
+        loop {
+            let u = 2.0 * self.f64() - 1.0;
+            let v = 2.0 * self.f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.cached_normal = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.normal()
+    }
+
+    /// Log-normal: `exp(μ + σ·Z)`.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.normal()).exp()
+    }
+
+    /// Exponential with the given rate (mean `1/rate`).
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential needs rate > 0");
+        -self.f64().max(f64::MIN_POSITIVE).ln() / rate
+    }
+
+    /// Pareto with scale `xm` and shape `alpha`.
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        assert!(xm > 0.0 && alpha > 0.0, "pareto needs positive parameters");
+        xm / self.f64().max(f64::MIN_POSITIVE).powf(1.0 / alpha)
+    }
+
+    /// Poisson draw. Knuth's product method below λ = 30, normal
+    /// approximation above (adequate for workload sizing).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(lambda >= 0.0, "poisson needs lambda >= 0");
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda < 30.0 {
+            let limit = (-lambda).exp();
+            let mut product = self.f64();
+            let mut count = 0u64;
+            while product > limit {
+                product *= self.f64();
+                count += 1;
+            }
+            count
+        } else {
+            let v = self.normal_with(lambda, lambda.sqrt());
+            v.max(0.0).round() as u64
+        }
+    }
+
+    /// Uniformly picks an element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples an index proportionally to `weights` (non-negative,
+    /// not all zero — otherwise uniform).
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        if total <= 0.0 {
+            return self.index(weights.len());
+        }
+        let mut target = self.f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w.is_finite() && w > 0.0 {
+                target -= w;
+                if target <= 0.0 {
+                    return i;
+                }
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+/// Precomputed Zipf sampler over ranks `1..=n` with exponent `s`:
+/// rank `k` is drawn with probability proportional to `k^−s`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the table. Panics on `n == 0` or negative exponent.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs n > 0");
+        assert!(s >= 0.0, "zipf needs s >= 0");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the table is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws a 0-based index (rank − 1).
+    pub fn sample(&self, rng: &mut Rng64) -> usize {
+        let u = rng.f64();
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+}
+
+/// Precomputed cumulative-weight sampler: O(n) build, O(log n) draw.
+/// Used for audience sampling where per-draw linear scans would make
+/// world generation quadratic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CumulativeSampler {
+    cumulative: Vec<f64>,
+}
+
+impl CumulativeSampler {
+    /// Builds from non-negative weights; non-finite and negative
+    /// weights count as zero. Panics on empty input; all-zero weights
+    /// degrade to uniform.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "CumulativeSampler needs weights");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            if w.is_finite() && w > 0.0 {
+                acc += w;
+            }
+            cumulative.push(acc);
+        }
+        if acc <= 0.0 {
+            // Uniform fallback.
+            for (i, c) in cumulative.iter_mut().enumerate() {
+                *c = (i + 1) as f64;
+            }
+            acc = weights.len() as f64;
+        }
+        for c in &mut cumulative {
+            *c /= acc;
+        }
+        CumulativeSampler { cumulative }
+    }
+
+    /// Number of weighted items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws an index proportionally to its weight.
+    pub fn sample(&self, rng: &mut Rng64) -> usize {
+        let u = rng.f64();
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng64::seeded(42);
+        let mut b = Rng64::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::seeded(1);
+        let mut b = Rng64::seeded(2);
+        let equal = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(equal < 2);
+    }
+
+    #[test]
+    fn forked_streams_are_independent_of_parent_consumption() {
+        let parent = Rng64::seeded(7);
+        let mut fork_before = parent.fork(3);
+        let mut consumed = parent.clone();
+        for _ in 0..10 {
+            consumed.next_u64();
+        }
+        // fork() depends only on the state at fork time; cloning the
+        // parent and forking gives the identical child.
+        let mut fork_after = parent.fork(3);
+        for _ in 0..20 {
+            assert_eq!(fork_before.next_u64(), fork_after.next_u64());
+        }
+        // Different stream ids give different children.
+        let mut other = parent.fork(4);
+        let same = (0..32).filter(|_| parent.clone().fork(3).next_u64() == other.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval_and_roughly_uniform() {
+        let mut rng = Rng64::seeded(11);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = Rng64::seeded(5);
+        for _ in 0..10_000 {
+            let v = rng.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.range_u64(0, 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values reachable");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng64::seeded(23);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_matches_lambda() {
+        let mut rng = Rng64::seeded(31);
+        for &lambda in &[0.5, 3.0, 12.0, 80.0] {
+            let n = 20_000;
+            let mean = (0..n).map(|_| rng.poisson(lambda) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.05,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn log_normal_median() {
+        let mut rng = Rng64::seeded(37);
+        let n = 30_000;
+        let mut xs: Vec<f64> = (0..n).map(|_| rng.log_normal(2.0, 1.0)).collect();
+        xs.sort_by(|a, b| a.total_cmp(b));
+        let median = xs[n / 2];
+        // Median of log-normal is exp(mu) ≈ 7.389.
+        assert!((median - 2f64.exp()).abs() < 0.4, "median {median}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = Rng64::seeded(41);
+        let n = 30_000;
+        let mean = (0..n).map(|_| rng.exponential(0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut rng = Rng64::seeded(43);
+        for _ in 0..5_000 {
+            assert!(rng.pareto(3.0, 1.5) >= 3.0);
+        }
+    }
+
+    #[test]
+    fn weighted_index_tracks_weights() {
+        let mut rng = Rng64::seeded(47);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        let n = 40_000;
+        for _ in 0..n {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_degenerate_weights_fall_back_to_uniform() {
+        let mut rng = Rng64::seeded(53);
+        let weights = [0.0, 0.0];
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[rng.weighted_index(&weights)] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng64::seeded(59);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "overwhelmingly unlikely identity");
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = Rng64::seeded(61);
+        let n = 30_000;
+        let mut counts = vec![0usize; 100];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[60]);
+        // Every draw lands in range (sample never panics / overflows).
+        assert_eq!(counts.iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = Rng64::seeded(67);
+        let mut counts = [0usize; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.25).abs() < 0.02, "frac {frac}");
+        }
+    }
+
+    #[test]
+    fn cumulative_sampler_tracks_weights() {
+        let s = CumulativeSampler::new(&[1.0, 0.0, 4.0]);
+        let mut rng = Rng64::seeded(71);
+        let mut counts = [0usize; 3];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 4.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cumulative_sampler_all_zero_is_uniform() {
+        let s = CumulativeSampler::new(&[0.0, 0.0, 0.0]);
+        let mut rng = Rng64::seeded(73);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn cumulative_sampler_stays_in_range(
+                weights in proptest::collection::vec(0.0f64..10.0, 1..50),
+                seed in any::<u64>()
+            ) {
+                let s = CumulativeSampler::new(&weights);
+                let mut rng = Rng64::seeded(seed);
+                for _ in 0..30 {
+                    prop_assert!(s.sample(&mut rng) < weights.len());
+                }
+            }
+
+            #[test]
+            fn range_never_leaves_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
+                let mut rng = Rng64::seeded(seed);
+                for _ in 0..50 {
+                    let v = rng.range_u64(lo, lo + span);
+                    prop_assert!(v >= lo && v < lo + span);
+                }
+            }
+
+            #[test]
+            fn zipf_sample_in_range(seed in any::<u64>(), n in 1usize..200, s in 0.0f64..3.0) {
+                let z = Zipf::new(n, s);
+                let mut rng = Rng64::seeded(seed);
+                for _ in 0..50 {
+                    prop_assert!(z.sample(&mut rng) < n);
+                }
+            }
+        }
+    }
+}

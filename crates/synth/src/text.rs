@@ -1,0 +1,421 @@
+//! Category-keyed text generation with controllable sentiment.
+//!
+//! The relevance measures need contents that are recognizably *about*
+//! a category, the search baseline needs indexable term
+//! distributions, and the Section 6 application needs opinionated
+//! text for sentiment analysis. This module provides all three: a
+//! fixed per-category vocabulary, a polarity-bearing lexicon (shared
+//! by convention with `obs-sentiment`, which embeds the same word
+//! lists), and a template-based generator that mixes them with
+//! deterministic draws from the caller's RNG.
+
+use crate::rng::Rng64;
+
+/// A content category and its characteristic keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CategoryVocab {
+    /// Category name; world generation interns exactly these names.
+    pub name: &'static str,
+    /// Terms that mark a text as belonging to the category.
+    pub keywords: &'static [&'static str],
+}
+
+/// The global category catalog. The first six are the tourism
+/// categories used by the Milan application (Section 6); the rest
+/// broaden the worlds so sources can be generalists.
+pub const CATEGORIES: &[CategoryVocab] = &[
+    CategoryVocab {
+        name: "attractions",
+        keywords: &[
+            "duomo", "cathedral", "castle", "fountain", "gallery", "landmark", "monument",
+            "basilica", "tower", "piazza", "rooftop", "panorama",
+        ],
+    },
+    CategoryVocab {
+        name: "museums",
+        keywords: &[
+            "museum", "exhibition", "painting", "sculpture", "fresco", "collection", "curator",
+            "masterpiece", "artifact", "installation", "gallery", "archive",
+        ],
+    },
+    CategoryVocab {
+        name: "restaurants",
+        keywords: &[
+            "risotto", "trattoria", "osteria", "menu", "chef", "gelato", "espresso", "aperitivo",
+            "pizzeria", "tasting", "reservation", "cuisine",
+        ],
+    },
+    CategoryVocab {
+        name: "hotels",
+        keywords: &[
+            "hotel", "hostel", "suite", "checkin", "concierge", "lobby", "breakfast", "booking",
+            "room", "amenities", "housekeeping", "reception",
+        ],
+    },
+    CategoryVocab {
+        name: "events",
+        keywords: &[
+            "festival", "concert", "expo", "fair", "parade", "premiere", "ticket", "lineup",
+            "opening", "fashionweek", "biennale", "derby",
+        ],
+    },
+    CategoryVocab {
+        name: "transport",
+        keywords: &[
+            "metro", "tram", "taxi", "airport", "shuttle", "station", "timetable", "ticket",
+            "platform", "bikeshare", "traffic", "terminal",
+        ],
+    },
+    CategoryVocab {
+        name: "nightlife",
+        keywords: &[
+            "club", "cocktail", "dj", "lounge", "rooftopbar", "dancefloor", "bartender",
+            "happyhour", "livemusic", "speakeasy", "afterparty", "navigli",
+        ],
+    },
+    CategoryVocab {
+        name: "shopping",
+        keywords: &[
+            "boutique", "outlet", "designer", "arcade", "brand", "discount", "showroom",
+            "tailor", "marketplace", "souvenir", "vintage", "atelier",
+        ],
+    },
+    CategoryVocab {
+        name: "technology",
+        keywords: &[
+            "startup", "gadget", "software", "smartphone", "laptop", "broadband", "coworking",
+            "hackathon", "prototype", "firmware", "opensource", "cloud",
+        ],
+    },
+    CategoryVocab {
+        name: "sports",
+        keywords: &[
+            "match", "stadium", "league", "coach", "transfer", "marathon", "training",
+            "championship", "goal", "fixture", "supporters", "derby",
+        ],
+    },
+    CategoryVocab {
+        name: "finance",
+        keywords: &[
+            "market", "shares", "dividend", "portfolio", "earnings", "bourse", "bond", "rate",
+            "inflation", "broker", "futures", "index",
+        ],
+    },
+    CategoryVocab {
+        name: "politics",
+        keywords: &[
+            "council", "mayor", "election", "policy", "referendum", "parliament", "coalition",
+            "budget", "reform", "ordinance", "campaign", "municipality",
+        ],
+    },
+    CategoryVocab {
+        name: "music",
+        keywords: &[
+            "album", "single", "orchestra", "opera", "scala", "encore", "vinyl", "setlist",
+            "soprano", "quartet", "remix", "acoustic",
+        ],
+    },
+    CategoryVocab {
+        name: "cinema",
+        keywords: &[
+            "film", "director", "screening", "festival", "actor", "documentary", "trailer",
+            "premiere", "screenplay", "arthouse", "boxoffice", "cinematheque",
+        ],
+    },
+    CategoryVocab {
+        name: "health",
+        keywords: &[
+            "clinic", "wellness", "pharmacy", "vaccine", "nutrition", "therapy", "hospital",
+            "checkup", "fitness", "spa", "allergy", "firstaid",
+        ],
+    },
+    CategoryVocab {
+        name: "education",
+        keywords: &[
+            "university", "lecture", "campus", "thesis", "scholarship", "politecnico", "seminar",
+            "erasmus", "faculty", "enrollment", "workshop", "laboratory",
+        ],
+    },
+    CategoryVocab {
+        name: "fashion",
+        keywords: &[
+            "runway", "collection", "stylist", "couture", "fabric", "accessory", "lookbook",
+            "atelier", "prda", "catwalk", "tailoring", "editorial",
+        ],
+    },
+    CategoryVocab {
+        name: "food-markets",
+        keywords: &[
+            "market", "stall", "produce", "cheese", "salumi", "bakery", "organic", "vendor",
+            "focaccia", "spices", "harvest", "streetfood",
+        ],
+    },
+];
+
+/// Positive opinion words with intensity in `(0, 1]`.
+pub const POSITIVE_WORDS: &[(&str, f64)] = &[
+    ("amazing", 1.0),
+    ("wonderful", 0.9),
+    ("excellent", 0.9),
+    ("stunning", 0.9),
+    ("delightful", 0.8),
+    ("great", 0.7),
+    ("friendly", 0.6),
+    ("lovely", 0.6),
+    ("charming", 0.6),
+    ("tasty", 0.6),
+    ("clean", 0.5),
+    ("helpful", 0.5),
+    ("good", 0.4),
+    ("pleasant", 0.4),
+    ("nice", 0.3),
+    ("decent", 0.2),
+];
+
+/// Negative opinion words with intensity in `(0, 1]`.
+pub const NEGATIVE_WORDS: &[(&str, f64)] = &[
+    ("horrible", 1.0),
+    ("terrible", 1.0),
+    ("awful", 0.9),
+    ("disgusting", 0.9),
+    ("rude", 0.7),
+    ("dirty", 0.7),
+    ("overpriced", 0.6),
+    ("crowded", 0.5),
+    ("noisy", 0.5),
+    ("slow", 0.4),
+    ("bland", 0.4),
+    ("bad", 0.4),
+    ("disappointing", 0.6),
+    ("mediocre", 0.3),
+    ("shabby", 0.5),
+    ("confusing", 0.3),
+];
+
+/// Negation markers that flip polarity.
+pub const NEGATORS: &[&str] = &["not", "never", "hardly", "barely"];
+
+/// Intensity modifiers and their multipliers.
+pub const INTENSIFIERS: &[(&str, f64)] = &[
+    ("very", 1.5),
+    ("really", 1.4),
+    ("absolutely", 1.8),
+    ("quite", 1.2),
+    ("somewhat", 0.6),
+    ("slightly", 0.5),
+];
+
+/// Neutral filler words for sentence padding.
+pub const FILLERS: &[&str] = &[
+    "the", "a", "we", "visited", "yesterday", "morning", "afternoon", "with", "family",
+    "friends", "near", "around", "found", "place", "staff", "overall", "experience", "again",
+    "definitely", "maybe", "also", "there", "this", "that", "our", "trip", "during", "weekend",
+];
+
+/// Looks up a category's keywords by name; `None` when unknown.
+pub fn keywords_for(category: &str) -> Option<&'static [&'static str]> {
+    CATEGORIES
+        .iter()
+        .find(|c| c.name == category)
+        .map(|c| c.keywords)
+}
+
+/// Template-based text generator. Stateless: callers pass their RNG
+/// so draws stay attributable to a stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TextGenerator;
+
+impl TextGenerator {
+    /// Creates a generator.
+    pub fn new() -> Self {
+        TextGenerator
+    }
+
+    /// A short discussion title about `category`.
+    pub fn title(&self, rng: &mut Rng64, category: &str) -> String {
+        let kws = keywords_for(category).unwrap_or(&["topic"]);
+        let a = rng.pick(kws);
+        match rng.index(4) {
+            0 => format!("thoughts on the {a}"),
+            1 => format!("best {a} tips?"),
+            2 => format!("{a} experience report"),
+            _ => {
+                let b = rng.pick(kws);
+                format!("{a} vs {b}")
+            }
+        }
+    }
+
+    /// One opinionated sentence about `category` with the requested
+    /// polarity (−1 strongly negative … +1 strongly positive; values
+    /// near 0 produce neutral text).
+    pub fn sentence(&self, rng: &mut Rng64, category: &str, polarity: f64) -> String {
+        let kws = keywords_for(category).unwrap_or(&["topic"]);
+        let kw = rng.pick(kws);
+        let filler_a = rng.pick(FILLERS);
+        let filler_b = rng.pick(FILLERS);
+
+        if polarity.abs() < 0.15 {
+            // Neutral observation.
+            return format!("{filler_a} {kw} {filler_b} {}", rng.pick(FILLERS));
+        }
+
+        let (word, _) = if polarity > 0.0 {
+            *rng.pick(POSITIVE_WORDS)
+        } else {
+            *rng.pick(NEGATIVE_WORDS)
+        };
+        let mut parts: Vec<String> = vec!["the".into(), (*kw).into(), "was".into()];
+        // Strong opinions attract intensifiers; weak ones sometimes
+        // get softened through negation of the opposite polarity.
+        if polarity.abs() > 0.6 && rng.chance(0.5) {
+            let (intens, _) = *rng.pick(INTENSIFIERS);
+            parts.push(intens.into());
+            parts.push(word.into());
+        } else if polarity.abs() < 0.4 && rng.chance(0.3) {
+            let (opposite, _) = if polarity > 0.0 {
+                *rng.pick(NEGATIVE_WORDS)
+            } else {
+                *rng.pick(POSITIVE_WORDS)
+            };
+            parts.push((*rng.pick(NEGATORS)).into());
+            parts.push(opposite.into());
+        } else {
+            parts.push(word.into());
+        }
+        parts.push((*filler_a).into());
+        parts.join(" ")
+    }
+
+    /// A multi-sentence body with the given polarity.
+    pub fn body(
+        &self,
+        rng: &mut Rng64,
+        category: &str,
+        polarity: f64,
+        sentences: usize,
+    ) -> String {
+        let mut out = String::new();
+        for i in 0..sentences.max(1) {
+            if i > 0 {
+                out.push_str(". ");
+            }
+            out.push_str(&self.sentence(rng, category, polarity));
+        }
+        out
+    }
+
+    /// Tags for a post about `category`: a sample of its keywords.
+    pub fn tags(&self, rng: &mut Rng64, category: &str, count: usize) -> Vec<String> {
+        let kws = keywords_for(category).unwrap_or(&["topic"]);
+        let mut pool: Vec<&str> = kws.to_vec();
+        rng.shuffle(&mut pool);
+        pool.into_iter()
+            .take(count.min(kws.len()))
+            .map(str::to_owned)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_category_has_enough_keywords() {
+        for c in CATEGORIES {
+            assert!(c.keywords.len() >= 10, "{} too small", c.name);
+        }
+        // Names are unique.
+        let names: std::collections::HashSet<_> = CATEGORIES.iter().map(|c| c.name).collect();
+        assert_eq!(names.len(), CATEGORIES.len());
+    }
+
+    #[test]
+    fn lexicons_do_not_overlap() {
+        let pos: std::collections::HashSet<_> = POSITIVE_WORDS.iter().map(|w| w.0).collect();
+        for (w, _) in NEGATIVE_WORDS {
+            assert!(!pos.contains(w), "{w} in both lexicons");
+        }
+    }
+
+    #[test]
+    fn keywords_lookup() {
+        assert!(keywords_for("restaurants").unwrap().contains(&"risotto"));
+        assert!(keywords_for("nope").is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen = TextGenerator::new();
+        let mut a = Rng64::seeded(9);
+        let mut b = Rng64::seeded(9);
+        assert_eq!(gen.body(&mut a, "hotels", 0.8, 3), gen.body(&mut b, "hotels", 0.8, 3));
+    }
+
+    #[test]
+    fn positive_bodies_contain_positive_vocabulary() {
+        let gen = TextGenerator::new();
+        let mut rng = Rng64::seeded(17);
+        let mut hits = 0;
+        for _ in 0..50 {
+            let text = gen.body(&mut rng, "restaurants", 0.9, 2);
+            if POSITIVE_WORDS.iter().any(|(w, _)| text.contains(w)) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 40, "only {hits}/50 positive bodies carried positive words");
+    }
+
+    #[test]
+    fn negative_bodies_contain_negative_vocabulary() {
+        let gen = TextGenerator::new();
+        let mut rng = Rng64::seeded(19);
+        let mut hits = 0;
+        for _ in 0..50 {
+            let text = gen.body(&mut rng, "hotels", -0.9, 2);
+            if NEGATIVE_WORDS.iter().any(|(w, _)| text.contains(w)) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 40, "only {hits}/50 negative bodies carried negative words");
+    }
+
+    #[test]
+    fn bodies_mention_the_category() {
+        let gen = TextGenerator::new();
+        let mut rng = Rng64::seeded(21);
+        let kws = keywords_for("transport").unwrap();
+        for _ in 0..20 {
+            let text = gen.body(&mut rng, "transport", 0.0, 3);
+            assert!(
+                kws.iter().any(|k| text.contains(k)),
+                "no transport keyword in {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tags_are_category_keywords_without_duplicates() {
+        let gen = TextGenerator::new();
+        let mut rng = Rng64::seeded(25);
+        let tags = gen.tags(&mut rng, "museums", 5);
+        assert_eq!(tags.len(), 5);
+        let kws = keywords_for("museums").unwrap();
+        for t in &tags {
+            assert!(kws.contains(&t.as_str()));
+        }
+        let unique: std::collections::HashSet<_> = tags.iter().collect();
+        assert_eq!(unique.len(), tags.len());
+    }
+
+    #[test]
+    fn unknown_category_falls_back_gracefully() {
+        let gen = TextGenerator::new();
+        let mut rng = Rng64::seeded(29);
+        let text = gen.body(&mut rng, "unknown-cat", 0.5, 2);
+        assert!(text.contains("topic"));
+        let title = gen.title(&mut rng, "unknown-cat");
+        assert!(!title.is_empty());
+    }
+}

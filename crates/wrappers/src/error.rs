@@ -1,0 +1,77 @@
+//! Wrapper-layer errors.
+
+use obs_model::SourceId;
+
+/// Errors surfaced by native APIs and wrappers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WrapperError {
+    /// The caller exceeded the API's rate limit; retry after the
+    /// given number of simulated seconds.
+    RateLimited {
+        /// Seconds until the bucket refills enough for one call.
+        retry_after_secs: u64,
+    },
+    /// A transient failure (injected or simulated network flake);
+    /// safe to retry.
+    Transient(&'static str),
+    /// The source id is not served by this API.
+    UnknownSource(SourceId),
+    /// The pagination cursor is malformed or stale.
+    BadCursor(String),
+    /// A native record could not be mapped into the uniform model.
+    MappingFailed {
+        /// What failed to map.
+        what: &'static str,
+        /// The offending raw value.
+        raw: String,
+    },
+}
+
+impl WrapperError {
+    /// Whether a retry can succeed without caller-side changes.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            WrapperError::RateLimited { .. } | WrapperError::Transient(_)
+        )
+    }
+}
+
+impl std::fmt::Display for WrapperError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WrapperError::RateLimited { retry_after_secs } => {
+                write!(f, "rate limited; retry after {retry_after_secs}s")
+            }
+            WrapperError::Transient(what) => write!(f, "transient failure: {what}"),
+            WrapperError::UnknownSource(id) => write!(f, "unknown source {id}"),
+            WrapperError::BadCursor(c) => write!(f, "bad cursor {c:?}"),
+            WrapperError::MappingFailed { what, raw } => {
+                write!(f, "failed to map {what} from {raw:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WrapperError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_classification() {
+        assert!(WrapperError::RateLimited { retry_after_secs: 5 }.is_retryable());
+        assert!(WrapperError::Transient("flake").is_retryable());
+        assert!(!WrapperError::UnknownSource(SourceId::new(1)).is_retryable());
+        assert!(!WrapperError::BadCursor("x".into()).is_retryable());
+        assert!(!WrapperError::MappingFailed { what: "date", raw: "??".into() }.is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = WrapperError::MappingFailed { what: "date", raw: "not-a-date".into() };
+        assert!(e.to_string().contains("date"));
+        assert!(e.to_string().contains("not-a-date"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Deterministic fault injection.
+//!
+//! Real crawls fail: timeouts, 5xx, truncated responses. The
+//! [`FaultPlan`] injects transient failures on a fixed schedule so
+//! resilience paths (retry, backoff, resume-from-cursor) are
+//! exercised deterministically in tests and benchmarks.
+
+/// A deterministic schedule of transient failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Fail every `period`-th call (1-based); 0 disables injection.
+    period: u64,
+    calls: u64,
+}
+
+impl FaultPlan {
+    /// No injected faults.
+    pub fn none() -> Self {
+        FaultPlan { period: 0, calls: 0 }
+    }
+
+    /// Fail every `period`-th call.
+    pub fn every(period: u64) -> Self {
+        FaultPlan { period, calls: 0 }
+    }
+
+    /// Registers a call; returns `true` when this call must fail.
+    pub fn should_fail(&mut self) -> bool {
+        if self.period == 0 {
+            return false;
+        }
+        self.calls += 1;
+        self.calls % self.period == 0
+    }
+
+    /// Calls observed so far.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fails() {
+        let mut plan = FaultPlan::none();
+        for _ in 0..100 {
+            assert!(!plan.should_fail());
+        }
+        assert_eq!(plan.calls(), 0);
+    }
+
+    #[test]
+    fn every_third_call_fails() {
+        let mut plan = FaultPlan::every(3);
+        let outcomes: Vec<bool> = (0..9).map(|_| plan.should_fail()).collect();
+        assert_eq!(
+            outcomes,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(plan.calls(), 9);
+    }
+
+    #[test]
+    fn every_call_fails_with_period_one() {
+        let mut plan = FaultPlan::every(1);
+        assert!(plan.should_fail());
+        assert!(plan.should_fail());
+    }
+}

@@ -1,0 +1,41 @@
+//! # obs-wrappers — heterogeneous source APIs and the uniform wrapper layer
+//!
+//! Section 5 of the paper builds mashups out of *data services*:
+//! "wrappers defined on top of the filtered authoritative sources to
+//! enable the access to their contents". Every real Web 2.0 source
+//! speaks a different dialect — blogs expose permalinked posts with
+//! comment trails and ISO dates, forums expose numbered threads with
+//! quoted replies and epoch seconds, microblogs expose cursor-paged
+//! timelines with millisecond timestamps, review sites expose
+//! star-rated reviews per venue, wikis expose revisioned articles.
+//!
+//! This crate reproduces that heterogeneity honestly:
+//!
+//! * [`native`] — five *deliberately incompatible* per-kind APIs, each
+//!   with its own record shapes, id schemes, date formats, pagination
+//!   contract and rate limits, all backed by the shared corpus;
+//! * [`observation`] — the uniform content model
+//!   ([`ContentItem`], [`SourceObservation`]) every wrapper maps into;
+//! * [`service`] — the [`DataService`] trait and one adapter per
+//!   native API (field mapping, date parsing, id resolution);
+//! * [`rate`] — a token-bucket rate limiter shared by the native APIs;
+//! * [`fault`] — deterministic fault injection for resilience tests;
+//! * [`crawler`] — an incremental crawl driver with retry/backoff and
+//!   per-source cursors.
+
+#![warn(missing_docs)]
+
+pub mod crawler;
+mod error;
+pub mod fault;
+pub mod native;
+pub mod observation;
+pub mod rate;
+pub mod service;
+
+pub use crawler::{CrawlReport, Crawler, CrawlerConfig};
+pub use error::WrapperError;
+pub use fault::FaultPlan;
+pub use observation::{ContentItem, InteractionCounts, ItemKind, SourceObservation};
+pub use rate::TokenBucket;
+pub use service::{service_for, Cursor, DataService, Page, ServiceDescriptor};

@@ -1,0 +1,16 @@
+//! The five native source APIs.
+//!
+//! Each module mimics the dialect of one platform family circa the
+//! paper's era. They are *deliberately incompatible*: different
+//! record shapes, id schemes (permalinks vs thread numbers vs
+//! snowflake ids vs venue codes vs slugs), date encodings (pseudo-ISO
+//! strings vs epoch seconds vs epoch milliseconds vs day ordinals)
+//! and pagination contracts (page numbers vs offset/limit vs cursors).
+//! The wrapper layer in [`crate::service`] exists to absorb exactly
+//! this heterogeneity.
+
+pub mod blog;
+pub mod forum;
+pub mod microblog;
+pub mod review;
+pub mod wiki;

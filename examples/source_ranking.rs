@@ -1,0 +1,42 @@
+//! Source ranking: run a query through the baseline search engine,
+//! re-rank the results by the paper's quality model, and show the
+//! two rankings side by side (the Section 4.1 workflow).
+//!
+//! ```sh
+//! cargo run --example source_ranking
+//! ```
+
+use informing_observers::analytics::{AlexaPanel, FeedRegistry, LinkGraph};
+use informing_observers::quality::{rank_sources, Benchmarks, SourceContext, Weights};
+use informing_observers::search::{BlendWeights, SearchEngine};
+use informing_observers::synth::{World, WorldConfig};
+
+fn main() {
+    let world = World::generate(WorldConfig {
+        sources: 120,
+        users: 600,
+        ..WorldConfig::ranking_study(7)
+    });
+    let panel = AlexaPanel::simulate(&world, 1);
+    let links = LinkGraph::simulate(&world, 2);
+    let feeds = FeedRegistry::simulate(&world, 3);
+    let engine = SearchEngine::build(&world.corpus, &panel, &links, BlendWeights::default());
+
+    let terms = vec!["duomo".to_owned(), "rooftop".to_owned()];
+    let hits = engine.query(&terms, 10);
+    println!("query: {:?} — {} hits\n", terms.join(" "), hits.len());
+
+    let di = world.open_di();
+    let ctx = SourceContext::new(&world.corpus, &panel, &links, &feeds, &di, world.now);
+    let weights = Weights::uniform();
+    let benchmarks = Benchmarks::for_sources(&ctx, 0.9);
+    let sources: Vec<_> = hits.iter().map(|h| h.source).collect();
+    let quality = rank_sources(&ctx, &sources, &weights, &benchmarks);
+
+    println!("{:<4} {:<28} {:>12} {:>14}", "pos", "source", "search score", "quality pos");
+    for hit in &hits {
+        let s = world.corpus.source(hit.source).unwrap();
+        let qpos = quality.iter().find(|r| r.source == hit.source).unwrap().position;
+        println!("{:<4} {:<28} {:>12.2} {:>14}", hit.position, s.name, hit.score, qpos);
+    }
+}

@@ -1,0 +1,11 @@
+//! Facade: re-exports every crate of the workspace.
+pub use obs_analytics as analytics;
+pub use obs_experiments as experiments;
+pub use obs_mashup as mashup;
+pub use obs_model as model;
+pub use obs_quality as quality;
+pub use obs_search as search;
+pub use obs_sentiment as sentiment;
+pub use obs_stats as stats;
+pub use obs_synth as synth;
+pub use obs_wrappers as wrappers;

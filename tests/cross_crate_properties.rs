@@ -1,0 +1,100 @@
+//! Cross-crate property tests: pipeline invariants that must hold for
+//! any seed, exercised through the public facade.
+
+use informing_observers::analytics::{AlexaPanel, FeedRegistry, LinkGraph};
+use informing_observers::model::Clock;
+use informing_observers::quality::{
+    assess_source, influence_profiles, Benchmarks, SourceContext, Weights,
+};
+use informing_observers::synth::{TwitterConfig, TwitterPopulation, World, WorldConfig};
+use informing_observers::wrappers::{service_for, Crawler};
+use proptest::prelude::*;
+
+/// A tiny world config keyed by seed, fast enough for proptest.
+fn tiny_world(seed: u64) -> World {
+    World::generate(WorldConfig {
+        sources: 8,
+        users: 60,
+        categories: 6,
+        days: 40,
+        mean_discussions_per_source: 5.0,
+        mean_comments_per_discussion: 3.0,
+        ..WorldConfig::small(seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn crawls_always_match_ground_truth(seed in 0u64..10_000) {
+        let world = tiny_world(seed);
+        let crawler = Crawler::default();
+        for source in world.corpus.sources() {
+            let mut service = service_for(&world.corpus, source.id, world.now).unwrap();
+            let mut clock = Clock::starting_at(world.now);
+            let (obs, _) = crawler.crawl(service.as_mut(), &mut clock).unwrap();
+            let expected: usize = world
+                .corpus
+                .discussions_of_source(source.id)
+                .iter()
+                .map(|&d| 1 + world.corpus.comments_of_discussion(d).len())
+                .sum();
+            prop_assert_eq!(obs.len(), expected);
+        }
+    }
+
+    #[test]
+    fn quality_scores_are_always_unit_bounded(seed in 0u64..10_000) {
+        let world = tiny_world(seed);
+        let panel = AlexaPanel::simulate(&world, seed);
+        let links = LinkGraph::simulate(&world, seed ^ 1);
+        let feeds = FeedRegistry::simulate(&world, seed ^ 2);
+        let di = world.tourism_di();
+        let ctx = SourceContext::new(&world.corpus, &panel, &links, &feeds, &di, world.now);
+        let weights = Weights::uniform();
+        let benchmarks = Benchmarks::for_sources(&ctx, 0.9);
+        for s in world.corpus.sources() {
+            let score = assess_source(&ctx, s.id, &weights, &benchmarks);
+            prop_assert!((0.0..=1.0).contains(&score.overall));
+            for m in &score.measures {
+                prop_assert!((0.0..=1.0).contains(&m.normalized), "{}", m.id);
+                prop_assert!(m.raw.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn influence_profiles_are_always_consistent(seed in 0u64..10_000) {
+        let world = tiny_world(seed);
+        let panel = AlexaPanel::simulate(&world, seed);
+        let links = LinkGraph::simulate(&world, seed ^ 1);
+        let feeds = FeedRegistry::simulate(&world, seed ^ 2);
+        let di = world.open_di();
+        let ctx = SourceContext::new(&world.corpus, &panel, &links, &feeds, &di, world.now);
+        let profiles = influence_profiles(&ctx);
+        for p in &profiles {
+            prop_assert!(p.emissions > 0);
+            prop_assert!(p.received_relative <= p.received_absolute + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&p.combined_score));
+        }
+        // Sorted descending.
+        for w in profiles.windows(2) {
+            prop_assert!(w[0].combined_score >= w[1].combined_score);
+        }
+    }
+
+    #[test]
+    fn twitter_population_bounds_hold_for_any_seed(seed in 0u64..10_000) {
+        let pop = TwitterPopulation::generate(TwitterConfig {
+            seed,
+            ..TwitterConfig::default()
+        });
+        prop_assert_eq!(pop.accounts.len(), 813);
+        for a in &pop.accounts {
+            prop_assert!(a.tweets >= 1);
+            prop_assert!(a.mentions_received <= 84_000);
+            prop_assert!(a.retweets_received <= 84_000);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! End-to-end integration: world generation → analytics simulation →
+//! wrapper crawl → quality assessment → ranking, all through the
+//! facade crate.
+
+use informing_observers::analytics::{AlexaPanel, FeedRegistry, LinkGraph};
+use informing_observers::model::Clock;
+use informing_observers::quality::{
+    assess_source, rank_sources, Benchmarks, SourceContext, Weights,
+};
+use informing_observers::synth::{World, WorldConfig};
+use informing_observers::wrappers::{service_for, Crawler};
+
+struct Pipeline {
+    world: World,
+    panel: AlexaPanel,
+    links: LinkGraph,
+    feeds: FeedRegistry,
+}
+
+fn pipeline(seed: u64) -> Pipeline {
+    let world = World::generate(WorldConfig::small(seed));
+    let panel = AlexaPanel::simulate(&world, seed ^ 1);
+    let links = LinkGraph::simulate(&world, seed ^ 2);
+    let feeds = FeedRegistry::simulate(&world, seed ^ 3);
+    Pipeline { world, panel, links, feeds }
+}
+
+#[test]
+fn crawl_reconstructs_the_corpus_for_every_source_kind() {
+    let p = pipeline(1);
+    let crawler = Crawler::default();
+    let mut kinds_seen = std::collections::HashSet::new();
+    for source in p.world.corpus.sources() {
+        let mut service = service_for(&p.world.corpus, source.id, p.world.now).unwrap();
+        let mut clock = Clock::starting_at(p.world.now);
+        let (observation, report) = crawler.crawl(service.as_mut(), &mut clock).unwrap();
+
+        let expected: usize = p
+            .world
+            .corpus
+            .discussions_of_source(source.id)
+            .iter()
+            .map(|&d| 1 + p.world.corpus.comments_of_discussion(d).len())
+            .sum();
+        assert_eq!(observation.len(), expected, "{}", source.name);
+        assert_eq!(report.items, expected);
+        kinds_seen.insert(source.kind);
+    }
+    assert!(kinds_seen.len() >= 3, "world exercises several source kinds");
+}
+
+#[test]
+fn quality_scores_are_stable_across_identical_runs() {
+    let a = pipeline(2);
+    let b = pipeline(2);
+    let di_a = a.world.tourism_di();
+    let di_b = b.world.tourism_di();
+    let ctx_a = SourceContext::new(&a.world.corpus, &a.panel, &a.links, &a.feeds, &di_a, a.world.now);
+    let ctx_b = SourceContext::new(&b.world.corpus, &b.panel, &b.links, &b.feeds, &di_b, b.world.now);
+    let weights = Weights::uniform();
+    let bench_a = Benchmarks::for_sources(&ctx_a, 0.9);
+    let bench_b = Benchmarks::for_sources(&ctx_b, 0.9);
+    for s in a.world.corpus.sources() {
+        let sa = assess_source(&ctx_a, s.id, &weights, &bench_a);
+        let sb = assess_source(&ctx_b, s.id, &weights, &bench_b);
+        assert_eq!(sa.overall, sb.overall, "{}", s.name);
+    }
+}
+
+#[test]
+fn ranking_is_a_permutation_and_prefers_higher_scores() {
+    let p = pipeline(3);
+    let di = p.world.open_di();
+    let ctx = SourceContext::new(&p.world.corpus, &p.panel, &p.links, &p.feeds, &di, p.world.now);
+    let weights = Weights::uniform();
+    let benchmarks = Benchmarks::for_sources(&ctx, 0.9);
+    let candidates: Vec<_> = p.world.corpus.sources().iter().map(|s| s.id).collect();
+    let ranked = rank_sources(&ctx, &candidates, &weights, &benchmarks);
+
+    assert_eq!(ranked.len(), candidates.len());
+    let mut positions: Vec<usize> = ranked.iter().map(|r| r.position).collect();
+    positions.sort_unstable();
+    assert_eq!(positions, (1..=candidates.len()).collect::<Vec<_>>());
+    for w in ranked.windows(2) {
+        assert!(w[0].score >= w[1].score);
+    }
+}
+
+#[test]
+fn incremental_crawls_partition_history() {
+    let p = pipeline(4);
+    let crawler = Crawler::default();
+    let source = p
+        .world
+        .corpus
+        .sources()
+        .iter()
+        .max_by_key(|s| p.world.corpus.discussions_of_source(s.id).len())
+        .unwrap();
+
+    let mut service = service_for(&p.world.corpus, source.id, p.world.now).unwrap();
+    let mut clock = Clock::starting_at(p.world.now);
+    let (full, _) = crawler.crawl(service.as_mut(), &mut clock).unwrap();
+
+    // Split history at three cut points; old + fresh must always
+    // reassemble the full crawl.
+    for num in 1..4u64 {
+        let cut = informing_observers::model::Timestamp(p.world.now.seconds() * num / 4);
+        let mut service = service_for(&p.world.corpus, source.id, p.world.now).unwrap();
+        let mut clock = Clock::starting_at(p.world.now);
+        let (fresh, _) = crawler
+            .crawl_since(service.as_mut(), &mut clock, Some(cut))
+            .unwrap();
+        let old = full.items.iter().filter(|i| i.published <= cut).count();
+        assert_eq!(old + fresh.len(), full.len(), "cut at {num}/4");
+    }
+}

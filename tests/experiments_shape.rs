@@ -1,0 +1,79 @@
+//! Shape tests: every experiment, run quick, must preserve the
+//! paper's qualitative findings. These are the repository's
+//! regression guards for the reproduction itself.
+
+use informing_observers::experiments::e2_components::{recommended_noise, ComponentName};
+use informing_observers::experiments::{
+    e1_ranking, e2_components, e3_anova, e5_mashup, e6_sentiment, RankingFixture, Scale,
+    SentimentFixture,
+};
+use informing_observers::synth::TwitterConfig;
+
+#[test]
+fn e1_no_single_measure_explains_the_baseline_rank() {
+    let fixture = RankingFixture::build(42, Scale::Quick);
+    let report = e1_ranking::run(&fixture, 20);
+    // The paper's per-measure band is ±0.1; the quick fixture gets a
+    // slightly wider allowance.
+    assert!(
+        report.max_abs_tau() < 0.25,
+        "max per-measure tau {:.3}",
+        report.max_abs_tau()
+    );
+    // And the two rankings genuinely differ.
+    assert!(report.aggregate.mean_displacement > 1.0);
+    assert!(report.aggregate.frac_over_5 > 0.2);
+}
+
+#[test]
+fn e2_componentization_recovers_table3() {
+    let fixture = RankingFixture::build(42, Scale::Quick);
+    let report = e2_components::run(&fixture, recommended_noise(Scale::Quick));
+    assert_eq!(report.retained, 3);
+    assert!(report.grouping_agreement >= 0.8);
+    assert!(report.signs_match_paper(), "{:?}", report.regressions);
+    let p_of = |n: ComponentName| {
+        report
+            .regressions
+            .iter()
+            .find(|(name, _, _)| *name == n)
+            .map(|(_, _, p)| *p)
+            .unwrap()
+    };
+    assert!(p_of(ComponentName::Traffic) < 0.001);
+    assert!(p_of(ComponentName::Traffic) <= p_of(ComponentName::Participation));
+}
+
+#[test]
+fn e3_reproduces_every_cell_of_table4() {
+    let report = e3_anova::run(TwitterConfig::default());
+    assert_eq!(report.accounts, 813);
+    assert_eq!(report.matching_cells(), 15, "\n{}", report.render());
+    assert!(report.min_is_zero);
+    assert!(report.spread_orders >= 3.0);
+}
+
+#[test]
+fn e5_figure1_executes_and_synchronizes() {
+    let fixture = SentimentFixture::build(42, Scale::Quick);
+    let report = e5_mashup::run(&fixture);
+    assert_eq!(report.trace.len(), 9);
+    assert!(report.filter_out < report.filter_in);
+    assert_eq!(report.renders.len(), 5);
+    assert!(report.after_selection.len() >= 3);
+}
+
+#[test]
+fn e6_quality_weighting_tracks_trusted_sources() {
+    let fixture = SentimentFixture::build(42, Scale::Quick);
+    let report = e6_sentiment::run(&fixture);
+    assert!(report.bias_recovery > 0.5);
+    assert!(report.weighting_helps());
+}
+
+#[test]
+fn experiments_are_seed_reproducible() {
+    let a = e3_anova::run(TwitterConfig::default()).render();
+    let b = e3_anova::run(TwitterConfig::default()).render();
+    assert_eq!(a, b);
+}
