@@ -170,7 +170,10 @@ mod tests {
     #[test]
     fn simulation_is_deterministic() {
         let world = World::generate(WorldConfig::small(3));
-        assert_eq!(LinkGraph::simulate(&world, 2), LinkGraph::simulate(&world, 2));
+        assert_eq!(
+            LinkGraph::simulate(&world, 2),
+            LinkGraph::simulate(&world, 2)
+        );
     }
 
     #[test]

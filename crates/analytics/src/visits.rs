@@ -8,9 +8,9 @@
 //!
 //! [`AlexaPanel`]: crate::panel::AlexaPanel
 
+use obs_model::SourceId;
 use obs_synth::rng::Rng64;
 use obs_synth::World;
-use obs_model::SourceId;
 
 /// One sampled browsing session on a source.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,8 +65,8 @@ impl VisitLog {
             let source = SourceId::new(idx as u32);
             // True daily sessions grow super-linearly in popularity;
             // the heavy tail mirrors real traffic distributions.
-            let daily_sessions = 8.0 + 4_000.0 * latent.popularity.powf(1.6)
-                * rng.log_normal(0.0, 0.25);
+            let daily_sessions =
+                8.0 + 4_000.0 * latent.popularity.powf(1.6) * rng.log_normal(0.0, 0.25);
             let total_sessions = (daily_sessions * days as f64).round().max(1.0);
             let sampled = (total_sessions as usize).min(MAX_SAMPLED_SESSIONS);
             let weight = total_sessions / sampled as f64;
@@ -82,13 +82,23 @@ impl VisitLog {
                 let per_page = 25.0 + 220.0 * latent.stickiness * rng.log_normal(0.0, 0.4);
                 let dwell_secs = (pages as f64 * per_page).round().clamp(5.0, 14_400.0) as u32;
                 ids.push(sessions.len() as u32);
-                sessions.push(VisitSession { source, day, pages, dwell_secs });
+                sessions.push(VisitSession {
+                    source,
+                    day,
+                    pages,
+                    dwell_secs,
+                });
             }
             weights.push(weight);
             by_source.push(ids);
         }
 
-        VisitLog { sessions, weights, sessions_by_source: by_source, days }
+        VisitLog {
+            sessions,
+            weights,
+            sessions_by_source: by_source,
+            days,
+        }
     }
 
     /// All sampled sessions.
@@ -143,7 +153,11 @@ mod tests {
     fn every_source_has_sessions() {
         let (world, log) = log();
         for s in world.corpus.sources() {
-            assert!(log.sessions_of(s.id).count() > 0, "{} has no sessions", s.id);
+            assert!(
+                log.sessions_of(s.id).count() > 0,
+                "{} has no sessions",
+                s.id
+            );
             assert!(log.weight_of(s.id) >= 1.0);
         }
     }
@@ -172,7 +186,12 @@ mod tests {
             .source_latents
             .iter()
             .enumerate()
-            .map(|(i, l)| (l.popularity, log.estimated_sessions(SourceId::new(i as u32))))
+            .map(|(i, l)| {
+                (
+                    l.popularity,
+                    log.estimated_sessions(SourceId::new(i as u32)),
+                )
+            })
             .collect();
         by_pop.sort_by(|a, b| b.0.total_cmp(&a.0));
         let top = by_pop.first().unwrap().1;
@@ -209,7 +228,12 @@ mod tests {
 
     #[test]
     fn bounce_is_single_page() {
-        let s = VisitSession { source: SourceId::new(0), day: 0, pages: 1, dwell_secs: 10 };
+        let s = VisitSession {
+            source: SourceId::new(0),
+            day: 0,
+            pages: 1,
+            dwell_secs: 10,
+        };
         assert!(s.bounced());
         let s2 = VisitSession { pages: 3, ..s };
         assert!(!s2.bounced());

@@ -13,7 +13,11 @@ fn bench_e6(c: &mut Criterion) {
         b.iter(|| black_box(e6_sentiment::run(&fixture)))
     });
     group.bench_function("score_text_sentence", |b| {
-        b.iter(|| black_box(score_text("the duomo was not very clean but absolutely stunning")))
+        b.iter(|| {
+            black_box(score_text(
+                "the duomo was not very clean but absolutely stunning",
+            ))
+        })
     });
     group.finish();
 

@@ -46,9 +46,7 @@ fn bench_stats(c: &mut Criterion) {
 
     // OLS with 3 predictors × 1000 observations.
     let y: Vec<f64> = (0..1000)
-        .map(|i| {
-            factors[0][i] - 0.5 * factors[1][i] + 0.2 * factors[2][i] + rng.normal()
-        })
+        .map(|i| factors[0][i] - 0.5 * factors[1][i] + 0.2 * factors[2][i] + rng.normal())
         .collect();
     group.bench_function("ols_3x1000", |b| {
         b.iter(|| black_box(ols(&y, &factors).unwrap()))

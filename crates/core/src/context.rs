@@ -7,9 +7,7 @@
 //! largest Web blog/forum" completeness measure).
 
 use obs_analytics::{AlexaPanel, FeedRegistry, LinkGraph};
-use obs_model::{
-    CategoryId, Corpus, DiscussionId, DomainOfInterest, SourceId, Timestamp,
-};
+use obs_model::{CategoryId, Corpus, DiscussionId, DomainOfInterest, SourceId, Timestamp};
 
 /// Everything a source- or contributor-measure evaluation needs.
 #[derive(Debug, Clone)]
@@ -72,7 +70,10 @@ impl<'a> SourceContext<'a> {
 
     /// Whether a discussion is open (not closed by moderators).
     pub fn is_open(&self, d: DiscussionId) -> bool {
-        self.corpus.discussion(d).map(|x| !x.closed).unwrap_or(false)
+        self.corpus
+            .discussion(d)
+            .map(|x| !x.closed)
+            .unwrap_or(false)
     }
 
     /// Whether a discussion's category is covered by the DI.
@@ -119,18 +120,35 @@ mod tests {
         let links = LinkGraph::simulate(&world, 2);
         let feeds = FeedRegistry::simulate(&world, 3);
         let di = world.tourism_di();
-        Fixture { world, panel, links, feeds, di }
+        Fixture {
+            world,
+            panel,
+            links,
+            feeds,
+            di,
+        }
     }
 
     #[test]
     fn largest_blog_forum_is_positive_and_maximal() {
         let f = fixture();
         let ctx = SourceContext::new(
-            &f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now,
+            &f.world.corpus,
+            &f.panel,
+            &f.links,
+            &f.feeds,
+            &f.di,
+            f.world.now,
         );
         let max = ctx.largest_blog_forum_open();
         assert!(max >= 1);
-        for s in f.world.corpus.sources().iter().filter(|s| s.kind.in_search_study()) {
+        for s in f
+            .world
+            .corpus
+            .sources()
+            .iter()
+            .filter(|s| s.kind.in_search_study())
+        {
             let open = f
                 .world
                 .corpus
@@ -146,7 +164,12 @@ mod tests {
     fn observed_days_is_floored() {
         let f = fixture();
         let ctx = SourceContext::new(
-            &f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now,
+            &f.world.corpus,
+            &f.panel,
+            &f.links,
+            &f.feeds,
+            &f.di,
+            f.world.now,
         );
         for s in f.world.corpus.sources() {
             assert!(ctx.observed_days(s.id) >= 1.0);

@@ -241,14 +241,20 @@ pub fn replies_received(ctx: &SourceContext<'_>, user: UserId) -> usize {
         .iter()
         .map(|&c| ctx.corpus.replies_to(c).len())
         .sum();
-    threaded + ctx.corpus.received_count_of_kind(user, InteractionKind::Mention)
+    threaded
+        + ctx
+            .corpus
+            .received_count_of_kind(user, InteractionKind::Mention)
 }
 
 /// Feedbacks received: `Feedback` + `Retweet` interactions on the
 /// user's contents.
 pub fn feedbacks_received(ctx: &SourceContext<'_>, user: UserId) -> usize {
-    ctx.corpus.received_count_of_kind(user, InteractionKind::Feedback)
-        + ctx.corpus.received_count_of_kind(user, InteractionKind::Retweet)
+    ctx.corpus
+        .received_count_of_kind(user, InteractionKind::Feedback)
+        + ctx
+            .corpus
+            .received_count_of_kind(user, InteractionKind::Retweet)
 }
 
 /// Distinct discussions the user commented or posted in.
@@ -276,8 +282,12 @@ fn accuracy_breadth(ctx: &SourceContext<'_>, user: UserId) -> f64 {
     // over DI-covered categories the user touched.
     let mut by_cat: HashMap<CategoryId, usize> = HashMap::new();
     for &c in ctx.corpus.comments_of_user(user) {
-        let Ok(comment) = ctx.corpus.comment(c) else { continue };
-        let Ok(disc) = ctx.corpus.discussion(comment.discussion) else { continue };
+        let Ok(comment) = ctx.corpus.comment(c) else {
+            continue;
+        };
+        let Ok(disc) = ctx.corpus.discussion(comment.discussion) else {
+            continue;
+        };
         if ctx.di.covers_category(disc.category) {
             *by_cat.entry(disc.category).or_insert(0) += 1;
         }
@@ -442,7 +452,13 @@ mod tests {
         let links = LinkGraph::simulate(&world, 2);
         let feeds = FeedRegistry::simulate(&world, 3);
         let di = DomainOfInterest::unconstrained("all");
-        Fixture { world, panel, links, feeds, di }
+        Fixture {
+            world,
+            panel,
+            links,
+            feeds,
+            di,
+        }
     }
 
     #[test]
@@ -468,7 +484,10 @@ mod tests {
             (QualityDimension::Interpretability, Attribute::Relevance),
             (QualityDimension::Interpretability, Attribute::Activity),
             (QualityDimension::Interpretability, Attribute::Liveliness),
-            (QualityDimension::Authority, Attribute::BreadthOfContributions),
+            (
+                QualityDimension::Authority,
+                Attribute::BreadthOfContributions,
+            ),
             (QualityDimension::Authority, Attribute::Liveliness),
         ] {
             assert!(!cells.contains(&na), "{na:?} should be N/A");
@@ -485,7 +504,12 @@ mod tests {
         for m in contributor_catalog() {
             for u in f.world.corpus.users() {
                 let v = (m.eval)(&ctx, u.id);
-                assert!(v.is_finite() && v >= 0.0, "{} on {} gave {v}", m.spec.id, u.id);
+                assert!(
+                    v.is_finite() && v >= 0.0,
+                    "{} on {} gave {v}",
+                    m.spec.id,
+                    u.id
+                );
             }
         }
     }
@@ -516,13 +540,30 @@ mod tests {
         let u = b.add_user("u", AccountKind::Person, Timestamp::EPOCH);
         let v = b.add_user("v", AccountKind::Person, Timestamp::EPOCH);
         let (_, p) = b.add_discussion_with_post(
-            s, cat, "t", u, Timestamp::from_days(1), "body", vec![], None,
+            s,
+            cat,
+            "t",
+            u,
+            Timestamp::from_days(1),
+            "body",
+            vec![],
+            None,
         );
         // v: one comment + one like + one read.
         let d = obs_model::DiscussionId::new(0);
         b.add_comment(d, v, "hi", Timestamp::from_days(2));
-        b.add_interaction(v, ContentRef::Post(p), InteractionKind::Like, Timestamp::from_days(3));
-        b.add_interaction(v, ContentRef::Post(p), InteractionKind::Read, Timestamp::from_days(3));
+        b.add_interaction(
+            v,
+            ContentRef::Post(p),
+            InteractionKind::Like,
+            Timestamp::from_days(3),
+        );
+        b.add_interaction(
+            v,
+            ContentRef::Post(p),
+            InteractionKind::Read,
+            Timestamp::from_days(3),
+        );
         let corpus = b.build();
 
         let world = World::generate(WorldConfig::small(1));
@@ -530,7 +571,14 @@ mod tests {
         let links = LinkGraph::simulate(&world, 1);
         let feeds = FeedRegistry::simulate(&world, 1);
         let di = DomainOfInterest::unconstrained("all");
-        let ctx = SourceContext::new(&corpus, &panel, &links, &feeds, &di, Timestamp::from_days(10));
+        let ctx = SourceContext::new(
+            &corpus,
+            &panel,
+            &links,
+            &feeds,
+            &di,
+            Timestamp::from_days(10),
+        );
 
         // v emitted 1 comment + 1 like = 2 (the read is passive).
         assert_eq!(emissions(&ctx, obs_model::UserId::new(1)), 2);
@@ -548,8 +596,15 @@ mod tests {
         let v = b.add_user("v", AccountKind::Person, Timestamp::EPOCH);
         let d = b.add_discussion(s, cat, "t", u, Timestamp::from_days(1));
         let c1 = b.add_comment(d, u, "hello", Timestamp::from_days(2));
-        let _r = b.add_reply(d, v, "re: hello", Timestamp::from_days(3), c1).unwrap();
-        b.add_interaction(v, ContentRef::Comment(c1), InteractionKind::Mention, Timestamp::from_days(4));
+        let _r = b
+            .add_reply(d, v, "re: hello", Timestamp::from_days(3), c1)
+            .unwrap();
+        b.add_interaction(
+            v,
+            ContentRef::Comment(c1),
+            InteractionKind::Mention,
+            Timestamp::from_days(4),
+        );
         let corpus = b.build();
 
         let world = World::generate(WorldConfig::small(1));
@@ -557,7 +612,14 @@ mod tests {
         let links = LinkGraph::simulate(&world, 1);
         let feeds = FeedRegistry::simulate(&world, 1);
         let di = DomainOfInterest::unconstrained("all");
-        let ctx = SourceContext::new(&corpus, &panel, &links, &feeds, &di, Timestamp::from_days(10));
+        let ctx = SourceContext::new(
+            &corpus,
+            &panel,
+            &links,
+            &feeds,
+            &di,
+            Timestamp::from_days(10),
+        );
 
         assert_eq!(replies_received(&ctx, obs_model::UserId::new(0)), 2);
         assert_eq!(replies_received(&ctx, obs_model::UserId::new(1)), 0);
@@ -587,7 +649,14 @@ mod tests {
         let links = LinkGraph::simulate(&world, 1);
         let feeds = FeedRegistry::simulate(&world, 1);
         let di = DomainOfInterest::unconstrained("all");
-        let ctx = SourceContext::new(&corpus, &panel, &links, &feeds, &di, Timestamp::from_days(30));
+        let ctx = SourceContext::new(
+            &corpus,
+            &panel,
+            &links,
+            &feeds,
+            &di,
+            Timestamp::from_days(30),
+        );
         for m in contributor_catalog() {
             let v = (m.eval)(&ctx, silent);
             if m.spec.id == "usr.time.breadth" {

@@ -38,7 +38,7 @@ pub mod taxonomy;
 pub use context::SourceContext;
 pub use contributor_measures::{contributor_catalog, ContributorMeasure};
 pub use influence::{influence_profiles, influencers, likely_spammers, InfluenceProfile};
-pub use ranking::{rank_sources, RankingComparison, RankedSource};
+pub use ranking::{rank_sources, RankedSource, RankingComparison};
 pub use score::{assess_contributor, assess_source, Benchmarks, QualityScore, Weights};
 pub use source_measures::{source_catalog, SourceMeasure};
 pub use taxonomy::{Attribute, MeasureSpec, Orientation, Provenance, QualityDimension};

@@ -138,7 +138,11 @@ impl QualityScore {
     fn aggregate(measures: Vec<MeasureScore>) -> QualityScore {
         let wsum: f64 = measures.iter().map(|m| m.weight).sum();
         let overall = if wsum > 0.0 {
-            measures.iter().map(|m| m.normalized * m.weight).sum::<f64>() / wsum
+            measures
+                .iter()
+                .map(|m| m.normalized * m.weight)
+                .sum::<f64>()
+                / wsum
         } else {
             0.0
         };
@@ -277,7 +281,13 @@ mod tests {
         let links = LinkGraph::simulate(&world, 2);
         let feeds = FeedRegistry::simulate(&world, 3);
         let di = world.tourism_di();
-        Fixture { world, panel, links, feeds, di }
+        Fixture {
+            world,
+            panel,
+            links,
+            feeds,
+            di,
+        }
     }
 
     #[test]
@@ -293,7 +303,10 @@ mod tests {
             in_componentization: true,
         };
         assert!(oriented(&spec, 1.0) > oriented(&spec, 10.0));
-        let spec_hi = MeasureSpec { orientation: Orientation::HigherIsBetter, ..spec };
+        let spec_hi = MeasureSpec {
+            orientation: Orientation::HigherIsBetter,
+            ..spec
+        };
         assert!(oriented(&spec_hi, 10.0) > oriented(&spec_hi, 1.0));
     }
 
@@ -307,7 +320,12 @@ mod tests {
             let score = assess_source(&ctx, s.id, &weights, &benchmarks);
             assert!((0.0..=1.0).contains(&score.overall), "{}", score.overall);
             for m in &score.measures {
-                assert!((0.0..=1.0).contains(&m.normalized), "{}: {}", m.id, m.normalized);
+                assert!(
+                    (0.0..=1.0).contains(&m.normalized),
+                    "{}: {}",
+                    m.id,
+                    m.normalized
+                );
             }
             assert_eq!(score.measures.len(), 19);
         }
@@ -324,8 +342,14 @@ mod tests {
         assert_eq!(score.measures.len(), 15);
         assert!((0.0..=1.0).contains(&score.overall));
         // Activity attribute present, Traffic absent.
-        assert!(score.by_attribute().iter().any(|(a, _)| *a == Attribute::Activity));
-        assert!(score.by_attribute().iter().all(|(a, _)| *a != Attribute::Traffic));
+        assert!(score
+            .by_attribute()
+            .iter()
+            .any(|(a, _)| *a == Attribute::Activity));
+        assert!(score
+            .by_attribute()
+            .iter()
+            .all(|(a, _)| *a != Attribute::Traffic));
     }
 
     #[test]

@@ -24,7 +24,9 @@ pub struct SourceMeasure {
 
 impl std::fmt::Debug for SourceMeasure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SourceMeasure").field("spec", &self.spec).finish()
+        f.debug_struct("SourceMeasure")
+            .field("spec", &self.spec)
+            .finish()
     }
 }
 
@@ -297,7 +299,11 @@ pub fn source_measure(id: &str) -> Option<SourceMeasure> {
 
 /// Open discussions of a source, optionally restricted to the DI's
 /// categories and time window.
-fn open_discussions(ctx: &SourceContext<'_>, source: SourceId, di_scoped: bool) -> Vec<obs_model::DiscussionId> {
+fn open_discussions(
+    ctx: &SourceContext<'_>,
+    source: SourceId,
+    di_scoped: bool,
+) -> Vec<obs_model::DiscussionId> {
     ctx.corpus
         .discussions_of_source(source)
         .iter()
@@ -482,15 +488,24 @@ fn authority_feed_subscriptions(ctx: &SourceContext<'_>, source: SourceId) -> f6
 }
 
 fn authority_daily_visitors(ctx: &SourceContext<'_>, source: SourceId) -> f64 {
-    ctx.panel.traffic(source).map(|t| t.daily_visitors).unwrap_or(0.0)
+    ctx.panel
+        .traffic(source)
+        .map(|t| t.daily_visitors)
+        .unwrap_or(0.0)
 }
 
 fn authority_daily_page_views(ctx: &SourceContext<'_>, source: SourceId) -> f64 {
-    ctx.panel.traffic(source).map(|t| t.daily_page_views).unwrap_or(0.0)
+    ctx.panel
+        .traffic(source)
+        .map(|t| t.daily_page_views)
+        .unwrap_or(0.0)
 }
 
 fn authority_time_on_site(ctx: &SourceContext<'_>, source: SourceId) -> f64 {
-    ctx.panel.traffic(source).map(|t| t.avg_time_on_site).unwrap_or(0.0)
+    ctx.panel
+        .traffic(source)
+        .map(|t| t.avg_time_on_site)
+        .unwrap_or(0.0)
 }
 
 fn authority_views_per_visitor(ctx: &SourceContext<'_>, source: SourceId) -> f64 {
@@ -501,7 +516,10 @@ fn authority_views_per_visitor(ctx: &SourceContext<'_>, source: SourceId) -> f64
 }
 
 fn dependability_bounce_rate(ctx: &SourceContext<'_>, source: SourceId) -> f64 {
-    ctx.panel.traffic(source).map(|t| t.bounce_rate).unwrap_or(1.0)
+    ctx.panel
+        .traffic(source)
+        .map(|t| t.bounce_rate)
+        .unwrap_or(1.0)
 }
 
 fn dependability_breadth(ctx: &SourceContext<'_>, source: SourceId) -> f64 {
@@ -524,7 +542,9 @@ fn dependability_liveliness(ctx: &SourceContext<'_>, source: SourceId) -> f64 {
     // Per discussion: comments divided by the discussion's lifetime.
     let mut rate_sum = 0.0;
     for &d in discussions {
-        let Ok(disc) = ctx.corpus.discussion(d) else { continue };
+        let Ok(disc) = ctx.corpus.discussion(d) else {
+            continue;
+        };
         let comments = ctx.corpus.comments_of_discussion(d).len() as f64;
         let life_days = ctx.now.since(disc.opened_at).days_f64().max(1.0);
         rate_sum += comments / life_days;
@@ -566,7 +586,13 @@ mod tests {
         let links = LinkGraph::simulate(&world, 2);
         let feeds = FeedRegistry::simulate(&world, 3);
         let di = world.tourism_di();
-        Fixture { world, panel, links, feeds, di }
+        Fixture {
+            world,
+            panel,
+            links,
+            feeds,
+            di,
+        }
     }
 
     #[test]
@@ -601,7 +627,9 @@ mod tests {
         let cat = source_catalog();
         let mut cells: HashMap<(QualityDimension, Attribute), usize> = HashMap::new();
         for m in &cat {
-            *cells.entry((m.spec.dimension, m.spec.attribute)).or_insert(0) += 1;
+            *cells
+                .entry((m.spec.dimension, m.spec.attribute))
+                .or_insert(0) += 1;
         }
         assert_eq!(
             cells[&(QualityDimension::Authority, Attribute::Relevance)],
@@ -616,7 +644,10 @@ mod tests {
             (QualityDimension::Interpretability, Attribute::Relevance),
             (QualityDimension::Interpretability, Attribute::Traffic),
             (QualityDimension::Interpretability, Attribute::Liveliness),
-            (QualityDimension::Authority, Attribute::BreadthOfContributions),
+            (
+                QualityDimension::Authority,
+                Attribute::BreadthOfContributions,
+            ),
             (QualityDimension::Dependability, Attribute::Traffic),
         ] {
             assert!(!cells.contains_key(&na), "{na:?} should be N/A");
@@ -658,7 +689,10 @@ mod tests {
             .filter(|s| s.kind.in_search_study())
             .map(|s| completeness_traffic(&ctx, s.id))
             .fold(0.0f64, f64::max);
-        assert!((best - 1.0).abs() < 1e-9, "largest should score 1, got {best}");
+        assert!(
+            (best - 1.0).abs() < 1e-9,
+            "largest should score 1, got {best}"
+        );
     }
 
     #[test]

@@ -189,7 +189,10 @@ mod tests {
 
     #[test]
     fn labels_match_paper_wording() {
-        assert_eq!(Attribute::BreadthOfContributions.label(), "Breadth of Contributions");
+        assert_eq!(
+            Attribute::BreadthOfContributions.label(),
+            "Breadth of Contributions"
+        );
         assert_eq!(Provenance::Alexa.label(), "www.alexa.com");
         assert_eq!(QualityDimension::Dependability.to_string(), "Dependability");
     }

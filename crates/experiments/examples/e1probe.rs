@@ -17,35 +17,49 @@ fn main() {
 
     let weight_sets: Vec<(&str, Weights)> = vec![
         ("uniform", Weights::uniform()),
-        ("volume8", Weights::uniform()
-            .with("src.completeness.breadth", 8.0)
-            .with("src.completeness.traffic", 8.0)
-            .with("src.accuracy.breadth", 5.0)
-            .with("src.time.liveliness", 5.0)),
-        ("dd4", Weights::uniform()
-            .with("src.accuracy.relevance", 4.0)
-            .with("src.accuracy.breadth", 4.0)
-            .with("src.completeness.relevance", 4.0)
-            .with("src.completeness.breadth", 4.0)),
-        ("dd4+traffic2", Weights::uniform()
-            .with("src.accuracy.relevance", 4.0)
-            .with("src.accuracy.breadth", 4.0)
-            .with("src.completeness.relevance", 4.0)
-            .with("src.completeness.breadth", 4.0)
-            .with("src.authority.traffic.visitors", 2.5)
-            .with("src.authority.traffic.pageviews", 2.5)
-            .with("src.authority.relevance.links", 2.5)
-            .with("src.time.traffic", 2.5)),
+        (
+            "volume8",
+            Weights::uniform()
+                .with("src.completeness.breadth", 8.0)
+                .with("src.completeness.traffic", 8.0)
+                .with("src.accuracy.breadth", 5.0)
+                .with("src.time.liveliness", 5.0),
+        ),
+        (
+            "dd4",
+            Weights::uniform()
+                .with("src.accuracy.relevance", 4.0)
+                .with("src.accuracy.breadth", 4.0)
+                .with("src.completeness.relevance", 4.0)
+                .with("src.completeness.breadth", 4.0),
+        ),
+        (
+            "dd4+traffic2",
+            Weights::uniform()
+                .with("src.accuracy.relevance", 4.0)
+                .with("src.accuracy.breadth", 4.0)
+                .with("src.completeness.relevance", 4.0)
+                .with("src.completeness.breadth", 4.0)
+                .with("src.authority.traffic.visitors", 2.5)
+                .with("src.authority.traffic.pageviews", 2.5)
+                .with("src.authority.relevance.links", 2.5)
+                .with("src.time.traffic", 2.5),
+        ),
     ];
     for (content, traffic, depth) in [(3.0f64, 0.7, 3.0), (4.5, 0.55, 3.0)] {
-        let engine = SearchEngine::build(&world.corpus, &panel, &links, BlendWeights {
-            content,
-            traffic,
-            pagerank: traffic * 0.55,
-            participation_penalty: traffic * 0.4,
-            dwell_penalty: traffic * 0.22,
-            depth,
-        });
+        let engine = SearchEngine::build(
+            &world.corpus,
+            &panel,
+            &links,
+            BlendWeights {
+                content,
+                traffic,
+                pagerank: traffic * 0.55,
+                participation_penalty: traffic * 0.4,
+                dwell_penalty: traffic * 0.22,
+                depth,
+            },
+        );
         let fixture = obs_experiments::RankingFixture {
             world: world.clone(),
             panel: panel.clone(),

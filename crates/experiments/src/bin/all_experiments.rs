@@ -20,7 +20,10 @@ fn main() {
     println!("{}", e1_ranking::run(&ranking, 20).render());
 
     println!("\n################ E2 — Table 3 ################\n");
-    println!("{}", e2_components::run(&ranking, recommended_noise(Scale::Full)).render());
+    println!(
+        "{}",
+        e2_components::run(&ranking, recommended_noise(Scale::Full)).render()
+    );
 
     println!("\n################ E3 — Table 4 ################\n");
     println!("{}", e3_anova::run(TwitterConfig::default()).render());

@@ -8,6 +8,9 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(813u64);
-    let report = run(TwitterConfig { seed, ..TwitterConfig::default() });
+    let report = run(TwitterConfig {
+        seed,
+        ..TwitterConfig::default()
+    });
     println!("{}", report.render());
 }

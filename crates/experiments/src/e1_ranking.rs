@@ -129,33 +129,27 @@ pub fn run_with_weights(fixture: &RankingFixture, top_k: usize, weights: Weights
         let sources: Vec<_> = hits.iter().map(|h| h.source).collect();
 
         // DI for the query's category.
-        let (di, benchmarks) = di_cache
-            .entry(query.category.clone())
-            .or_insert_with(|| {
-                let category = fixture
-                    .world
-                    .corpus
-                    .categories()
-                    .lookup(&query.category);
-                let di = DomainOfInterest::new(
-                    format!("query:{}", query.category),
-                    category.into_iter(),
-                    TimeRange::last_days(now, 90),
-                    vec![],
-                );
-                // Benchmarks must come from a context with *this* DI
-                // so domain-dependent ceilings are comparable.
-                let ctx = SourceContext::new(
-                    &fixture.world.corpus,
-                    &fixture.panel,
-                    &fixture.links,
-                    &fixture.feeds,
-                    &di,
-                    now,
-                );
-                let benchmarks = Benchmarks::for_sources(&ctx, 0.9);
-                (di, benchmarks)
-            });
+        let (di, benchmarks) = di_cache.entry(query.category.clone()).or_insert_with(|| {
+            let category = fixture.world.corpus.categories().lookup(&query.category);
+            let di = DomainOfInterest::new(
+                format!("query:{}", query.category),
+                category,
+                TimeRange::last_days(now, 90),
+                vec![],
+            );
+            // Benchmarks must come from a context with *this* DI
+            // so domain-dependent ceilings are comparable.
+            let ctx = SourceContext::new(
+                &fixture.world.corpus,
+                &fixture.panel,
+                &fixture.links,
+                &fixture.feeds,
+                &di,
+                now,
+            );
+            let benchmarks = Benchmarks::for_sources(&ctx, 0.9);
+            (di, benchmarks)
+        });
         let ctx = SourceContext::new(
             &fixture.world.corpus,
             &fixture.panel,
@@ -235,7 +229,11 @@ mod tests {
     #[test]
     fn most_queries_are_evaluable() {
         let r = report();
-        assert!(r.evaluated_queries >= 15, "only {} queries", r.evaluated_queries);
+        assert!(
+            r.evaluated_queries >= 15,
+            "only {} queries",
+            r.evaluated_queries
+        );
         assert!(r.aggregate.n > 100);
     }
 

@@ -255,7 +255,8 @@ pub fn run(fixture: &RankingFixture, rank_noise_sd: f64) -> E2Report {
         .iter()
         .map(|s| fixture.engine.static_score(s.id) + rng.normal() * rank_noise_sd)
         .collect();
-    let positions = obs_stats::rank::positions(&noisy_scores, obs_stats::rank::Direction::Descending);
+    let positions =
+        obs_stats::rank::positions(&noisy_scores, obs_stats::rank::Direction::Descending);
     let goodness: Vec<f64> = positions.iter().map(|&p| -(p as f64)).collect();
 
     // Regress goodness on the (canonically oriented) component scores.

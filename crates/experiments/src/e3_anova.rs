@@ -148,14 +148,15 @@ impl E3Report {
                 cell(0),
                 cell(1),
                 cell(2),
-                if row.matches_paper { "yes".into() } else { "NO".to_owned() },
+                if row.matches_paper {
+                    "yes".into()
+                } else {
+                    "NO".to_owned()
+                },
             ]);
         }
         out.push_str(&table.to_string());
-        out.push_str(&format!(
-            "\nmatching cells: {}/15\n",
-            self.matching_cells()
-        ));
+        out.push_str(&format!("\nmatching cells: {}/15\n", self.matching_cells()));
         out
     }
 }
@@ -250,12 +251,7 @@ mod tests {
     #[test]
     fn all_fifteen_cells_match_table4() {
         let r = report();
-        assert_eq!(
-            r.matching_cells(),
-            15,
-            "\n{}",
-            r.render()
-        );
+        assert_eq!(r.matching_cells(), 15, "\n{}", r.render());
         assert!(r.all_match());
     }
 
@@ -277,7 +273,10 @@ mod tests {
     fn relative_measures_are_flat() {
         let r = report();
         for row in &r.rows {
-            if matches!(row.measure, Measure::RelativeMentions | Measure::RelativeRetweets) {
+            if matches!(
+                row.measure,
+                Measure::RelativeMentions | Measure::RelativeRetweets
+            ) {
                 for (dir, _) in &row.pairs {
                     assert_eq!(*dir, DifferenceDirection::Equal, "{}", r.render());
                 }
@@ -297,7 +296,10 @@ mod tests {
     #[test]
     fn pattern_is_stable_across_seeds() {
         for seed in [1, 7, 99] {
-            let r = run(TwitterConfig { seed, ..TwitterConfig::default() });
+            let r = run(TwitterConfig {
+                seed,
+                ..TwitterConfig::default()
+            });
             assert!(
                 r.matching_cells() >= 13,
                 "seed {seed}: {}/15\n{}",

@@ -3,9 +3,9 @@
 
 use crate::fixtures::SentimentFixture;
 use crate::render::TextTable;
-use obs_quality::{contributor_catalog, source_catalog};
-use obs_quality::taxonomy::{Attribute, QualityDimension};
 use obs_model::{SourceId, UserId};
+use obs_quality::taxonomy::{Attribute, QualityDimension};
+use obs_quality::{contributor_catalog, source_catalog};
 
 /// E4 results: rendered catalogs plus example evaluations.
 #[derive(Debug, Clone)]
@@ -20,10 +20,7 @@ pub struct E4Report {
     pub contributor_example: Vec<(&'static str, f64)>,
 }
 
-fn layout_table(
-    cells: &[(QualityDimension, Attribute, String)],
-    columns: &[Attribute],
-) -> String {
+fn layout_table(cells: &[(QualityDimension, Attribute, String)], columns: &[Attribute]) -> String {
     let mut headers = vec!["".to_owned()];
     headers.extend(columns.iter().map(|a| a.label().to_owned()));
     let mut table = TextTable::new(headers);
@@ -113,7 +110,9 @@ impl E4Report {
         let mut out = String::new();
         out.push_str("Table 1 — source quality attributes and measures (* = domain-dependent)\n\n");
         out.push_str(&self.table1);
-        out.push_str("\nTable 2 — contributors' quality attributes and measures (* = domain-dependent)\n\n");
+        out.push_str(
+            "\nTable 2 — contributors' quality attributes and measures (* = domain-dependent)\n\n",
+        );
         out.push_str(&self.table2);
         out.push_str("\nExample evaluation — most active source:\n");
         let mut t1 = TextTable::new(["measure", "raw value"]);

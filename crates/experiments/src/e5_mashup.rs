@@ -46,11 +46,31 @@ pub fn figure1_composition(microblog: &str, review_site: &str) -> Composition {
         .with_component("tripadvisor", "source", json!({ "source": review_site }))
         .with_component("influencers", "influencer-filter", json!({ "top": 12 }))
         .with_component("senti", "sentiment", json!({}))
-        .with_component("influencer-list", "list-viewer", json!({ "title": "Influencers", "limit": 12 }))
-        .with_component("influencer-map", "map-viewer", json!({ "title": "Influencer locations" }))
-        .with_component("posts-list", "list-viewer", json!({ "title": "Original posts", "limit": 12 }))
-        .with_component("posts-map", "map-viewer", json!({ "title": "Post locations" }))
-        .with_component("mood", "indicator-viewer", json!({ "title": "Milan tourism mood" }))
+        .with_component(
+            "influencer-list",
+            "list-viewer",
+            json!({ "title": "Influencers", "limit": 12 }),
+        )
+        .with_component(
+            "influencer-map",
+            "map-viewer",
+            json!({ "title": "Influencer locations" }),
+        )
+        .with_component(
+            "posts-list",
+            "list-viewer",
+            json!({ "title": "Original posts", "limit": 12 }),
+        )
+        .with_component(
+            "posts-map",
+            "map-viewer",
+            json!({ "title": "Post locations" }),
+        )
+        .with_component(
+            "mood",
+            "indicator-viewer",
+            json!({ "title": "Milan tourism mood" }),
+        )
         .with_data_edge("twitter", "influencers")
         .with_data_edge("tripadvisor", "influencers")
         .with_data_edge("influencers", "senti")
@@ -100,7 +120,10 @@ pub fn run(fixture: &SentimentFixture) -> E5Report {
         .expect("figure-1 composition is valid");
 
     let filter_in = execution.dataset("twitter").map(|d| d.len()).unwrap_or(0)
-        + execution.dataset("tripadvisor").map(|d| d.len()).unwrap_or(0);
+        + execution
+            .dataset("tripadvisor")
+            .map(|d| d.len())
+            .unwrap_or(0);
     let filter_out = execution
         .dataset("influencers")
         .map(|d| d.len())
@@ -176,7 +199,12 @@ mod tests {
     #[test]
     fn five_viewers_render() {
         let r = report();
-        assert_eq!(r.renders.len(), 5, "{:?}", r.renders.iter().map(|(i, _)| i).collect::<Vec<_>>());
+        assert_eq!(
+            r.renders.len(),
+            5,
+            "{:?}",
+            r.renders.iter().map(|(i, _)| i).collect::<Vec<_>>()
+        );
         let mood = r
             .renders
             .iter()
@@ -188,7 +216,11 @@ mod tests {
     #[test]
     fn selection_propagates_to_synchronized_viewers() {
         let r = report();
-        let ids: Vec<&str> = r.after_selection.iter().map(|(id, _)| id.as_str()).collect();
+        let ids: Vec<&str> = r
+            .after_selection
+            .iter()
+            .map(|(id, _)| id.as_str())
+            .collect();
         assert!(ids.contains(&"influencer-list"));
         assert!(ids.contains(&"influencer-map"));
         assert!(ids.contains(&"posts-list"));

@@ -95,8 +95,8 @@ pub fn run(fixture: &SentimentFixture) -> E6Report {
 
     let mut items: Vec<ContentItem> = Vec::new();
     for s in fixture.world.corpus.sources() {
-        let mut service = service_for(&fixture.world.corpus, s.id, fixture.world.now)
-            .expect("known source");
+        let mut service =
+            service_for(&fixture.world.corpus, s.id, fixture.world.now).expect("known source");
         let mut clock = Clock::starting_at(fixture.world.now);
         let (obs, _) = Crawler::default()
             .crawl(service.as_mut(), &mut clock)
@@ -117,10 +117,7 @@ pub fn run(fixture: &SentimentFixture) -> E6Report {
         .map(|s| env.quality_of(s.id))
         .collect();
     qualities.sort_by(|a, b| b.total_cmp(a));
-    let cutoff = qualities
-        .get(qualities.len() / 3)
-        .copied()
-        .unwrap_or(0.0);
+    let cutoff = qualities.get(qualities.len() / 3).copied().unwrap_or(0.0);
     let trusted_items: Vec<ContentItem> = items
         .iter()
         .filter(|i| env.quality_of(i.source) >= cutoff)

@@ -120,7 +120,13 @@ impl SentimentFixture {
         let links = LinkGraph::simulate(&world, seed ^ 0x12);
         let feeds = FeedRegistry::simulate(&world, seed ^ 0x13);
         let di = world.tourism_di();
-        SentimentFixture { world, panel, links, feeds, di }
+        SentimentFixture {
+            world,
+            panel,
+            links,
+            feeds,
+            di,
+        }
     }
 
     /// An evaluation context over this fixture (tourism DI).

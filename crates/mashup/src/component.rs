@@ -31,11 +31,8 @@ pub trait Component {
     /// datasets and produces the downstream one. Sources receive an
     /// empty slice; viewers return their input unchanged (pass-through
     /// for chained viewers).
-    fn execute(
-        &mut self,
-        env: &MashupEnv<'_>,
-        inputs: &[&Dataset],
-    ) -> Result<Dataset, MashupError>;
+    fn execute(&mut self, env: &MashupEnv<'_>, inputs: &[&Dataset])
+        -> Result<Dataset, MashupError>;
 
     /// Current rendered output (viewers only).
     fn render(&self) -> Option<String> {

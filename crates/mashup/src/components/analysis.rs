@@ -12,8 +12,15 @@ pub(crate) fn install(registry: &mut Registry) {
     registry.register("sentiment", |_params| Ok(Box::new(SentimentService)));
     registry.register("buzzwords", |params| {
         let top = params.get("top").and_then(|v| v.as_u64()).unwrap_or(10) as usize;
-        let min_count = params.get("min_count").and_then(|v| v.as_u64()).unwrap_or(2) as usize;
-        Ok(Box::new(BuzzwordService { top, min_count, last: Vec::new() }))
+        let min_count = params
+            .get("min_count")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(2) as usize;
+        Ok(Box::new(BuzzwordService {
+            top,
+            min_count,
+            last: Vec::new(),
+        }))
     });
 }
 
@@ -29,7 +36,11 @@ impl Component for SentimentService {
         Role::Transform
     }
 
-    fn execute(&mut self, env: &MashupEnv<'_>, inputs: &[&Dataset]) -> Result<Dataset, MashupError> {
+    fn execute(
+        &mut self,
+        env: &MashupEnv<'_>,
+        inputs: &[&Dataset],
+    ) -> Result<Dataset, MashupError> {
         let mut out = Dataset::concat(inputs.iter().copied());
         for r in &mut out.rows {
             r.sentiment = Some(score_text(&r.item.text).polarity);
@@ -59,15 +70,14 @@ impl Component for BuzzwordService {
         Role::Transform
     }
 
-    fn execute(&mut self, env: &MashupEnv<'_>, inputs: &[&Dataset]) -> Result<Dataset, MashupError> {
+    fn execute(
+        &mut self,
+        env: &MashupEnv<'_>,
+        inputs: &[&Dataset],
+    ) -> Result<Dataset, MashupError> {
         let out = Dataset::concat(inputs.iter().copied());
         let focus: Vec<&str> = out.rows.iter().map(|r| r.item.text.as_str()).collect();
-        let background: Vec<&str> = env
-            .corpus
-            .posts()
-            .iter()
-            .map(|p| p.body.as_str())
-            .collect();
+        let background: Vec<&str> = env.corpus.posts().iter().map(|p| p.body.as_str()).collect();
         self.last = extract_buzzwords(
             focus.iter().copied(),
             background.iter().copied(),
@@ -112,7 +122,9 @@ mod tests {
         let s = &world.corpus.sources()[0];
         let mut service = service_for(&world.corpus, s.id, world.now).unwrap();
         let mut clock = obs_model::Clock::starting_at(world.now);
-        let (obs, _) = Crawler::default().crawl(service.as_mut(), &mut clock).unwrap();
+        let (obs, _) = Crawler::default()
+            .crawl(service.as_mut(), &mut clock)
+            .unwrap();
         let data = Dataset::from_items(obs.items);
 
         let registry = standard_registry();
@@ -140,7 +152,7 @@ mod tests {
             .posts()
             .iter()
             .filter(|p| {
-                cat.map_or(false, |c| {
+                cat.is_some_and(|c| {
                     world
                         .corpus
                         .discussion(p.discussion)

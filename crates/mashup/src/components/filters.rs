@@ -22,12 +22,14 @@ pub(crate) fn install(registry: &mut Registry) {
         Ok(Box::new(QualityFilter { min_score }))
     });
     registry.register("influencer-filter", |params| {
-        let top = params.get("top").and_then(|v| v.as_u64()).ok_or_else(|| {
-            MashupError::BadParams {
-                component: "influencer-filter".into(),
-                reason: "missing integer parameter 'top'".into(),
-            }
-        })? as usize;
+        let top =
+            params
+                .get("top")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| MashupError::BadParams {
+                    component: "influencer-filter".into(),
+                    reason: "missing integer parameter 'top'".into(),
+                })? as usize;
         Ok(Box::new(InfluencerFilter { top }))
     });
     registry.register("category-filter", |params| {
@@ -87,9 +89,14 @@ impl Component for QualityFilter {
         Role::Transform
     }
 
-    fn execute(&mut self, env: &MashupEnv<'_>, inputs: &[&Dataset]) -> Result<Dataset, MashupError> {
+    fn execute(
+        &mut self,
+        env: &MashupEnv<'_>,
+        inputs: &[&Dataset],
+    ) -> Result<Dataset, MashupError> {
         let mut out = Dataset::concat(inputs.iter().copied());
-        out.rows.retain(|r| env.quality_of(r.item.source) >= self.min_score);
+        out.rows
+            .retain(|r| env.quality_of(r.item.source) >= self.min_score);
         for r in &mut out.rows {
             r.source_quality = Some(env.quality_of(r.item.source));
         }
@@ -113,7 +120,11 @@ impl Component for InfluencerFilter {
         Role::Transform
     }
 
-    fn execute(&mut self, env: &MashupEnv<'_>, inputs: &[&Dataset]) -> Result<Dataset, MashupError> {
+    fn execute(
+        &mut self,
+        env: &MashupEnv<'_>,
+        inputs: &[&Dataset],
+    ) -> Result<Dataset, MashupError> {
         let influencers: HashSet<UserId> = env.top_influencers(self.top).into_iter().collect();
         let mut out = Dataset::concat(inputs.iter().copied());
         out.rows.retain(|r| influencers.contains(&r.item.author));
@@ -138,7 +149,11 @@ impl Component for CategoryFilter {
         Role::Transform
     }
 
-    fn execute(&mut self, env: &MashupEnv<'_>, inputs: &[&Dataset]) -> Result<Dataset, MashupError> {
+    fn execute(
+        &mut self,
+        env: &MashupEnv<'_>,
+        inputs: &[&Dataset],
+    ) -> Result<Dataset, MashupError> {
         let ids: HashSet<obs_model::CategoryId> = self
             .categories
             .iter()
@@ -165,7 +180,11 @@ impl Component for TimeFilter {
         Role::Transform
     }
 
-    fn execute(&mut self, env: &MashupEnv<'_>, inputs: &[&Dataset]) -> Result<Dataset, MashupError> {
+    fn execute(
+        &mut self,
+        env: &MashupEnv<'_>,
+        inputs: &[&Dataset],
+    ) -> Result<Dataset, MashupError> {
         let window = TimeRange::last_days(env.now, self.last_days);
         let mut out = Dataset::concat(inputs.iter().copied());
         out.rows.retain(|r| window.contains(r.item.published));
@@ -187,10 +206,18 @@ impl Component for GeoFilter {
         Role::Transform
     }
 
-    fn execute(&mut self, _env: &MashupEnv<'_>, inputs: &[&Dataset]) -> Result<Dataset, MashupError> {
+    fn execute(
+        &mut self,
+        _env: &MashupEnv<'_>,
+        inputs: &[&Dataset],
+    ) -> Result<Dataset, MashupError> {
         let mut out = Dataset::concat(inputs.iter().copied());
-        out.rows
-            .retain(|r| r.item.geo.map(|g| self.region.contains(&g)).unwrap_or(false));
+        out.rows.retain(|r| {
+            r.item
+                .geo
+                .map(|g| self.region.contains(&g))
+                .unwrap_or(false)
+        });
         Ok(out)
     }
 }
@@ -218,7 +245,13 @@ mod tests {
         let links = LinkGraph::simulate(&world, 2);
         let feeds = FeedRegistry::simulate(&world, 3);
         let di = world.open_di();
-        Fixture { world, panel, links, feeds, di }
+        Fixture {
+            world,
+            panel,
+            links,
+            feeds,
+            di,
+        }
     }
 
     fn all_items(env: &MashupEnv<'_>) -> Dataset {
@@ -226,7 +259,9 @@ mod tests {
         for s in env.corpus.sources() {
             let mut service = service_for(env.corpus, s.id, env.now).unwrap();
             let mut clock = obs_model::Clock::starting_at(env.now);
-            let (obs, _) = Crawler::default().crawl(service.as_mut(), &mut clock).unwrap();
+            let (obs, _) = Crawler::default()
+                .crawl(service.as_mut(), &mut clock)
+                .unwrap();
             rows.extend(Dataset::from_items(obs.items).rows);
         }
         Dataset { rows }
@@ -235,7 +270,14 @@ mod tests {
     #[test]
     fn quality_filter_keeps_good_sources_and_annotates() {
         let f = fixture();
-        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let env = MashupEnv::prepare(
+            &f.world.corpus,
+            &f.panel,
+            &f.links,
+            &f.feeds,
+            &f.di,
+            f.world.now,
+        );
         let data = all_items(&env);
         let registry = standard_registry();
         let mut c = registry
@@ -252,7 +294,14 @@ mod tests {
     #[test]
     fn influencer_filter_keeps_top_authors() {
         let f = fixture();
-        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let env = MashupEnv::prepare(
+            &f.world.corpus,
+            &f.panel,
+            &f.links,
+            &f.feeds,
+            &f.di,
+            f.world.now,
+        );
         let data = all_items(&env);
         let registry = standard_registry();
         let mut c = registry
@@ -270,7 +319,14 @@ mod tests {
     #[test]
     fn category_filter_respects_names() {
         let f = fixture();
-        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let env = MashupEnv::prepare(
+            &f.world.corpus,
+            &f.panel,
+            &f.links,
+            &f.feeds,
+            &f.di,
+            f.world.now,
+        );
         let data = all_items(&env);
         let registry = standard_registry();
         let mut c = registry
@@ -285,10 +341,19 @@ mod tests {
     #[test]
     fn time_filter_enforces_window() {
         let f = fixture();
-        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let env = MashupEnv::prepare(
+            &f.world.corpus,
+            &f.panel,
+            &f.links,
+            &f.feeds,
+            &f.di,
+            f.world.now,
+        );
         let data = all_items(&env);
         let registry = standard_registry();
-        let mut c = registry.create("time-filter", &json!({"last_days": 10})).unwrap();
+        let mut c = registry
+            .create("time-filter", &json!({"last_days": 10}))
+            .unwrap();
         let out = c.execute(&env, &[&data]).unwrap();
         let window = TimeRange::last_days(env.now, 10);
         assert!(out.rows.iter().all(|r| window.contains(r.item.published)));
@@ -298,11 +363,21 @@ mod tests {
     #[test]
     fn geo_filter_requires_matching_tag() {
         let f = fixture();
-        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let env = MashupEnv::prepare(
+            &f.world.corpus,
+            &f.panel,
+            &f.links,
+            &f.feeds,
+            &f.di,
+            f.world.now,
+        );
         let data = all_items(&env);
         let registry = standard_registry();
         let mut c = registry
-            .create("geo-filter", &json!({"lat": 45.4642, "lon": 9.19, "radius_km": 50.0}))
+            .create(
+                "geo-filter",
+                &json!({"lat": 45.4642, "lon": 9.19, "radius_km": 50.0}),
+            )
             .unwrap();
         let out = c.execute(&env, &[&data]).unwrap();
         assert!(out.rows.iter().all(|r| r.item.geo.is_some()));
@@ -321,7 +396,10 @@ mod tests {
             ("geo-filter", json!({"lat": 45.0})),
         ] {
             assert!(
-                matches!(registry.create(kind, &params), Err(MashupError::BadParams { .. })),
+                matches!(
+                    registry.create(kind, &params),
+                    Err(MashupError::BadParams { .. })
+                ),
                 "{kind} accepted bad params"
             );
         }
@@ -330,13 +408,26 @@ mod tests {
     #[test]
     fn filters_merge_multiple_inputs() {
         let f = fixture();
-        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let env = MashupEnv::prepare(
+            &f.world.corpus,
+            &f.panel,
+            &f.links,
+            &f.feeds,
+            &f.di,
+            f.world.now,
+        );
         let data = all_items(&env);
         let half = data.rows.len() / 2;
-        let a = Dataset { rows: data.rows[..half].to_vec() };
-        let b = Dataset { rows: data.rows[half..].to_vec() };
+        let a = Dataset {
+            rows: data.rows[..half].to_vec(),
+        };
+        let b = Dataset {
+            rows: data.rows[half..].to_vec(),
+        };
         let registry = standard_registry();
-        let mut c = registry.create("time-filter", &json!({"last_days": 100000})).unwrap();
+        let mut c = registry
+            .create("time-filter", &json!({"last_days": 100000}))
+            .unwrap();
         let merged = c.execute(&env, &[&a, &b]).unwrap();
         assert_eq!(merged.len(), data.len());
     }

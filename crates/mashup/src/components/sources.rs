@@ -18,7 +18,10 @@ pub(crate) fn install(registry: &mut Registry) {
                 reason: "missing string parameter 'source' (source name)".into(),
             })?
             .to_owned();
-        let limit = params.get("limit").and_then(|v| v.as_u64()).map(|v| v as usize);
+        let limit = params
+            .get("limit")
+            .and_then(|v| v.as_u64())
+            .map(|v| v as usize);
         Ok(Box::new(SourceService { name, limit }))
     });
 }
@@ -45,9 +48,9 @@ impl Component for SourceService {
         env: &MashupEnv<'_>,
         _inputs: &[&Dataset],
     ) -> Result<Dataset, MashupError> {
-        let source = env
-            .source_by_name(&self.name)
-            .ok_or_else(|| MashupError::SourceFailure(format!("no source named {:?}", self.name)))?;
+        let source = env.source_by_name(&self.name).ok_or_else(|| {
+            MashupError::SourceFailure(format!("no source named {:?}", self.name))
+        })?;
         let mut service = service_for(env.corpus, source, env.now)
             .map_err(|e| MashupError::SourceFailure(e.to_string()))?;
         let mut clock = Clock::starting_at(env.now);

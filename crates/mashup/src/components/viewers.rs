@@ -43,7 +43,10 @@ pub(crate) fn install(registry: &mut Registry) {
             .and_then(|v| v.as_str())
             .unwrap_or("Sentiment")
             .to_owned();
-        Ok(Box::new(IndicatorViewer { title, render: String::new() }))
+        Ok(Box::new(IndicatorViewer {
+            title,
+            render: String::new(),
+        }))
     });
 }
 
@@ -65,7 +68,11 @@ impl Component for ListViewer {
         Role::Viewer
     }
 
-    fn execute(&mut self, _env: &MashupEnv<'_>, inputs: &[&Dataset]) -> Result<Dataset, MashupError> {
+    fn execute(
+        &mut self,
+        _env: &MashupEnv<'_>,
+        inputs: &[&Dataset],
+    ) -> Result<Dataset, MashupError> {
         self.data = Dataset::concat(inputs.iter().copied());
         Ok(self.data.clone())
     }
@@ -130,7 +137,11 @@ impl Component for MapViewer {
         Role::Viewer
     }
 
-    fn execute(&mut self, _env: &MashupEnv<'_>, inputs: &[&Dataset]) -> Result<Dataset, MashupError> {
+    fn execute(
+        &mut self,
+        _env: &MashupEnv<'_>,
+        inputs: &[&Dataset],
+    ) -> Result<Dataset, MashupError> {
         self.data = Dataset::concat(inputs.iter().copied());
         Ok(self.data.clone())
     }
@@ -141,7 +152,7 @@ impl Component for MapViewer {
             .rows
             .iter()
             .filter(|r| r.item.geo.is_some())
-            .filter(|r| self.focus_user.map_or(true, |u| r.item.author == u))
+            .filter(|r| self.focus_user.is_none_or(|u| r.item.author == u))
             .collect();
         let mut lines = vec![format!(
             "== {} ({} markers{}) ==",
@@ -153,7 +164,10 @@ impl Component for MapViewer {
         )];
         for r in markers.iter().take(12) {
             let g = r.item.geo.expect("filtered");
-            lines.push(format!("  ({:.4}, {:.4}) by {}", g.lat, g.lon, r.item.author));
+            lines.push(format!(
+                "  ({:.4}, {:.4}) by {}",
+                g.lat, g.lon, r.item.author
+            ));
         }
         Some(lines.join("\n"))
     }
@@ -184,12 +198,15 @@ impl Component for IndicatorViewer {
         Role::Viewer
     }
 
-    fn execute(&mut self, env: &MashupEnv<'_>, inputs: &[&Dataset]) -> Result<Dataset, MashupError> {
+    fn execute(
+        &mut self,
+        env: &MashupEnv<'_>,
+        inputs: &[&Dataset],
+    ) -> Result<Dataset, MashupError> {
         let data = Dataset::concat(inputs.iter().copied());
         let items: Vec<obs_wrappers::ContentItem> =
             data.rows.iter().map(|r| r.item.clone()).collect();
-        let indicator =
-            sentiment_indicator(&items, env.corpus.categories(), |s| env.quality_of(s));
+        let indicator = sentiment_indicator(&items, env.corpus.categories(), |s| env.quality_of(s));
         let mut lines = vec![format!(
             "== {} == volume {} | opinionated {} | mean {:+.3} | quality-weighted {:+.3} | positive {:.0}%",
             self.title,
@@ -282,7 +299,9 @@ mod tests {
         let di = world.open_di();
         let env = MashupEnv::prepare(&world.corpus, &panel, &links, &feeds, &di, world.now);
         let registry = standard_registry();
-        let mut v = registry.create("map-viewer", &json!({"title": "Milan"})).unwrap();
+        let mut v = registry
+            .create("map-viewer", &json!({"title": "Milan"}))
+            .unwrap();
         let milan = GeoPoint::new(45.46, 9.19);
         let data = Dataset::from_items(vec![
             item(1, Some(milan), "x"),
@@ -300,7 +319,10 @@ mod tests {
         };
         let refreshed = v.apply_selection(&sel).unwrap();
         assert!(refreshed.contains("centered 45.4"));
-        assert!(refreshed.contains("1 markers"), "focused to user 1: {refreshed}");
+        assert!(
+            refreshed.contains("1 markers"),
+            "focused to user 1: {refreshed}"
+        );
     }
 
     #[test]

@@ -37,15 +37,16 @@ impl<'r> Engine<'r> {
         // Instantiate.
         let mut instances: HashMap<String, Box<dyn Component>> = HashMap::new();
         for decl in &composition.components {
-            let instance = self.registry.create(&decl.kind, &decl.params).map_err(|e| {
-                match e {
+            let instance = self
+                .registry
+                .create(&decl.kind, &decl.params)
+                .map_err(|e| match e {
                     MashupError::BadParams { reason, .. } => MashupError::BadParams {
                         component: decl.id.clone(),
                         reason,
                     },
                     other => other,
-                }
-            })?;
+                })?;
             instances.insert(decl.id.clone(), instance);
         }
 
@@ -228,7 +229,13 @@ mod tests {
         let links = LinkGraph::simulate(&world, 2);
         let feeds = FeedRegistry::simulate(&world, 3);
         let di = world.open_di();
-        Fixture { world, panel, links, feeds, di }
+        Fixture {
+            world,
+            panel,
+            links,
+            feeds,
+            di,
+        }
     }
 
     fn two_source_names(world: &World) -> (String, String) {
@@ -239,7 +246,14 @@ mod tests {
     #[test]
     fn figure1_composition_executes_end_to_end() {
         let f = fixture();
-        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let env = MashupEnv::prepare(
+            &f.world.corpus,
+            &f.panel,
+            &f.links,
+            &f.feeds,
+            &f.di,
+            f.world.now,
+        );
         let (src_a, src_b) = two_source_names(&f.world);
         let composition = Composition::new("figure-1")
             .with_component("a", "source", json!({"source": src_a}))
@@ -274,7 +288,14 @@ mod tests {
     #[test]
     fn selection_propagates_list_to_map() {
         let f = fixture();
-        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let env = MashupEnv::prepare(
+            &f.world.corpus,
+            &f.panel,
+            &f.links,
+            &f.feeds,
+            &f.di,
+            f.world.now,
+        );
         let (src_a, _) = two_source_names(&f.world);
         let composition = Composition::new("sync")
             .with_component("a", "source", json!({"source": src_a}))
@@ -295,7 +316,14 @@ mod tests {
     #[test]
     fn structural_violations_are_caught() {
         let f = fixture();
-        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let env = MashupEnv::prepare(
+            &f.world.corpus,
+            &f.panel,
+            &f.links,
+            &f.feeds,
+            &f.di,
+            f.world.now,
+        );
         let (src_a, src_b) = two_source_names(&f.world);
         let registry = standard_registry();
         let engine = Engine::new(&registry);
@@ -311,8 +339,8 @@ mod tests {
         ));
 
         // Transform without input.
-        let bad2 = Composition::new("bad2")
-            .with_component("f", "time-filter", json!({"last_days": 5}));
+        let bad2 =
+            Composition::new("bad2").with_component("f", "time-filter", json!({"last_days": 5}));
         assert!(matches!(
             engine.execute(&bad2, &env),
             Err(MashupError::BadWiring { .. })
@@ -333,7 +361,14 @@ mod tests {
     #[test]
     fn selection_on_non_viewer_is_rejected() {
         let f = fixture();
-        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
+        let env = MashupEnv::prepare(
+            &f.world.corpus,
+            &f.panel,
+            &f.links,
+            &f.feeds,
+            &f.di,
+            f.world.now,
+        );
         let (src_a, _) = two_source_names(&f.world);
         let composition = Composition::new("x")
             .with_component("a", "source", json!({"source": src_a}))
@@ -356,9 +391,16 @@ mod tests {
     #[test]
     fn bad_params_name_the_instance() {
         let f = fixture();
-        let env = MashupEnv::prepare(&f.world.corpus, &f.panel, &f.links, &f.feeds, &f.di, f.world.now);
-        let composition = Composition::new("x")
-            .with_component("myfilter", "quality-filter", json!({}));
+        let env = MashupEnv::prepare(
+            &f.world.corpus,
+            &f.panel,
+            &f.links,
+            &f.feeds,
+            &f.di,
+            f.world.now,
+        );
+        let composition =
+            Composition::new("x").with_component("myfilter", "quality-filter", json!({}));
         let registry = standard_registry();
         let engine = Engine::new(&registry);
         match engine.execute(&composition, &env) {

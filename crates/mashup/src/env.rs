@@ -53,7 +53,12 @@ impl<'a> MashupEnv<'a> {
         let quality: HashMap<SourceId, f64> = corpus
             .sources()
             .iter()
-            .map(|s| (s.id, assess_source(&ctx, s.id, &weights, &benchmarks).overall))
+            .map(|s| {
+                (
+                    s.id,
+                    assess_source(&ctx, s.id, &weights, &benchmarks).overall,
+                )
+            })
             .collect();
         let influence = influence_profiles(&ctx);
         let influence_by_user = influence

@@ -36,7 +36,9 @@ impl std::fmt::Display for MashupError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MashupError::DuplicateComponent(id) => write!(f, "duplicate component id {id:?}"),
-            MashupError::UnknownComponent(id) => write!(f, "edge references unknown component {id:?}"),
+            MashupError::UnknownComponent(id) => {
+                write!(f, "edge references unknown component {id:?}")
+            }
             MashupError::CyclicDataflow => write!(f, "data-flow graph has a cycle"),
             MashupError::UnknownKind(kind) => write!(f, "unknown component kind {kind:?}"),
             MashupError::BadParams { component, reason } => {

@@ -30,8 +30,8 @@ pub mod components;
 pub mod composition;
 pub mod data;
 pub mod engine;
-mod error;
 pub mod env;
+mod error;
 pub mod registry;
 
 pub use component::{Component, Role};

@@ -45,7 +45,9 @@ impl Registry {
 
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Registry").field("kinds", &self.kinds()).finish()
+        f.debug_struct("Registry")
+            .field("kinds", &self.kinds())
+            .finish()
     }
 }
 

@@ -81,12 +81,16 @@ impl Corpus {
 
     /// Source by id.
     pub fn source(&self, id: SourceId) -> Result<&Source, ModelError> {
-        self.sources.get(id.index()).ok_or(ModelError::UnknownSource(id))
+        self.sources
+            .get(id.index())
+            .ok_or(ModelError::UnknownSource(id))
     }
 
     /// User by id.
     pub fn user(&self, id: UserId) -> Result<&UserProfile, ModelError> {
-        self.users.get(id.index()).ok_or(ModelError::UnknownUser(id))
+        self.users
+            .get(id.index())
+            .ok_or(ModelError::UnknownUser(id))
     }
 
     /// Discussion by id.
@@ -98,7 +102,9 @@ impl Corpus {
 
     /// Post by id.
     pub fn post(&self, id: PostId) -> Result<&Post, ModelError> {
-        self.posts.get(id.index()).ok_or(ModelError::UnknownPost(id))
+        self.posts
+            .get(id.index())
+            .ok_or(ModelError::UnknownPost(id))
     }
 
     /// Comment by id.
@@ -289,7 +295,11 @@ impl std::fmt::Display for CorpusStats {
         write!(
             f,
             "{} sources, {} users, {} discussions, {} comments, {} interactions, {} categories",
-            self.sources, self.users, self.discussions, self.comments, self.interactions,
+            self.sources,
+            self.users,
+            self.discussions,
+            self.comments,
+            self.interactions,
             self.categories
         )
     }
@@ -389,8 +399,17 @@ impl CorpusBuilder {
     ) -> DiscussionId {
         let title = title.into();
         let body = title.clone();
-        self.add_discussion_with_post(source, category, title, opened_by, at, body, Vec::new(), None)
-            .0
+        self.add_discussion_with_post(
+            source,
+            category,
+            title,
+            opened_by,
+            at,
+            body,
+            Vec::new(),
+            None,
+        )
+        .0
     }
 
     /// Opens a discussion with an explicit root post.
@@ -662,8 +681,18 @@ mod tests {
             .unwrap();
         let c2 = b.add_comment(d2, ada, "try da Vittorio", Timestamp::from_days(7));
         let root1 = b.discussions[d1.index()].root_post;
-        b.add_interaction(bbc, ContentRef::Post(root1), InteractionKind::Like, Timestamp::from_days(8));
-        b.add_interaction(ada, ContentRef::Comment(c2), InteractionKind::Feedback, Timestamp::from_days(9));
+        b.add_interaction(
+            bbc,
+            ContentRef::Post(root1),
+            InteractionKind::Like,
+            Timestamp::from_days(8),
+        );
+        b.add_interaction(
+            ada,
+            ContentRef::Comment(c2),
+            InteractionKind::Feedback,
+            Timestamp::from_days(9),
+        );
         b.build()
     }
 
@@ -707,8 +736,14 @@ mod tests {
     #[test]
     fn last_activity_reflects_interactions() {
         let c = small_world();
-        assert_eq!(c.last_activity(DiscussionId::new(0)), Timestamp::from_days(8));
-        assert_eq!(c.last_activity(DiscussionId::new(1)), Timestamp::from_days(9));
+        assert_eq!(
+            c.last_activity(DiscussionId::new(0)),
+            Timestamp::from_days(8)
+        );
+        assert_eq!(
+            c.last_activity(DiscussionId::new(1)),
+            Timestamp::from_days(9)
+        );
     }
 
     #[test]
@@ -752,7 +787,10 @@ mod tests {
     fn source_of_resolves_through_discussion() {
         let c = small_world();
         let root = c.discussion(DiscussionId::new(0)).unwrap().root_post;
-        assert_eq!(c.source_of(ContentRef::Post(root)).unwrap(), SourceId::new(0));
+        assert_eq!(
+            c.source_of(ContentRef::Post(root)).unwrap(),
+            SourceId::new(0)
+        );
         let first_comment = c.comments_of_discussion(DiscussionId::new(0))[0];
         assert_eq!(
             c.source_of(ContentRef::Comment(first_comment)).unwrap(),

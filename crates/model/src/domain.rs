@@ -184,12 +184,7 @@ mod tests {
         let mut book = CategoryBook::new();
         let tourism = book.intern("tourism");
         let food = book.intern("food");
-        let di = DomainOfInterest::new(
-            "t",
-            [tourism],
-            TimeRange::ALL,
-            vec![],
-        );
+        let di = DomainOfInterest::new("t", [tourism], TimeRange::ALL, vec![]);
         assert!(di.covers_category(tourism));
         assert!(!di.covers_category(food));
     }

@@ -33,7 +33,10 @@ impl std::fmt::Display for ModelError {
             ModelError::UnknownDiscussion(id) => write!(f, "unknown discussion {id}"),
             ModelError::UnknownPost(id) => write!(f, "unknown post {id}"),
             ModelError::UnknownComment(id) => write!(f, "unknown comment {id}"),
-            ModelError::CrossDiscussionReply { comment, claimed_parent } => write!(
+            ModelError::CrossDiscussionReply {
+                comment,
+                claimed_parent,
+            } => write!(
                 f,
                 "comment {comment} replies to {claimed_parent} from another discussion"
             ),

@@ -51,9 +51,7 @@ pub use corpus::{Corpus, CorpusBuilder, CorpusStats};
 pub use domain::{CategoryBook, DomainOfInterest};
 pub use error::ModelError;
 pub use geo::{GeoPoint, Region};
-pub use ids::{
-    CategoryId, CommentId, DiscussionId, InteractionId, PostId, SourceId, UserId,
-};
+pub use ids::{CategoryId, CommentId, DiscussionId, InteractionId, PostId, SourceId, UserId};
 pub use interaction::{ContentRef, Interaction, InteractionKind};
 pub use source::{Source, SourceKind};
 pub use text::{Comment, Discussion, Post, Tag};

@@ -84,9 +84,19 @@ impl Source {
     pub fn url_for(kind: SourceKind, name: &str) -> String {
         let slug: String = name
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
             .collect();
-        format!("https://{}.example.net/{}", slug.trim_matches('-'), kind.label())
+        format!(
+            "https://{}.example.net/{}",
+            slug.trim_matches('-'),
+            kind.label()
+        )
     }
 }
 

@@ -134,7 +134,10 @@ impl TimeRange {
     /// Builds a window, normalizing inverted bounds.
     pub fn new(start: Timestamp, end: Timestamp) -> Self {
         if end < start {
-            TimeRange { start: end, end: start }
+            TimeRange {
+                start: end,
+                end: start,
+            }
         } else {
             TimeRange { start, end }
         }

@@ -168,7 +168,11 @@ impl SearchEngine {
                 source,
                 score: self.weights.content * content
                     + self.weights.depth * (1.0 + matches as f64).ln()
-                    + self.static_score.get(source.index()).copied().unwrap_or(0.0),
+                    + self
+                        .static_score
+                        .get(source.index())
+                        .copied()
+                        .unwrap_or(0.0),
                 position: 0,
             })
             .collect();
@@ -183,7 +187,10 @@ impl SearchEngine {
     /// The query-independent score of a source (inspection hook for
     /// experiments and tests).
     pub fn static_score(&self, source: SourceId) -> f64 {
-        self.static_score.get(source.index()).copied().unwrap_or(0.0)
+        self.static_score
+            .get(source.index())
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Number of indexed documents.
@@ -240,12 +247,8 @@ mod tests {
             .find(|p| !p.tags.is_empty())
             .expect("tagged post");
         let term = post.tags[0].as_str().to_owned();
-        let hits = engine.query(&[term.clone()], 50);
-        let source = world
-            .corpus
-            .discussion(post.discussion)
-            .unwrap()
-            .source;
+        let hits = engine.query(std::slice::from_ref(&term), 50);
+        let source = world.corpus.discussion(post.discussion).unwrap().source;
         assert!(
             hits.iter().any(|h| h.source == source),
             "source of a matching post must be retrievable"
@@ -295,8 +298,7 @@ mod tests {
             .map(|(i, _)| SourceId::new(i as u32))
             .unwrap();
         assert!(
-            with_penalty.static_score(most_engaged)
-                < without_penalty.static_score(most_engaged)
+            with_penalty.static_score(most_engaged) < without_penalty.static_score(most_engaged)
         );
     }
 

@@ -122,12 +122,24 @@ mod tests {
         let s2 = b.add_source(SourceKind::Forum, "two", Timestamp::EPOCH);
         let u = b.add_user("u", AccountKind::Person, Timestamp::EPOCH);
         b.add_discussion_with_post(
-            s1, cat, "duomo rooftop views", u, Timestamp::from_days(1),
-            "the duomo rooftop is amazing", vec![Tag::new("duomo")], None,
+            s1,
+            cat,
+            "duomo rooftop views",
+            u,
+            Timestamp::from_days(1),
+            "the duomo rooftop is amazing",
+            vec![Tag::new("duomo")],
+            None,
         );
         b.add_discussion_with_post(
-            s2, cat, "castle gardens", u, Timestamp::from_days(2),
-            "the castle gardens are lovely", vec![], None,
+            s2,
+            cat,
+            "castle gardens",
+            u,
+            Timestamp::from_days(2),
+            "the castle gardens are lovely",
+            vec![],
+            None,
         );
         b.build()
     }

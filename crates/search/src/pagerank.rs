@@ -93,7 +93,10 @@ mod tests {
 
     #[test]
     fn empty_graph_is_fine() {
-        let world = World::generate(WorldConfig { sources: 0, ..WorldConfig::small(1) });
+        let world = World::generate(WorldConfig {
+            sources: 0,
+            ..WorldConfig::small(1)
+        });
         let g = LinkGraph::simulate(&world, 1);
         assert!(pagerank(&g, 0.85, 10).is_empty());
     }

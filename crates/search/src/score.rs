@@ -67,7 +67,11 @@ mod tests {
         let mut idx = InvertedIndex::default();
         let s = SourceId::new(0);
         idx.add_document(PostId::new(0), s, "duomo duomo rooftop");
-        idx.add_document(PostId::new(1), s, "castle gardens fountain gardens castle park");
+        idx.add_document(
+            PostId::new(1),
+            s,
+            "castle gardens fountain gardens castle park",
+        );
         idx.add_document(PostId::new(2), s, "duomo castle");
         idx
     }

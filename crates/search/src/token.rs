@@ -50,10 +50,7 @@ mod tests {
 
     #[test]
     fn tokenize_basics() {
-        assert_eq!(
-            tokenize("The Duomo was AMAZING!"),
-            vec!["duomo", "amazing"]
-        );
+        assert_eq!(tokenize("The Duomo was AMAZING!"), vec!["duomo", "amazing"]);
         assert_eq!(tokenize(""), Vec::<String>::new());
         assert_eq!(tokenize("a I at"), Vec::<String>::new());
     }

@@ -84,11 +84,26 @@ mod tests {
 
     #[test]
     fn tourism_categories_map_sensibly() {
-        assert_eq!(AnholtDimension::of_category("attractions"), AnholtDimension::Place);
-        assert_eq!(AnholtDimension::of_category("hotels"), AnholtDimension::Prerequisites);
-        assert_eq!(AnholtDimension::of_category("nightlife"), AnholtDimension::Pulse);
-        assert_eq!(AnholtDimension::of_category("education"), AnholtDimension::Potential);
-        assert_eq!(AnholtDimension::of_category("unknown-topic"), AnholtDimension::Presence);
+        assert_eq!(
+            AnholtDimension::of_category("attractions"),
+            AnholtDimension::Place
+        );
+        assert_eq!(
+            AnholtDimension::of_category("hotels"),
+            AnholtDimension::Prerequisites
+        );
+        assert_eq!(
+            AnholtDimension::of_category("nightlife"),
+            AnholtDimension::Pulse
+        );
+        assert_eq!(
+            AnholtDimension::of_category("education"),
+            AnholtDimension::Potential
+        );
+        assert_eq!(
+            AnholtDimension::of_category("unknown-topic"),
+            AnholtDimension::Presence
+        );
     }
 
     #[test]

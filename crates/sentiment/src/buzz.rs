@@ -25,14 +25,15 @@ fn term_counts<'a>(texts: impl Iterator<Item = &'a str>) -> (HashMap<String, usi
     let mut total = 0usize;
     for text in texts {
         let mut current = String::new();
-        let flush = |current: &mut String, counts: &mut HashMap<String, usize>, total: &mut usize| {
-            if current.len() >= 3 {
-                *counts.entry(std::mem::take(current)).or_insert(0) += 1;
-                *total += 1;
-            } else {
-                current.clear();
-            }
-        };
+        let flush =
+            |current: &mut String, counts: &mut HashMap<String, usize>, total: &mut usize| {
+                if current.len() >= 3 {
+                    *counts.entry(std::mem::take(current)).or_insert(0) += 1;
+                    *total += 1;
+                } else {
+                    current.clear();
+                }
+            };
         for c in text.chars() {
             if c.is_alphanumeric() {
                 current.extend(c.to_lowercase());
@@ -94,12 +95,7 @@ mod tests {
             "a nice espresso near the station",
             "the match ended in a draw",
         ];
-        let buzz = extract_buzzwords(
-            focus.iter().copied(),
-            background.iter().copied(),
-            5,
-            2,
-        );
+        let buzz = extract_buzzwords(focus.iter().copied(), background.iter().copied(), 5, 2);
         assert!(!buzz.is_empty());
         assert_eq!(buzz[0].term, "biennale");
         assert_eq!(buzz[0].focus_count, 3);
@@ -130,12 +126,7 @@ mod tests {
 
     #[test]
     fn empty_focus_yields_nothing() {
-        let buzz = extract_buzzwords(
-            std::iter::empty(),
-            ["background"].iter().copied(),
-            5,
-            1,
-        );
+        let buzz = extract_buzzwords(std::iter::empty(), ["background"].iter().copied(), 5, 1);
         assert!(buzz.is_empty());
     }
 

@@ -73,8 +73,16 @@ pub fn sentiment_indicator(
         slot.2 += 1;
     }
 
-    let mean_polarity = if opinionated == 0 { 0.0 } else { sum / opinionated as f64 };
-    let weighted_polarity = if weight_total > 0.0 { wsum / weight_total } else { 0.0 };
+    let mean_polarity = if opinionated == 0 {
+        0.0
+    } else {
+        sum / opinionated as f64
+    };
+    let weighted_polarity = if weight_total > 0.0 {
+        wsum / weight_total
+    } else {
+        0.0
+    };
     let positive_share = if opinionated == 0 {
         0.0
     } else {
@@ -105,9 +113,7 @@ pub fn sentiment_indicator(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use obs_model::{
-        CategoryId, ContentRef, DiscussionId, PostId, Timestamp, UserId,
-    };
+    use obs_model::{CategoryId, ContentRef, DiscussionId, PostId, Timestamp, UserId};
     use obs_wrappers::{InteractionCounts, ItemKind};
 
     fn item(source: u32, category: CategoryId, text: &str) -> ContentItem {

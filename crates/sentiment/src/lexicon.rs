@@ -91,7 +91,10 @@ pub fn is_negator(token: &str) -> bool {
 
 /// Intensity multiplier of a token, when it is an intensifier.
 pub fn intensifier_of(token: &str) -> Option<f64> {
-    INTENSIFIERS.iter().find(|(t, _)| *t == token).map(|(_, m)| *m)
+    INTENSIFIERS
+        .iter()
+        .find(|(t, _)| *t == token)
+        .map(|(_, m)| *m)
 }
 
 #[cfg(test)]
@@ -135,10 +138,10 @@ mod tests {
         // The synthetic text generator's opinion words must all be
         // recognized, otherwise sentiment recovery drifts.
         for (w, _) in obs_synth::text::POSITIVE_WORDS {
-            assert!(polarity_of(w).map_or(false, |p| p > 0.0), "{w} missing");
+            assert!(polarity_of(w).is_some_and(|p| p > 0.0), "{w} missing");
         }
         for (w, _) in obs_synth::text::NEGATIVE_WORDS {
-            assert!(polarity_of(w).map_or(false, |p| p < 0.0), "{w} missing");
+            assert!(polarity_of(w).is_some_and(|p| p < 0.0), "{w} missing");
         }
         for n in obs_synth::text::NEGATORS {
             assert!(is_negator(n), "{n} missing");

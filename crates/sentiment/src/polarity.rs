@@ -55,7 +55,9 @@ pub fn score_text(text: &str) -> SentimentScore {
     let mut hits = 0usize;
 
     for (i, tok) in tokens.iter().enumerate() {
-        let Some(base) = polarity_of(tok) else { continue };
+        let Some(base) = polarity_of(tok) else {
+            continue;
+        };
         hits += 1;
 
         // Closest preceding intensifier (immediately before, or one

@@ -109,8 +109,7 @@ pub fn one_way_anova(groups: &[&[f64]]) -> Result<AnovaResult, StatsError> {
         });
     }
 
-    let grand_mean: f64 =
-        groups.iter().flat_map(|g| g.iter()).sum::<f64>() / n_total as f64;
+    let grand_mean: f64 = groups.iter().flat_map(|g| g.iter()).sum::<f64>() / n_total as f64;
 
     let mut group_means = Vec::with_capacity(k);
     let mut group_sizes = Vec::with_capacity(k);

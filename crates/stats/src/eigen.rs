@@ -23,7 +23,9 @@ pub struct Eigen {
 /// (numerically) symmetric or the sweep limit is exhausted.
 pub fn symmetric_eigen(m: &Matrix) -> Result<Eigen, StatsError> {
     if !m.is_symmetric(1e-9) {
-        return Err(StatsError::Singular("symmetric_eigen: matrix not symmetric"));
+        return Err(StatsError::Singular(
+            "symmetric_eigen: matrix not symmetric",
+        ));
     }
     let n = m.rows();
     let mut a = m.clone();

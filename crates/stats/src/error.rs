@@ -31,11 +31,22 @@ pub enum StatsError {
 impl std::fmt::Display for StatsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            StatsError::DimensionMismatch { context, left, right } => {
+            StatsError::DimensionMismatch {
+                context,
+                left,
+                right,
+            } => {
                 write!(f, "{context}: dimension mismatch ({left} vs {right})")
             }
-            StatsError::NotEnoughData { context, needed, got } => {
-                write!(f, "{context}: needs at least {needed} observations, got {got}")
+            StatsError::NotEnoughData {
+                context,
+                needed,
+                got,
+            } => {
+                write!(
+                    f,
+                    "{context}: needs at least {needed} observations, got {got}"
+                )
             }
             StatsError::Singular(context) => write!(f, "{context}: singular system"),
             StatsError::NoConvergence(context) => write!(f, "{context}: did not converge"),
@@ -51,10 +62,18 @@ mod tests {
 
     #[test]
     fn errors_render_context() {
-        let e = StatsError::DimensionMismatch { context: "pearson", left: 3, right: 4 };
+        let e = StatsError::DimensionMismatch {
+            context: "pearson",
+            left: 3,
+            right: 4,
+        };
         assert!(e.to_string().contains("pearson"));
         assert!(e.to_string().contains("3 vs 4"));
-        let e = StatsError::NotEnoughData { context: "anova", needed: 2, got: 1 };
+        let e = StatsError::NotEnoughData {
+            context: "anova",
+            needed: 2,
+            got: 1,
+        };
         assert!(e.to_string().contains("at least 2"));
     }
 }

@@ -62,7 +62,11 @@ impl Matrix {
         for row in rows {
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Builds a matrix whose columns are the given variable vectors.
@@ -266,7 +270,10 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
         let ab = a.mul(&b).unwrap();
-        assert_eq!(ab, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap());
+        assert_eq!(
+            ab,
+            Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]
@@ -287,8 +294,7 @@ mod tests {
     fn inverse_of_known_matrix() {
         let a = Matrix::from_rows(&[vec![4.0, 7.0], vec![2.0, 6.0]]).unwrap();
         let inv = a.inverse().unwrap();
-        let expected =
-            Matrix::from_rows(&[vec![0.6, -0.7], vec![-0.2, 0.4]]).unwrap();
+        let expected = Matrix::from_rows(&[vec![0.6, -0.7], vec![-0.2, 0.4]]).unwrap();
         for i in 0..2 {
             for j in 0..2 {
                 assert!((inv[(i, j)] - expected[(i, j)]).abs() < 1e-12);
@@ -307,7 +313,10 @@ mod tests {
     #[test]
     fn singular_matrix_is_rejected() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
-        assert_eq!(a.inverse().unwrap_err(), StatsError::Singular("Matrix::inverse"));
+        assert_eq!(
+            a.inverse().unwrap_err(),
+            StatsError::Singular("Matrix::inverse")
+        );
     }
 
     #[test]

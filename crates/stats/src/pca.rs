@@ -324,7 +324,9 @@ mod tests {
         // Deterministic pseudo-noise from a tiny LCG, no rand needed.
         let mut state = 12345u64;
         let mut noise = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let f1: Vec<f64> = (0..n).map(|_| noise()).collect();
@@ -350,7 +352,9 @@ mod tests {
         let n = 120;
         let mut state = 99u64;
         let mut noise = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let f1: Vec<f64> = (0..n).map(|_| noise()).collect();
@@ -363,7 +367,10 @@ mod tests {
         ];
         let plain = pca(
             &vars,
-            PcaOptions { varimax: false, ..PcaOptions::default() },
+            PcaOptions {
+                varimax: false,
+                ..PcaOptions::default()
+            },
         )
         .unwrap();
         let rotated = pca(&vars, PcaOptions::default()).unwrap();
@@ -378,7 +385,9 @@ mod tests {
         let n = 300;
         let mut state = 7u64;
         let mut noise = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let f1: Vec<f64> = (0..n).map(|_| noise()).collect();
@@ -412,7 +421,10 @@ mod tests {
         let z: Vec<f64> = x.iter().map(|v| v.sin()).collect();
         let fit = pca(
             &[x, y, z],
-            PcaOptions { retention: Retention::Fixed(2), ..PcaOptions::default() },
+            PcaOptions {
+                retention: Retention::Fixed(2),
+                ..PcaOptions::default()
+            },
         )
         .unwrap();
         assert_eq!(fit.retained, 2);

@@ -129,7 +129,11 @@ pub fn ols(y: &[f64], predictors: &[Vec<f64>]) -> Result<Ols, StatsError> {
     }
 
     // Design matrix with intercept column.
-    let x = Matrix::from_fn(n, p + 1, |i, j| if j == 0 { 1.0 } else { predictors[j - 1][i] });
+    let x = Matrix::from_fn(
+        n,
+        p + 1,
+        |i, j| if j == 0 { 1.0 } else { predictors[j - 1][i] },
+    );
     let xt = x.transpose();
     let xtx = xt.mul(&x)?;
     let xtx_inv = xtx
@@ -157,7 +161,11 @@ pub fn ols(y: &[f64], predictors: &[Vec<f64>]) -> Result<Ols, StatsError> {
     for j in 0..=p {
         let se = (sigma2 * xtx_inv[(j, j)]).max(0.0).sqrt();
         std_errors.push(se);
-        let t = if se > 0.0 { beta[j] / se } else { f64::INFINITY };
+        let t = if se > 0.0 {
+            beta[j] / se
+        } else {
+            f64::INFINITY
+        };
         t_stats.push(t);
         p_values.push(if se > 0.0 { t_dist.two_sided_p(t) } else { 0.0 });
     }
@@ -250,10 +258,7 @@ mod tests {
         let a = vec![1.0, 2.0, 3.0, 4.0, 5.0];
         let b: Vec<f64> = a.iter().map(|v| 2.0 * v).collect();
         let y = vec![1.0, 2.0, 2.5, 4.0, 5.5];
-        assert!(matches!(
-            ols(&y, &[a, b]),
-            Err(StatsError::Singular(_))
-        ));
+        assert!(matches!(ols(&y, &[a, b]), Err(StatsError::Singular(_))));
     }
 
     #[test]

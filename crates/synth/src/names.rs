@@ -9,9 +9,26 @@ const PREFIXES: &[&str] = &[
 ];
 
 const STEMS: &[&str] = &[
-    "voices", "diaries", "notes", "talk", "board", "corner", "lounge", "journal", "gazette",
-    "pulse", "wire", "echo", "report", "scene", "guide", "chronicle", "digest", "review",
-    "observer", "post",
+    "voices",
+    "diaries",
+    "notes",
+    "talk",
+    "board",
+    "corner",
+    "lounge",
+    "journal",
+    "gazette",
+    "pulse",
+    "wire",
+    "echo",
+    "report",
+    "scene",
+    "guide",
+    "chronicle",
+    "digest",
+    "review",
+    "observer",
+    "post",
 ];
 
 const HANDLE_SYLLABLES: &[&str] = &[
@@ -24,7 +41,10 @@ const HANDLE_SYLLABLES: &[&str] = &[
 pub fn source_name(rng: &mut Rng64, kind: SourceKind, ordinal: usize) -> String {
     let prefix = rng.pick(PREFIXES);
     let stem = rng.pick(STEMS);
-    format!("{prefix}-{stem}-{}{ordinal}", kind.label().chars().next().unwrap_or('x'))
+    format!(
+        "{prefix}-{stem}-{}{ordinal}",
+        kind.label().chars().next().unwrap_or('x')
+    )
 }
 
 /// Generates a user handle, e.g. `"carosa42"`.

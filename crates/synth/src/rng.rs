@@ -35,7 +35,10 @@ impl Rng64 {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        Rng64 { s, cached_normal: None }
+        Rng64 {
+            s,
+            cached_normal: None,
+        }
     }
 
     /// Derives an independent child generator for a named stream.
@@ -49,7 +52,10 @@ impl Rng64 {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        Rng64 { s, cached_normal: None }
+        Rng64 {
+            s,
+            cached_normal: None,
+        }
     }
 
     /// Next raw 64-bit value.
@@ -234,7 +240,9 @@ impl Zipf {
     /// Draws a 0-based index (rank − 1).
     pub fn sample(&self, rng: &mut Rng64) -> usize {
         let u = rng.f64();
-        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
     }
 }
 
@@ -329,7 +337,9 @@ mod tests {
         }
         // Different stream ids give different children.
         let mut other = parent.fork(4);
-        let same = (0..32).filter(|_| parent.clone().fork(3).next_u64() == other.next_u64()).count();
+        let same = (0..32)
+            .filter(|_| parent.clone().fork(3).next_u64() == other.next_u64())
+            .count();
         assert!(same < 2);
     }
 
@@ -446,7 +456,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "overwhelmingly unlikely identity");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "overwhelmingly unlikely identity"
+        );
     }
 
     #[test]

@@ -27,127 +27,307 @@ pub const CATEGORIES: &[CategoryVocab] = &[
     CategoryVocab {
         name: "attractions",
         keywords: &[
-            "duomo", "cathedral", "castle", "fountain", "gallery", "landmark", "monument",
-            "basilica", "tower", "piazza", "rooftop", "panorama",
+            "duomo",
+            "cathedral",
+            "castle",
+            "fountain",
+            "gallery",
+            "landmark",
+            "monument",
+            "basilica",
+            "tower",
+            "piazza",
+            "rooftop",
+            "panorama",
         ],
     },
     CategoryVocab {
         name: "museums",
         keywords: &[
-            "museum", "exhibition", "painting", "sculpture", "fresco", "collection", "curator",
-            "masterpiece", "artifact", "installation", "gallery", "archive",
+            "museum",
+            "exhibition",
+            "painting",
+            "sculpture",
+            "fresco",
+            "collection",
+            "curator",
+            "masterpiece",
+            "artifact",
+            "installation",
+            "gallery",
+            "archive",
         ],
     },
     CategoryVocab {
         name: "restaurants",
         keywords: &[
-            "risotto", "trattoria", "osteria", "menu", "chef", "gelato", "espresso", "aperitivo",
-            "pizzeria", "tasting", "reservation", "cuisine",
+            "risotto",
+            "trattoria",
+            "osteria",
+            "menu",
+            "chef",
+            "gelato",
+            "espresso",
+            "aperitivo",
+            "pizzeria",
+            "tasting",
+            "reservation",
+            "cuisine",
         ],
     },
     CategoryVocab {
         name: "hotels",
         keywords: &[
-            "hotel", "hostel", "suite", "checkin", "concierge", "lobby", "breakfast", "booking",
-            "room", "amenities", "housekeeping", "reception",
+            "hotel",
+            "hostel",
+            "suite",
+            "checkin",
+            "concierge",
+            "lobby",
+            "breakfast",
+            "booking",
+            "room",
+            "amenities",
+            "housekeeping",
+            "reception",
         ],
     },
     CategoryVocab {
         name: "events",
         keywords: &[
-            "festival", "concert", "expo", "fair", "parade", "premiere", "ticket", "lineup",
-            "opening", "fashionweek", "biennale", "derby",
+            "festival",
+            "concert",
+            "expo",
+            "fair",
+            "parade",
+            "premiere",
+            "ticket",
+            "lineup",
+            "opening",
+            "fashionweek",
+            "biennale",
+            "derby",
         ],
     },
     CategoryVocab {
         name: "transport",
         keywords: &[
-            "metro", "tram", "taxi", "airport", "shuttle", "station", "timetable", "ticket",
-            "platform", "bikeshare", "traffic", "terminal",
+            "metro",
+            "tram",
+            "taxi",
+            "airport",
+            "shuttle",
+            "station",
+            "timetable",
+            "ticket",
+            "platform",
+            "bikeshare",
+            "traffic",
+            "terminal",
         ],
     },
     CategoryVocab {
         name: "nightlife",
         keywords: &[
-            "club", "cocktail", "dj", "lounge", "rooftopbar", "dancefloor", "bartender",
-            "happyhour", "livemusic", "speakeasy", "afterparty", "navigli",
+            "club",
+            "cocktail",
+            "dj",
+            "lounge",
+            "rooftopbar",
+            "dancefloor",
+            "bartender",
+            "happyhour",
+            "livemusic",
+            "speakeasy",
+            "afterparty",
+            "navigli",
         ],
     },
     CategoryVocab {
         name: "shopping",
         keywords: &[
-            "boutique", "outlet", "designer", "arcade", "brand", "discount", "showroom",
-            "tailor", "marketplace", "souvenir", "vintage", "atelier",
+            "boutique",
+            "outlet",
+            "designer",
+            "arcade",
+            "brand",
+            "discount",
+            "showroom",
+            "tailor",
+            "marketplace",
+            "souvenir",
+            "vintage",
+            "atelier",
         ],
     },
     CategoryVocab {
         name: "technology",
         keywords: &[
-            "startup", "gadget", "software", "smartphone", "laptop", "broadband", "coworking",
-            "hackathon", "prototype", "firmware", "opensource", "cloud",
+            "startup",
+            "gadget",
+            "software",
+            "smartphone",
+            "laptop",
+            "broadband",
+            "coworking",
+            "hackathon",
+            "prototype",
+            "firmware",
+            "opensource",
+            "cloud",
         ],
     },
     CategoryVocab {
         name: "sports",
         keywords: &[
-            "match", "stadium", "league", "coach", "transfer", "marathon", "training",
-            "championship", "goal", "fixture", "supporters", "derby",
+            "match",
+            "stadium",
+            "league",
+            "coach",
+            "transfer",
+            "marathon",
+            "training",
+            "championship",
+            "goal",
+            "fixture",
+            "supporters",
+            "derby",
         ],
     },
     CategoryVocab {
         name: "finance",
         keywords: &[
-            "market", "shares", "dividend", "portfolio", "earnings", "bourse", "bond", "rate",
-            "inflation", "broker", "futures", "index",
+            "market",
+            "shares",
+            "dividend",
+            "portfolio",
+            "earnings",
+            "bourse",
+            "bond",
+            "rate",
+            "inflation",
+            "broker",
+            "futures",
+            "index",
         ],
     },
     CategoryVocab {
         name: "politics",
         keywords: &[
-            "council", "mayor", "election", "policy", "referendum", "parliament", "coalition",
-            "budget", "reform", "ordinance", "campaign", "municipality",
+            "council",
+            "mayor",
+            "election",
+            "policy",
+            "referendum",
+            "parliament",
+            "coalition",
+            "budget",
+            "reform",
+            "ordinance",
+            "campaign",
+            "municipality",
         ],
     },
     CategoryVocab {
         name: "music",
         keywords: &[
-            "album", "single", "orchestra", "opera", "scala", "encore", "vinyl", "setlist",
-            "soprano", "quartet", "remix", "acoustic",
+            "album",
+            "single",
+            "orchestra",
+            "opera",
+            "scala",
+            "encore",
+            "vinyl",
+            "setlist",
+            "soprano",
+            "quartet",
+            "remix",
+            "acoustic",
         ],
     },
     CategoryVocab {
         name: "cinema",
         keywords: &[
-            "film", "director", "screening", "festival", "actor", "documentary", "trailer",
-            "premiere", "screenplay", "arthouse", "boxoffice", "cinematheque",
+            "film",
+            "director",
+            "screening",
+            "festival",
+            "actor",
+            "documentary",
+            "trailer",
+            "premiere",
+            "screenplay",
+            "arthouse",
+            "boxoffice",
+            "cinematheque",
         ],
     },
     CategoryVocab {
         name: "health",
         keywords: &[
-            "clinic", "wellness", "pharmacy", "vaccine", "nutrition", "therapy", "hospital",
-            "checkup", "fitness", "spa", "allergy", "firstaid",
+            "clinic",
+            "wellness",
+            "pharmacy",
+            "vaccine",
+            "nutrition",
+            "therapy",
+            "hospital",
+            "checkup",
+            "fitness",
+            "spa",
+            "allergy",
+            "firstaid",
         ],
     },
     CategoryVocab {
         name: "education",
         keywords: &[
-            "university", "lecture", "campus", "thesis", "scholarship", "politecnico", "seminar",
-            "erasmus", "faculty", "enrollment", "workshop", "laboratory",
+            "university",
+            "lecture",
+            "campus",
+            "thesis",
+            "scholarship",
+            "politecnico",
+            "seminar",
+            "erasmus",
+            "faculty",
+            "enrollment",
+            "workshop",
+            "laboratory",
         ],
     },
     CategoryVocab {
         name: "fashion",
         keywords: &[
-            "runway", "collection", "stylist", "couture", "fabric", "accessory", "lookbook",
-            "atelier", "prda", "catwalk", "tailoring", "editorial",
+            "runway",
+            "collection",
+            "stylist",
+            "couture",
+            "fabric",
+            "accessory",
+            "lookbook",
+            "atelier",
+            "prda",
+            "catwalk",
+            "tailoring",
+            "editorial",
         ],
     },
     CategoryVocab {
         name: "food-markets",
         keywords: &[
-            "market", "stall", "produce", "cheese", "salumi", "bakery", "organic", "vendor",
-            "focaccia", "spices", "harvest", "streetfood",
+            "market",
+            "stall",
+            "produce",
+            "cheese",
+            "salumi",
+            "bakery",
+            "organic",
+            "vendor",
+            "focaccia",
+            "spices",
+            "harvest",
+            "streetfood",
         ],
     },
 ];
@@ -207,9 +387,34 @@ pub const INTENSIFIERS: &[(&str, f64)] = &[
 
 /// Neutral filler words for sentence padding.
 pub const FILLERS: &[&str] = &[
-    "the", "a", "we", "visited", "yesterday", "morning", "afternoon", "with", "family",
-    "friends", "near", "around", "found", "place", "staff", "overall", "experience", "again",
-    "definitely", "maybe", "also", "there", "this", "that", "our", "trip", "during", "weekend",
+    "the",
+    "a",
+    "we",
+    "visited",
+    "yesterday",
+    "morning",
+    "afternoon",
+    "with",
+    "family",
+    "friends",
+    "near",
+    "around",
+    "found",
+    "place",
+    "staff",
+    "overall",
+    "experience",
+    "again",
+    "definitely",
+    "maybe",
+    "also",
+    "there",
+    "this",
+    "that",
+    "our",
+    "trip",
+    "during",
+    "weekend",
 ];
 
 /// Looks up a category's keywords by name; `None` when unknown.
@@ -288,13 +493,7 @@ impl TextGenerator {
     }
 
     /// A multi-sentence body with the given polarity.
-    pub fn body(
-        &self,
-        rng: &mut Rng64,
-        category: &str,
-        polarity: f64,
-        sentences: usize,
-    ) -> String {
+    pub fn body(&self, rng: &mut Rng64, category: &str, polarity: f64, sentences: usize) -> String {
         let mut out = String::new();
         for i in 0..sentences.max(1) {
             if i > 0 {
@@ -350,7 +549,10 @@ mod tests {
         let gen = TextGenerator::new();
         let mut a = Rng64::seeded(9);
         let mut b = Rng64::seeded(9);
-        assert_eq!(gen.body(&mut a, "hotels", 0.8, 3), gen.body(&mut b, "hotels", 0.8, 3));
+        assert_eq!(
+            gen.body(&mut a, "hotels", 0.8, 3),
+            gen.body(&mut b, "hotels", 0.8, 3)
+        );
     }
 
     #[test]
@@ -364,7 +566,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits > 40, "only {hits}/50 positive bodies carried positive words");
+        assert!(
+            hits > 40,
+            "only {hits}/50 positive bodies carried positive words"
+        );
     }
 
     #[test]
@@ -378,7 +583,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits > 40, "only {hits}/50 negative bodies carried negative words");
+        assert!(
+            hits > 40,
+            "only {hits}/50 negative bodies carried negative words"
+        );
     }
 
     #[test]

@@ -73,7 +73,11 @@ pub struct TwitterConfig {
 
 impl Default for TwitterConfig {
     fn default() -> Self {
-        TwitterConfig { seed: 813, accounts: 813, max_count: 84_000 }
+        TwitterConfig {
+            seed: 813,
+            accounts: 813,
+            max_count: 84_000,
+        }
     }
 }
 
@@ -134,11 +138,9 @@ impl TwitterPopulation {
             let tweets = ((A[k] + S_T * x).exp().round() as u64).clamp(1, config.max_count);
 
             let gm = G_MENTION[k] * S_T;
-            let mention_rate =
-                (B_MENTION + gm * x - gm * gm / 2.0 + S_RATE * rng.normal()).exp();
+            let mention_rate = (B_MENTION + gm * x - gm * gm / 2.0 + S_RATE * rng.normal()).exp();
             let gr = G_RETWEET[k] * S_T;
-            let retweet_rate =
-                (C_RETWEET + gr * x - gr * gr / 2.0 + S_RATE * rng.normal()).exp();
+            let retweet_rate = (C_RETWEET + gr * x - gr * gr / 2.0 + S_RATE * rng.normal()).exp();
 
             let mentions_received =
                 ((tweets as f64 * mention_rate).round() as u64).min(config.max_count);
@@ -218,10 +220,30 @@ mod tests {
     #[test]
     fn counter_bounds_match_the_paper() {
         let p = pop();
-        let max_mentions = p.accounts.iter().map(|a| a.mentions_received).max().unwrap();
-        let min_mentions = p.accounts.iter().map(|a| a.mentions_received).min().unwrap();
-        let max_retweets = p.accounts.iter().map(|a| a.retweets_received).max().unwrap();
-        let min_retweets = p.accounts.iter().map(|a| a.retweets_received).min().unwrap();
+        let max_mentions = p
+            .accounts
+            .iter()
+            .map(|a| a.mentions_received)
+            .max()
+            .unwrap();
+        let min_mentions = p
+            .accounts
+            .iter()
+            .map(|a| a.mentions_received)
+            .min()
+            .unwrap();
+        let max_retweets = p
+            .accounts
+            .iter()
+            .map(|a| a.retweets_received)
+            .max()
+            .unwrap();
+        let min_retweets = p
+            .accounts
+            .iter()
+            .map(|a| a.retweets_received)
+            .min()
+            .unwrap();
         assert_eq!(min_mentions, 0);
         assert_eq!(min_retweets, 0);
         assert!(max_mentions <= 84_000);
@@ -260,9 +282,8 @@ mod tests {
     #[test]
     fn brands_emit_fewest_tweets() {
         let p = pop();
-        let mean = |v: &[&TwitterAccount]| {
-            v.iter().map(|a| a.tweets as f64).sum::<f64>() / v.len() as f64
-        };
+        let mean =
+            |v: &[&TwitterAccount]| v.iter().map(|a| a.tweets as f64).sum::<f64>() / v.len() as f64;
         let people = mean(&p.of_kind(AccountKind::Person));
         let brands = mean(&p.of_kind(AccountKind::Brand));
         let news = mean(&p.of_kind(AccountKind::News));

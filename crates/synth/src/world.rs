@@ -170,7 +170,10 @@ pub struct World {
 
 /// Milan's coordinates, the geographic focus of the Section 6
 /// application.
-pub const MILAN: GeoPoint = GeoPoint { lat: 45.4642, lon: 9.19 };
+pub const MILAN: GeoPoint = GeoPoint {
+    lat: 45.4642,
+    lon: 9.19,
+};
 
 impl World {
     /// Generates a world from a configuration.
@@ -279,7 +282,10 @@ fn generate_users(
         if rng.chance(0.6) {
             builder.set_user_home(
                 id,
-                GeoPoint::new(MILAN.lat + rng.normal() * 0.15, MILAN.lon + rng.normal() * 0.2),
+                GeoPoint::new(
+                    MILAN.lat + rng.normal() * 0.15,
+                    MILAN.lon + rng.normal() * 0.2,
+                ),
             );
         }
 
@@ -294,7 +300,11 @@ fn generate_users(
         } else {
             rng.log_normal(-0.5, 1.0)
         };
-        latents.push(UserLatent { activity, influence, spammer });
+        latents.push(UserLatent {
+            activity,
+            influence,
+            spammer,
+        });
     }
     latents
 }
@@ -308,12 +318,14 @@ fn generate_sources(
     let mut latents = Vec::with_capacity(config.sources);
     for i in 0..config.sources {
         let kind = SourceKind::ALL[rng.weighted_index(&config.kind_mix)];
-        let founded =
-            Timestamp(rng.range_u64(0, (config.days / 4).max(1) * SECONDS_PER_DAY));
+        let founded = Timestamp(rng.range_u64(0, (config.days / 4).max(1) * SECONDS_PER_DAY));
         let id = builder.add_source(kind, names::source_name(rng, kind, i), founded);
         builder.set_source_home(
             id,
-            GeoPoint::new(MILAN.lat + rng.normal() * 0.1, MILAN.lon + rng.normal() * 0.15),
+            GeoPoint::new(
+                MILAN.lat + rng.normal() * 0.1,
+                MILAN.lon + rng.normal() * 0.15,
+            ),
         );
 
         // Independent latent factors; Pareto popularity gives the
@@ -326,7 +338,7 @@ fn generate_sources(
         let n_focus = if rng.chance(0.6) {
             1 + rng.index(2)
         } else {
-            3 + rng.index(category_ids.len().saturating_sub(3).max(1).min(6))
+            3 + rng.index(category_ids.len().saturating_sub(3).clamp(1, 6))
         };
         let mut cats: Vec<CategoryId> = category_ids.to_vec();
         rng.shuffle(&mut cats);
@@ -389,9 +401,8 @@ fn generate_contents(
                 continue;
             }
             let opened_at = Timestamp(founded.seconds() + rng.range_u64(0, open_window));
-            let focus_idx = rng.weighted_index(
-                &latent.focus.iter().map(|(_, w)| *w).collect::<Vec<_>>(),
-            );
+            let focus_idx =
+                rng.weighted_index(&latent.focus.iter().map(|(_, w)| *w).collect::<Vec<_>>());
             let (category, _) = latent.focus[focus_idx];
             let category_name = &category_names[category.index()];
             let opener = audience[rng.index(audience.len())];
@@ -444,7 +455,9 @@ fn generate_contents(
             let mut t = opened_at;
             let mut prior_comments = Vec::with_capacity(n_comments);
             for _ in 0..n_comments {
-                let gap = rng.exponential(3.0 / SECONDS_PER_DAY as f64).min(20.0 * SECONDS_PER_DAY as f64);
+                let gap = rng
+                    .exponential(3.0 / SECONDS_PER_DAY as f64)
+                    .min(20.0 * SECONDS_PER_DAY as f64);
                 t = t.plus(Duration(gap as u64 + 60));
                 if t >= horizon {
                     break;
@@ -517,7 +530,9 @@ fn emit_interactions(
     let n = rng.poisson(lambda.min(40.0)).min(200);
     for _ in 0..n {
         let actor = audience[rng.index(audience.len())];
-        let gap = rng.exponential(2.0 / SECONDS_PER_DAY as f64).min(15.0 * SECONDS_PER_DAY as f64);
+        let gap = rng
+            .exponential(2.0 / SECONDS_PER_DAY as f64)
+            .min(15.0 * SECONDS_PER_DAY as f64);
         let at = after.plus(Duration(gap as u64 + 30));
         if at >= horizon {
             continue;
@@ -529,7 +544,9 @@ fn emit_interactions(
     let reads = rng.poisson((lambda * 0.6).min(20.0)).min(100);
     for _ in 0..reads {
         let actor = audience[rng.index(audience.len())];
-        let gap = rng.exponential(2.0 / SECONDS_PER_DAY as f64).min(15.0 * SECONDS_PER_DAY as f64);
+        let gap = rng
+            .exponential(2.0 / SECONDS_PER_DAY as f64)
+            .min(15.0 * SECONDS_PER_DAY as f64);
         let at = after.plus(Duration(gap as u64 + 30));
         if at >= horizon {
             continue;
@@ -597,7 +614,10 @@ mod tests {
         assert_eq!(stats.sources, 18);
         assert_eq!(stats.users, 120);
         assert!(stats.discussions > 30, "got {}", stats.discussions);
-        assert!(stats.comments > stats.discussions, "comments should dominate");
+        assert!(
+            stats.comments > stats.discussions,
+            "comments should dominate"
+        );
         assert!(stats.interactions > 0);
         assert_eq!(w.source_latents.len(), 18);
         assert_eq!(w.user_latents.len(), 120);
@@ -651,7 +671,12 @@ mod tests {
         let mut pops: Vec<f64> = w.source_latents.iter().map(|l| l.popularity).collect();
         pops.sort_by(|a, b| b.total_cmp(a));
         // Top source dwarfs the median.
-        assert!(pops[0] > 5.0 * pops[150], "top {} median {}", pops[0], pops[150]);
+        assert!(
+            pops[0] > 5.0 * pops[150],
+            "top {} median {}",
+            pops[0],
+            pops[150]
+        );
     }
 
     #[test]
@@ -693,8 +718,7 @@ mod tests {
             users: 2_000,
             ..WorldConfig::small(13)
         });
-        let spammers: Vec<&UserLatent> =
-            w.user_latents.iter().filter(|u| u.spammer).collect();
+        let spammers: Vec<&UserLatent> = w.user_latents.iter().filter(|u| u.spammer).collect();
         assert!(!spammers.is_empty());
         let avg_spam_influence: f64 =
             spammers.iter().map(|u| u.influence).sum::<f64>() / spammers.len() as f64;
@@ -712,7 +736,11 @@ mod tests {
             ..WorldConfig::ranking_study(5)
         });
         for s in w.corpus.sources() {
-            assert!(s.kind.in_search_study(), "{:?} leaked into ranking world", s.kind);
+            assert!(
+                s.kind.in_search_study(),
+                "{:?} leaked into ranking world",
+                s.kind
+            );
         }
         // Comment bodies disabled.
         assert!(w.corpus.comments().iter().all(|c| c.body.is_empty()));

@@ -168,9 +168,12 @@ mod tests {
     fn incremental_crawl_filters_old_items() {
         let w = world();
         let crawler = Crawler::default();
-        let s = w.corpus.sources().iter().find(|s| {
-            !w.corpus.discussions_of_source(s.id).is_empty()
-        }).unwrap();
+        let s = w
+            .corpus
+            .sources()
+            .iter()
+            .find(|s| !w.corpus.discussions_of_source(s.id).is_empty())
+            .unwrap();
         let mut clock = Clock::starting_at(w.now);
         let mut service = service_for(&w.corpus, s.id, w.now).unwrap();
         let (full, _) = crawler.crawl(service.as_mut(), &mut clock).unwrap();
@@ -187,7 +190,11 @@ mod tests {
             assert!(item.published > midpoint);
         }
         // Old + fresh partition the full crawl.
-        let old = full.items.iter().filter(|i| i.published <= midpoint).count();
+        let old = full
+            .items
+            .iter()
+            .filter(|i| i.published <= midpoint)
+            .count();
         assert_eq!(old + fresh.len(), full.len());
     }
 

@@ -61,16 +61,26 @@ mod tests {
 
     #[test]
     fn retryability_classification() {
-        assert!(WrapperError::RateLimited { retry_after_secs: 5 }.is_retryable());
+        assert!(WrapperError::RateLimited {
+            retry_after_secs: 5
+        }
+        .is_retryable());
         assert!(WrapperError::Transient("flake").is_retryable());
         assert!(!WrapperError::UnknownSource(SourceId::new(1)).is_retryable());
         assert!(!WrapperError::BadCursor("x".into()).is_retryable());
-        assert!(!WrapperError::MappingFailed { what: "date", raw: "??".into() }.is_retryable());
+        assert!(!WrapperError::MappingFailed {
+            what: "date",
+            raw: "??".into()
+        }
+        .is_retryable());
     }
 
     #[test]
     fn display_is_informative() {
-        let e = WrapperError::MappingFailed { what: "date", raw: "not-a-date".into() };
+        let e = WrapperError::MappingFailed {
+            what: "date",
+            raw: "not-a-date".into(),
+        };
         assert!(e.to_string().contains("date"));
         assert!(e.to_string().contains("not-a-date"));
     }

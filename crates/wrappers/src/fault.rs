@@ -16,7 +16,10 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// No injected faults.
     pub fn none() -> Self {
-        FaultPlan { period: 0, calls: 0 }
+        FaultPlan {
+            period: 0,
+            calls: 0,
+        }
     }
 
     /// Fail every `period`-th call.
@@ -30,7 +33,7 @@ impl FaultPlan {
             return false;
         }
         self.calls += 1;
-        self.calls % self.period == 0
+        self.calls.is_multiple_of(self.period)
     }
 
     /// Calls observed so far.

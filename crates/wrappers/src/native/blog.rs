@@ -64,12 +64,20 @@ pub struct BlogPage {
 pub fn format_iso(t: Timestamp) -> String {
     let day = t.days();
     let rem = t.seconds() % obs_model::SECONDS_PER_DAY;
-    format!("d{day}T{:02}:{:02}:{:02}", rem / 3600, (rem % 3600) / 60, rem % 60)
+    format!(
+        "d{day}T{:02}:{:02}:{:02}",
+        rem / 3600,
+        (rem % 3600) / 60,
+        rem % 60
+    )
 }
 
 /// Parses the blog's pseudo-ISO dialect back into a timestamp.
 pub fn parse_iso(s: &str) -> Result<Timestamp, WrapperError> {
-    let bad = || WrapperError::MappingFailed { what: "blog date", raw: s.to_owned() };
+    let bad = || WrapperError::MappingFailed {
+        what: "blog date",
+        raw: s.to_owned(),
+    };
     let rest = s.strip_prefix('d').ok_or_else(bad)?;
     let (day, clock) = rest.split_once('T').ok_or_else(bad)?;
     let day: u64 = day.parse().map_err(|_| bad())?;
@@ -80,7 +88,9 @@ pub fn parse_iso(s: &str) -> Result<Timestamp, WrapperError> {
     if parts.next().is_some() || hh >= 24 || mm >= 60 || ss >= 60 {
         return Err(bad());
     }
-    Ok(Timestamp(day * obs_model::SECONDS_PER_DAY + hh * 3600 + mm * 60 + ss))
+    Ok(Timestamp(
+        day * obs_model::SECONDS_PER_DAY + hh * 3600 + mm * 60 + ss,
+    ))
 }
 
 /// The blog's native API, backed by the corpus.
@@ -95,7 +105,11 @@ pub struct BlogApi<'a> {
 impl<'a> BlogApi<'a> {
     /// Opens the API for one blog source. Errors when the source is
     /// not a blog.
-    pub fn open(corpus: &'a Corpus, source: SourceId, now: Timestamp) -> Result<Self, WrapperError> {
+    pub fn open(
+        corpus: &'a Corpus,
+        source: SourceId,
+        now: Timestamp,
+    ) -> Result<Self, WrapperError> {
         match corpus.source(source) {
             Ok(s) if s.kind == SourceKind::Blog => Ok(BlogApi {
                 corpus,
@@ -125,15 +139,25 @@ impl<'a> BlogApi<'a> {
         let discussions = self.corpus.discussions_of_source(self.source);
         let total_pages = discussions.len().div_ceil(PAGE_SIZE).max(1);
         if page >= total_pages {
-            return Err(WrapperError::BadCursor(format!("page {page} of {total_pages}")));
+            return Err(WrapperError::BadCursor(format!(
+                "page {page} of {total_pages}"
+            )));
         }
-        let slice = &discussions[page * PAGE_SIZE..(page * PAGE_SIZE + PAGE_SIZE).min(discussions.len())];
+        let slice =
+            &discussions[page * PAGE_SIZE..(page * PAGE_SIZE + PAGE_SIZE).min(discussions.len())];
         let posts = slice.iter().map(|&d| self.render_post(d)).collect();
-        Ok(BlogPage { posts, page, total_pages })
+        Ok(BlogPage {
+            posts,
+            page,
+            total_pages,
+        })
     }
 
     fn render_post(&self, id: DiscussionId) -> BlogPostRecord {
-        let d = self.corpus.discussion(id).expect("discussion of own source");
+        let d = self
+            .corpus
+            .discussion(id)
+            .expect("discussion of own source");
         let post = self.corpus.post(d.root_post).expect("root post");
         let author = self.corpus.user(post.author).expect("author");
         let counts = crate::observation::InteractionCounts::tally(
@@ -159,7 +183,11 @@ impl<'a> BlogApi<'a> {
             .collect();
 
         BlogPostRecord {
-            permalink: format!("{}/post-{}", self.corpus.source(self.source).unwrap().url, id.raw()),
+            permalink: format!(
+                "{}/post-{}",
+                self.corpus.source(self.source).unwrap().url,
+                id.raw()
+            ),
             title: d.title.clone(),
             html_body: format!("<p>{}</p>", post.body),
             author_name: author.handle.clone(),
@@ -216,14 +244,25 @@ mod tests {
 
     #[test]
     fn iso_roundtrip() {
-        for t in [Timestamp::EPOCH, Timestamp(86_399), Timestamp::from_days(45).plus(obs_model::Duration(3_723))] {
+        for t in [
+            Timestamp::EPOCH,
+            Timestamp(86_399),
+            Timestamp::from_days(45).plus(obs_model::Duration(3_723)),
+        ] {
             assert_eq!(parse_iso(&format_iso(t)).unwrap(), t);
         }
     }
 
     #[test]
     fn iso_rejects_garbage() {
-        for bad in ["", "12T00:00:00", "dxTy", "d1T25:00:00", "d1T00:61:00", "d1T00:00:00:00"] {
+        for bad in [
+            "",
+            "12T00:00:00",
+            "dxTy",
+            "d1T25:00:00",
+            "d1T00:61:00",
+            "d1T00:00:00:00",
+        ] {
             assert!(parse_iso(bad).is_err(), "{bad:?} should fail");
         }
     }

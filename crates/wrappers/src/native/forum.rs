@@ -55,7 +55,11 @@ pub struct ForumApi<'a> {
 
 impl<'a> ForumApi<'a> {
     /// Opens the API for one forum source.
-    pub fn open(corpus: &'a Corpus, source: SourceId, now: Timestamp) -> Result<Self, WrapperError> {
+    pub fn open(
+        corpus: &'a Corpus,
+        source: SourceId,
+        now: Timestamp,
+    ) -> Result<Self, WrapperError> {
         match corpus.source(source) {
             Ok(s) if s.kind == SourceKind::Forum => Ok(ForumApi {
                 corpus,
@@ -95,7 +99,9 @@ impl<'a> ForumApi<'a> {
         let all = self.corpus.discussions_of_source(self.source);
         let total = all.len();
         if offset > total {
-            return Err(WrapperError::BadCursor(format!("offset {offset} > total {total}")));
+            return Err(WrapperError::BadCursor(format!(
+                "offset {offset} > total {total}"
+            )));
         }
         let slice = &all[offset..(offset + limit).min(total)];
         let records = slice.iter().map(|&d| self.render_thread(d)).collect();
@@ -118,12 +124,16 @@ impl<'a> ForumApi<'a> {
             .discussion(discussion)
             .map_err(|_| WrapperError::BadCursor(format!("thread {thread_no}")))?;
         if d.source != self.source {
-            return Err(WrapperError::BadCursor(format!("thread {thread_no} (foreign board)")));
+            return Err(WrapperError::BadCursor(format!(
+                "thread {thread_no} (foreign board)"
+            )));
         }
         let comment_ids = self.corpus.comments_of_discussion(discussion);
         let total = comment_ids.len();
         if offset > total {
-            return Err(WrapperError::BadCursor(format!("offset {offset} > total {total}")));
+            return Err(WrapperError::BadCursor(format!(
+                "offset {offset} > total {total}"
+            )));
         }
         let slice = &comment_ids[offset..(offset + limit).min(total)];
         let records = slice
@@ -132,7 +142,10 @@ impl<'a> ForumApi<'a> {
             .map(|(i, &cid)| {
                 let c = self.corpus.comment(cid).expect("comment");
                 let author = self.corpus.user(c.author).expect("author");
-                let body = match c.reply_to.and_then(|p| comment_ids.iter().position(|&x| x == p)) {
+                let body = match c
+                    .reply_to
+                    .and_then(|p| comment_ids.iter().position(|&x| x == p))
+                {
                     Some(pos) => format!("[quote=#{}]…[/quote] {}", pos + 1, c.body),
                     None => c.body.clone(),
                 };
@@ -220,8 +233,19 @@ mod tests {
         let u1 = b.add_user("u1", AccountKind::Person, Timestamp::EPOCH);
         let u2 = b.add_user("u2", AccountKind::Person, Timestamp::EPOCH);
         for i in 0..5u64 {
-            let d = b.add_discussion(forum, cat, format!("thread {i}"), u1, Timestamp::from_days(i));
-            let c = b.add_comment(d, u2, format!("first reply {i}"), Timestamp::from_days(i + 1));
+            let d = b.add_discussion(
+                forum,
+                cat,
+                format!("thread {i}"),
+                u1,
+                Timestamp::from_days(i),
+            );
+            let c = b.add_comment(
+                d,
+                u2,
+                format!("first reply {i}"),
+                Timestamp::from_days(i + 1),
+            );
             let _ = b.add_reply(d, u1, "agreed", Timestamp::from_days(i + 2), c);
         }
         b.close_discussion(DiscussionId::new(0));

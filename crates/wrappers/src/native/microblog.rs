@@ -6,9 +6,7 @@ use crate::error::WrapperError;
 use crate::fault::FaultPlan;
 use crate::observation::InteractionCounts;
 use crate::rate::TokenBucket;
-use obs_model::{
-    CommentId, ContentRef, Corpus, PostId, SourceId, SourceKind, Timestamp,
-};
+use obs_model::{CommentId, ContentRef, Corpus, PostId, SourceId, SourceKind, Timestamp};
 
 /// Statuses per timeline page.
 pub const PAGE_SIZE: usize = 50;
@@ -77,7 +75,11 @@ pub struct MicroblogApi<'a> {
 
 impl<'a> MicroblogApi<'a> {
     /// Opens the API for one microblog source.
-    pub fn open(corpus: &'a Corpus, source: SourceId, now: Timestamp) -> Result<Self, WrapperError> {
+    pub fn open(
+        corpus: &'a Corpus,
+        source: SourceId,
+        now: Timestamp,
+    ) -> Result<Self, WrapperError> {
         match corpus.source(source) {
             Ok(s) if s.kind == SourceKind::Microblog => {
                 let mut timeline = Vec::new();
@@ -176,7 +178,10 @@ impl<'a> MicroblogApi<'a> {
                         encode_status_id(pc.published, ContentRef::Comment(parent))
                     }
                     None => {
-                        let d = self.corpus.discussion(comment.discussion).expect("discussion");
+                        let d = self
+                            .corpus
+                            .discussion(comment.discussion)
+                            .expect("discussion");
                         let root = self.corpus.post(d.root_post).expect("root");
                         encode_status_id(root.published, ContentRef::Post(root.id))
                     }
@@ -227,7 +232,12 @@ mod tests {
             );
             if i % 3 == 0 {
                 b.add_comment(d, v, format!("reply to {i}"), Timestamp::from_hours(i + 2));
-                b.add_interaction(v, ContentRef::Post(p), InteractionKind::Retweet, Timestamp::from_hours(i + 3));
+                b.add_interaction(
+                    v,
+                    ContentRef::Post(p),
+                    InteractionKind::Retweet,
+                    Timestamp::from_hours(i + 3),
+                );
             }
         }
         (b.build(), m)
@@ -284,7 +294,10 @@ mod tests {
         let now = Timestamp::from_days(30);
         let mut api = MicroblogApi::open(&corpus, m, now).unwrap();
         let (page, _) = api.timeline(now, None).unwrap();
-        let reply = page.iter().find(|s| s.in_reply_to.is_some()).expect("a reply");
+        let reply = page
+            .iter()
+            .find(|s| s.in_reply_to.is_some())
+            .expect("a reply");
         let (_, parent) = decode_status_id(reply.in_reply_to.unwrap());
         assert!(matches!(parent, ContentRef::Post(_)));
         // Replies carry no hashtags in this dialect.

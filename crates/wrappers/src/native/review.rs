@@ -52,7 +52,11 @@ pub struct ReviewApi<'a> {
 
 impl<'a> ReviewApi<'a> {
     /// Opens the API for one review source.
-    pub fn open(corpus: &'a Corpus, source: SourceId, now: Timestamp) -> Result<Self, WrapperError> {
+    pub fn open(
+        corpus: &'a Corpus,
+        source: SourceId,
+        now: Timestamp,
+    ) -> Result<Self, WrapperError> {
         match corpus.source(source) {
             Ok(s) if s.kind == SourceKind::ReviewSite => Ok(ReviewApi {
                 corpus,
@@ -93,7 +97,8 @@ impl<'a> ReviewApi<'a> {
         if page >= total_pages {
             return Err(WrapperError::BadCursor(format!("venue page {page}")));
         }
-        let slice = &all[page * VENUES_PAGE_SIZE..(page * VENUES_PAGE_SIZE + VENUES_PAGE_SIZE).min(all.len())];
+        let slice = &all
+            [page * VENUES_PAGE_SIZE..(page * VENUES_PAGE_SIZE + VENUES_PAGE_SIZE).min(all.len())];
         let venues = slice
             .iter()
             .map(|&d| {
@@ -129,15 +134,17 @@ impl<'a> ReviewApi<'a> {
             .discussion(discussion)
             .map_err(|_| WrapperError::BadCursor(venue_code.to_owned()))?;
         if d.source != self.source {
-            return Err(WrapperError::BadCursor(format!("{venue_code} (foreign venue)")));
+            return Err(WrapperError::BadCursor(format!(
+                "{venue_code} (foreign venue)"
+            )));
         }
         let comments = self.corpus.comments_of_discussion(discussion);
         let total_pages = comments.len().div_ceil(REVIEWS_PAGE_SIZE).max(1);
         if page >= total_pages {
             return Err(WrapperError::BadCursor(format!("review page {page}")));
         }
-        let slice = &comments
-            [page * REVIEWS_PAGE_SIZE..(page * REVIEWS_PAGE_SIZE + REVIEWS_PAGE_SIZE).min(comments.len())];
+        let slice = &comments[page * REVIEWS_PAGE_SIZE
+            ..(page * REVIEWS_PAGE_SIZE + REVIEWS_PAGE_SIZE).min(comments.len())];
         let reviews = slice
             .iter()
             .map(|&cid| {
@@ -184,9 +191,19 @@ mod tests {
         for i in 0..12u64 {
             let d = b.add_discussion(r, cat, format!("osteria {i}"), u, Timestamp::from_days(i));
             for j in 0..3u64 {
-                let c = b.add_comment(d, v, format!("review {i}-{j}"), Timestamp::from_days(i + j + 1));
+                let c = b.add_comment(
+                    d,
+                    v,
+                    format!("review {i}-{j}"),
+                    Timestamp::from_days(i + j + 1),
+                );
                 if j == 0 {
-                    b.add_interaction(u, ContentRef::Comment(c), InteractionKind::Feedback, Timestamp::from_days(i + 5));
+                    b.add_interaction(
+                        u,
+                        ContentRef::Comment(c),
+                        InteractionKind::Feedback,
+                        Timestamp::from_days(i + 5),
+                    );
                 }
             }
         }

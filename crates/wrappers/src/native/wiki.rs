@@ -47,7 +47,11 @@ pub struct WikiApi<'a> {
 
 impl<'a> WikiApi<'a> {
     /// Opens the API for one wiki source.
-    pub fn open(corpus: &'a Corpus, source: SourceId, now: Timestamp) -> Result<Self, WrapperError> {
+    pub fn open(
+        corpus: &'a Corpus,
+        source: SourceId,
+        now: Timestamp,
+    ) -> Result<Self, WrapperError> {
         match corpus.source(source) {
             Ok(s) if s.kind == SourceKind::Wiki => Ok(WikiApi {
                 corpus,
@@ -122,7 +126,13 @@ impl<'a> WikiApi<'a> {
 pub fn slug_for(title: &str, id: DiscussionId) -> String {
     let base: String = title
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
         .collect();
     format!("{}--{}", base.trim_matches('-'), id.raw())
 }
@@ -151,10 +161,21 @@ mod tests {
         let e = b.add_user("editor", AccountKind::Person, Timestamp::EPOCH);
         for i in 0..4u64 {
             let (d, _) = b.add_discussion_with_post(
-                w, cat, format!("Museum Guide {i}"), u, Timestamp::from_days(i),
-                format!("article body {i}"), vec![], None,
+                w,
+                cat,
+                format!("Museum Guide {i}"),
+                u,
+                Timestamp::from_days(i),
+                format!("article body {i}"),
+                vec![],
+                None,
             );
-            b.add_comment(d, e, format!("fixed typos {i}"), Timestamp::from_days(i + 1));
+            b.add_comment(
+                d,
+                e,
+                format!("fixed typos {i}"),
+                Timestamp::from_days(i + 1),
+            );
         }
         (b.build(), w)
     }

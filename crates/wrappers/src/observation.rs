@@ -131,7 +131,14 @@ mod tests {
         let u = b.add_user("u", AccountKind::Person, Timestamp::EPOCH);
         let v = b.add_user("v", AccountKind::Person, Timestamp::EPOCH);
         let (_, post) = b.add_discussion_with_post(
-            s, cat, "t", u, Timestamp::from_days(1), "hello", vec![], None,
+            s,
+            cat,
+            "t",
+            u,
+            Timestamp::from_days(1),
+            "hello",
+            vec![],
+            None,
         );
         let target = ContentRef::Post(post);
         b.add_interaction(v, target, InteractionKind::Like, Timestamp::from_days(2));
@@ -165,7 +172,11 @@ mod tests {
         };
         let obs = SourceObservation {
             source: SourceId::new(0),
-            items: vec![item(ItemKind::Post), item(ItemKind::Comment), item(ItemKind::Comment)],
+            items: vec![
+                item(ItemKind::Post),
+                item(ItemKind::Comment),
+                item(ItemKind::Comment),
+            ],
         };
         assert_eq!(obs.posts().count(), 1);
         assert_eq!(obs.comments().count(), 2);

@@ -107,6 +107,9 @@ impl<'a> AdapterBase<'a> {
             })
     }
 
+    // The argument list mirrors the ContentItem payload one-to-one;
+    // bundling them into a struct would just restate ContentItem.
+    #[allow(clippy::too_many_arguments)]
     fn item(
         &self,
         discussion: DiscussionId,
@@ -151,7 +154,10 @@ fn strip_html(body: &str) -> String {
 
 /// Parses the blog's `"lat,lon"` geo attribute.
 fn parse_geo_attr(attr: &str) -> Result<GeoPoint, WrapperError> {
-    let bad = || WrapperError::MappingFailed { what: "geo attribute", raw: attr.to_owned() };
+    let bad = || WrapperError::MappingFailed {
+        what: "geo attribute",
+        raw: attr.to_owned(),
+    };
     let (lat, lon) = attr.split_once(',').ok_or_else(bad)?;
     let lat: f64 = lat.trim().parse().map_err(|_| bad())?;
     let lon: f64 = lon.trim().parse().map_err(|_| bad())?;
@@ -168,7 +174,11 @@ pub struct BlogService<'a> {
 
 impl<'a> BlogService<'a> {
     /// Opens the service.
-    pub fn open(corpus: &'a Corpus, source: SourceId, now: Timestamp) -> Result<Self, WrapperError> {
+    pub fn open(
+        corpus: &'a Corpus,
+        source: SourceId,
+        now: Timestamp,
+    ) -> Result<Self, WrapperError> {
         Ok(BlogService {
             base: AdapterBase::new(corpus, source)?,
             api: blog::BlogApi::open(corpus, source, now)?,
@@ -216,12 +226,14 @@ impl DataService for BlogService<'_> {
             ));
             let comment_ids = self.base.corpus.comments_of_discussion(discussion);
             for (idx, c) in post.comments.iter().enumerate() {
-                let cid = comment_ids.get(idx).copied().ok_or_else(|| {
-                    WrapperError::MappingFailed {
-                        what: "blog comment index",
-                        raw: idx.to_string(),
-                    }
-                })?;
+                let cid =
+                    comment_ids
+                        .get(idx)
+                        .copied()
+                        .ok_or_else(|| WrapperError::MappingFailed {
+                            what: "blog comment index",
+                            raw: idx.to_string(),
+                        })?;
                 items.push(self.base.item(
                     discussion,
                     ContentRef::Comment(cid),
@@ -257,7 +269,11 @@ pub struct ForumService<'a> {
 
 impl<'a> ForumService<'a> {
     /// Opens the service.
-    pub fn open(corpus: &'a Corpus, source: SourceId, now: Timestamp) -> Result<Self, WrapperError> {
+    pub fn open(
+        corpus: &'a Corpus,
+        source: SourceId,
+        now: Timestamp,
+    ) -> Result<Self, WrapperError> {
         Ok(ForumService {
             base: AdapterBase::new(corpus, source)?,
             api: forum::ForumApi::open(corpus, source, now)?,
@@ -344,7 +360,11 @@ pub struct MicroblogService<'a> {
 
 impl<'a> MicroblogService<'a> {
     /// Opens the service.
-    pub fn open(corpus: &'a Corpus, source: SourceId, now: Timestamp) -> Result<Self, WrapperError> {
+    pub fn open(
+        corpus: &'a Corpus,
+        source: SourceId,
+        now: Timestamp,
+    ) -> Result<Self, WrapperError> {
         Ok(MicroblogService {
             base: AdapterBase::new(corpus, source)?,
             api: microblog::MicroblogApi::open(corpus, source, now)?,
@@ -362,14 +382,12 @@ impl DataService for MicroblogService<'_> {
         let mut items = Vec::with_capacity(statuses.len());
         for s in &statuses {
             let (_, content) = microblog::decode_status_id(s.status_id);
-            let discussion = self
-                .base
-                .corpus
-                .discussion_of(content)
-                .map_err(|_| WrapperError::MappingFailed {
+            let discussion = self.base.corpus.discussion_of(content).map_err(|_| {
+                WrapperError::MappingFailed {
                     what: "status id",
                     raw: s.status_id.to_string(),
-                })?;
+                }
+            })?;
             items.push(self.base.item(
                 discussion,
                 content,
@@ -380,7 +398,10 @@ impl DataService for MicroblogService<'_> {
                 s.point.map(|(lat, lon)| GeoPoint::new(lat, lon)),
             ));
         }
-        Ok(Page { items, next: next.map(Cursor) })
+        Ok(Page {
+            items,
+            next: next.map(Cursor),
+        })
     }
 }
 
@@ -394,7 +415,11 @@ pub struct ReviewService<'a> {
 
 impl<'a> ReviewService<'a> {
     /// Opens the service.
-    pub fn open(corpus: &'a Corpus, source: SourceId, now: Timestamp) -> Result<Self, WrapperError> {
+    pub fn open(
+        corpus: &'a Corpus,
+        source: SourceId,
+        now: Timestamp,
+    ) -> Result<Self, WrapperError> {
         Ok(ReviewService {
             base: AdapterBase::new(corpus, source)?,
             api: review::ReviewApi::open(corpus, source, now)?,
@@ -432,8 +457,7 @@ impl DataService for ReviewService<'_> {
             let comment_ids = self.base.corpus.comments_of_discussion(discussion);
             let mut review_page = 0;
             loop {
-                let (reviews, review_pages) =
-                    self.api.reviews(now, &v.venue_code, review_page)?;
+                let (reviews, review_pages) = self.api.reviews(now, &v.venue_code, review_page)?;
                 let base_idx = review_page * review::REVIEWS_PAGE_SIZE;
                 for (i, r) in reviews.iter().enumerate() {
                     let cid = comment_ids.get(base_idx + i).copied().ok_or_else(|| {
@@ -481,7 +505,11 @@ pub struct WikiService<'a> {
 
 impl<'a> WikiService<'a> {
     /// Opens the service.
-    pub fn open(corpus: &'a Corpus, source: SourceId, now: Timestamp) -> Result<Self, WrapperError> {
+    pub fn open(
+        corpus: &'a Corpus,
+        source: SourceId,
+        now: Timestamp,
+    ) -> Result<Self, WrapperError> {
         Ok(WikiService {
             base: AdapterBase::new(corpus, source)?,
             api: wiki::WikiApi::open(corpus, source, now)?,
@@ -523,12 +551,14 @@ impl DataService for WikiService<'_> {
             ));
             let comment_ids = self.base.corpus.comments_of_discussion(discussion);
             for (idx, rev) in a.revisions.iter().enumerate() {
-                let cid = comment_ids.get(idx).copied().ok_or_else(|| {
-                    WrapperError::MappingFailed {
-                        what: "wiki revision index",
-                        raw: idx.to_string(),
-                    }
-                })?;
+                let cid =
+                    comment_ids
+                        .get(idx)
+                        .copied()
+                        .ok_or_else(|| WrapperError::MappingFailed {
+                            what: "wiki revision index",
+                            raw: idx.to_string(),
+                        })?;
                 let comment = self.base.corpus.comment(cid).expect("comment");
                 items.push(self.base.item(
                     discussion,
@@ -593,7 +623,13 @@ mod tests {
             for &d in w.corpus.discussions_of_source(s.id) {
                 expected += 1 + w.corpus.comments_of_discussion(d).len();
             }
-            assert_eq!(items.len(), expected, "item count for {} ({})", s.name, s.kind);
+            assert_eq!(
+                items.len(),
+                expected,
+                "item count for {} ({})",
+                s.name,
+                s.kind
+            );
 
             // Every item belongs to the source and has a resolved author.
             for item in &items {

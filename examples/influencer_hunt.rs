@@ -7,8 +7,8 @@
 //! ```
 
 use informing_observers::analytics::{AlexaPanel, FeedRegistry, LinkGraph};
-use informing_observers::quality::{influence_profiles, likely_spammers, SourceContext};
 use informing_observers::model::DomainOfInterest;
+use informing_observers::quality::{influence_profiles, likely_spammers, SourceContext};
 use informing_observers::synth::{World, WorldConfig};
 
 fn main() {

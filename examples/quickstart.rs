@@ -31,7 +31,10 @@ fn main() {
     let benchmarks = Benchmarks::for_sources(&ctx, 0.9);
     let source = &world.corpus.sources()[0];
     let score = assess_source(&ctx, source.id, &weights, &benchmarks);
-    println!("\nsource {:?} ({}) — overall quality {:.3}", source.name, source.kind, score.overall);
+    println!(
+        "\nsource {:?} ({}) — overall quality {:.3}",
+        source.name, source.kind, score.overall
+    );
     for (dim, v) in score.by_dimension() {
         println!("  {dim:<16} {v:.3}");
     }
@@ -40,7 +43,10 @@ fn main() {
     let user_benchmarks = Benchmarks::for_contributors(&ctx, 0.9);
     let user = &world.corpus.users()[0];
     let uscore = assess_contributor(&ctx, user.id, &weights, &user_benchmarks);
-    println!("\ncontributor {:?} — overall quality {:.3}", user.handle, uscore.overall);
+    println!(
+        "\ncontributor {:?} — overall quality {:.3}",
+        user.handle, uscore.overall
+    );
     for (attr, v) in uscore.by_attribute() {
         println!("  {attr:<24} {v:.3}");
     }

@@ -33,10 +33,20 @@ fn main() {
     let sources: Vec<_> = hits.iter().map(|h| h.source).collect();
     let quality = rank_sources(&ctx, &sources, &weights, &benchmarks);
 
-    println!("{:<4} {:<28} {:>12} {:>14}", "pos", "source", "search score", "quality pos");
+    println!(
+        "{:<4} {:<28} {:>12} {:>14}",
+        "pos", "source", "search score", "quality pos"
+    );
     for hit in &hits {
         let s = world.corpus.source(hit.source).unwrap();
-        let qpos = quality.iter().find(|r| r.source == hit.source).unwrap().position;
-        println!("{:<4} {:<28} {:>12.2} {:>14}", hit.position, s.name, hit.score, qpos);
+        let qpos = quality
+            .iter()
+            .find(|r| r.source == hit.source)
+            .unwrap()
+            .position;
+        println!(
+            "{:<4} {:<28} {:>12.2} {:>14}",
+            hit.position, s.name, hit.score, qpos
+        );
     }
 }

@@ -36,13 +36,29 @@ fn main() {
     };
 
     let composition = Composition::new("tourism-dashboard")
-        .with_component("twitter", "source", json!({ "source": best(SourceKind::Microblog) }))
-        .with_component("tripadvisor", "source", json!({ "source": best(SourceKind::ReviewSite) }))
+        .with_component(
+            "twitter",
+            "source",
+            json!({ "source": best(SourceKind::Microblog) }),
+        )
+        .with_component(
+            "tripadvisor",
+            "source",
+            json!({ "source": best(SourceKind::ReviewSite) }),
+        )
         .with_component("influencers", "influencer-filter", json!({ "top": 12 }))
         .with_component("senti", "sentiment", json!({}))
-        .with_component("list", "list-viewer", json!({ "title": "Influencer posts" }))
+        .with_component(
+            "list",
+            "list-viewer",
+            json!({ "title": "Influencer posts" }),
+        )
         .with_component("map", "map-viewer", json!({ "title": "Milan map" }))
-        .with_component("mood", "indicator-viewer", json!({ "title": "Tourism mood" }))
+        .with_component(
+            "mood",
+            "indicator-viewer",
+            json!({ "title": "Tourism mood" }),
+        )
         .with_data_edge("twitter", "influencers")
         .with_data_edge("tripadvisor", "influencers")
         .with_data_edge("influencers", "senti")
@@ -53,7 +69,9 @@ fn main() {
 
     let registry = standard_registry();
     let engine = Engine::new(&registry);
-    let mut execution = engine.execute(&composition, &env).expect("valid composition");
+    let mut execution = engine
+        .execute(&composition, &env)
+        .expect("valid composition");
 
     for line in &execution.trace {
         println!("trace: {line}");

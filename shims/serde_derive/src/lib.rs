@@ -1,0 +1,467 @@
+//! Offline shim of serde's derive macros.
+//!
+//! `syn`/`quote` are unavailable (no crates.io access), so the item
+//! is parsed directly from the `proc_macro` token stream and the
+//! generated impl is assembled as a string. The supported grammar is
+//! the subset the workspace actually derives on:
+//!
+//! - structs with named fields (plus `#[serde(default)]` per field)
+//! - tuple structs (newtypes serialize transparently, like serde)
+//! - `#[serde(transparent)]` on single-field structs
+//! - enums with unit and tuple variants, externally tagged
+//!
+//! Generics, struct variants and the long tail of serde attributes
+//! are rejected with a compile-time panic naming the limitation, so
+//! a future use of an unsupported shape fails loudly, not silently.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed derive input.
+struct Item {
+    name: String,
+    transparent: bool,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    /// Named fields: `(name, has_serde_default)`.
+    NamedStruct(Vec<(String, bool)>),
+    /// Tuple struct with the given arity.
+    TupleStruct(usize),
+    UnitStruct,
+    /// Variants: `(name, arity)`; arity `None` marks a unit variant.
+    Enum(Vec<(String, Option<usize>)>),
+}
+
+/// Derives the shim's `Serialize` (`to_value`) impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = serialize_body(&item);
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {} }}\n\
+         }}",
+        item.name, body
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives the shim's `Deserialize` (`from_value`) impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = deserialize_body(&item);
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{ {} }}\n\
+         }}",
+        item.name, body
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---- code generation ------------------------------------------------
+
+fn serialize_body(item: &Item) -> String {
+    match &item.kind {
+        ItemKind::NamedStruct(fields) if item.transparent => {
+            assert_eq!(
+                fields.len(),
+                1,
+                "serde_derive shim: transparent needs 1 field"
+            );
+            format!("::serde::Serialize::to_value(&self.{})", fields[0].0)
+        }
+        ItemKind::NamedStruct(fields) => {
+            let mut out = String::from("let mut m = ::serde::Map::new();\n");
+            for (f, _) in fields {
+                out.push_str(&format!(
+                    "m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            out.push_str("::serde::Value::Object(m)");
+            out
+        }
+        // Newtypes serialize as their payload, matching serde.
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let name = &item.name;
+            let mut arms = String::new();
+            for (v, arity) in variants {
+                match arity {
+                    None => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n"
+                    )),
+                    Some(1) => arms.push_str(&format!(
+                        "{name}::{v}(x0) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(\"{v}\".to_string(), ::serde::Serialize::to_value(x0));\n\
+                             ::serde::Value::Object(m)\n\
+                         }}\n"
+                    )),
+                    Some(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => {{\n\
+                                 let mut m = ::serde::Map::new();\n\
+                                 m.insert(\"{v}\".to_string(), ::serde::Value::Array(vec![{}]));\n\
+                                 ::serde::Value::Object(m)\n\
+                             }}\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    }
+}
+
+fn deserialize_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.kind {
+        ItemKind::NamedStruct(fields) if item.transparent => {
+            let f = &fields[0].0;
+            format!("Ok({name} {{ {f}: ::serde::Deserialize::from_value(v)? }})")
+        }
+        ItemKind::NamedStruct(fields) => {
+            let mut out = format!(
+                "let m = match v {{\n\
+                     ::serde::Value::Object(m) => m,\n\
+                     _ => return Err(::serde::DeError::new(\"{name}: expected object\")),\n\
+                 }};\n\
+                 Ok({name} {{\n"
+            );
+            for (f, has_default) in fields {
+                let missing = if *has_default {
+                    "::core::default::Default::default()".to_string()
+                } else {
+                    format!("return Err(::serde::DeError::new(\"{name}: missing field `{f}`\"))")
+                };
+                out.push_str(&format!(
+                    "{f}: match m.get(\"{f}\") {{\n\
+                         Some(x) => match ::serde::Deserialize::from_value(x) {{\n\
+                             Ok(t) => t,\n\
+                             Err(e) => return Err(e.context(\"{name}.{f}\")),\n\
+                         }},\n\
+                         None => {missing},\n\
+                     }},\n"
+                ));
+            }
+            out.push_str("})");
+            out
+        }
+        ItemKind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        ItemKind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                .collect();
+            format!(
+                "let a = match v {{\n\
+                     ::serde::Value::Array(a) if a.len() == {n} => a,\n\
+                     _ => return Err(::serde::DeError::new(\"{name}: expected {n}-element array\")),\n\
+                 }};\n\
+                 Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        ItemKind::UnitStruct => format!("Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (v, arity) in variants {
+                match arity {
+                    None => unit_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n")),
+                    Some(1) => data_arms.push_str(&format!(
+                        "\"{v}\" => Ok({name}::{v}(\
+                             match ::serde::Deserialize::from_value(inner) {{\n\
+                                 Ok(t) => t,\n\
+                                 Err(e) => return Err(e.context(\"{name}::{v}\")),\n\
+                             }})),\n"
+                    )),
+                    Some(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                                 let a = match inner {{\n\
+                                     ::serde::Value::Array(a) if a.len() == {n} => a,\n\
+                                     _ => return Err(::serde::DeError::new(\
+                                         \"{name}::{v}: expected {n}-element array\")),\n\
+                                 }};\n\
+                                 Ok({name}::{v}({}))\n\
+                             }}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => Err(::serde::DeError::new(format!(\
+                             \"{name}: unknown variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                         let (tag, inner) = m.iter().next().expect(\"len checked\");\n\
+                         match tag.as_str() {{\n\
+                             {data_arms}\
+                             other => Err(::serde::DeError::new(format!(\
+                                 \"{name}: unknown variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(::serde::DeError::new(\"{name}: expected variant string or single-key object\")),\n\
+                 }}"
+            )
+        }
+    }
+}
+
+// ---- token-stream parsing -------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+
+    // Outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let attr = expect_group(&tokens, i + 1, Delimiter::Bracket);
+                if serde_attr_words(attr).iter().any(|w| w == "transparent") {
+                    transparent = true;
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = expect_ident(&tokens, i);
+    i += 1;
+    let name = expect_ident(&tokens, i);
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        assert!(
+            p.as_char() != '<',
+            "serde_derive shim: generic type `{name}` is not supported"
+        );
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("serde_derive shim: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive shim: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive shim: expected struct or enum, found `{other}`"),
+    };
+
+    Item {
+        name,
+        transparent,
+        kind,
+    }
+}
+
+/// Named-field bodies: `attrs vis name: Type, ...` with `<...>` depth
+/// tracked so commas inside generic arguments don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut has_default = false;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let attr = expect_group(&tokens, i + 1, Delimiter::Bracket);
+                    if serde_attr_words(attr).iter().any(|w| w == "default") {
+                        has_default = true;
+                    }
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let fname = expect_ident(&tokens, i);
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde_derive shim: expected `:` after field `{fname}`, found {other:?}")
+            }
+        }
+        let mut angle_depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push((fname, has_default));
+    }
+    fields
+}
+
+/// Tuple bodies: count top-level commas (angle-depth aware), ignoring
+/// a trailing comma.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut fields = 1;
+    for (idx, tt) in tokens.iter().enumerate() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p)
+                if p.as_char() == ',' && angle_depth == 0 && idx + 1 < tokens.len() =>
+            {
+                fields += 1;
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Enum bodies: `attrs Name`, `attrs Name(T, ...)`, with optional
+/// `= discriminant`, comma-separated. Struct variants are rejected.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Option<usize>)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                expect_group(&tokens, i + 1, Delimiter::Bracket);
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = expect_ident(&tokens, i);
+        i += 1;
+        let mut arity = None;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = Some(count_tuple_fields(g.stream()));
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("serde_derive shim: struct variant `{vname}` is not supported")
+                }
+                _ => {}
+            }
+        }
+        // Skip an optional `= discriminant` and the trailing comma.
+        while let Some(tt) = tokens.get(i) {
+            i += 1;
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push((vname, arity));
+    }
+    variants
+}
+
+/// Words inside a `#[serde(...)]` attribute group; empty for other
+/// attributes (doc comments, inline, ...).
+fn serde_attr_words(group: &proc_macro::Group) -> Vec<String> {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Vec::new(),
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .filter_map(|tt| match tt {
+                TokenTree::Ident(id) => Some(id.to_string()),
+                _ => None,
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: usize) -> String {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected identifier, found {other:?}"),
+    }
+}
+
+fn expect_group(tokens: &[TokenTree], i: usize, delim: Delimiter) -> &proc_macro::Group {
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => g,
+        other => panic!("serde_derive shim: expected {delim:?} group, found {other:?}"),
+    }
+}

@@ -1,0 +1,167 @@
+//! Offline shim of `serde_json`: the JSON text layer over the serde
+//! shim's [`Value`] data model.
+//!
+//! Provides the subset the workspace uses: `to_string`,
+//! `to_string_pretty`, `from_str`, `to_value`, the [`json!`] macro
+//! and the [`Value`]/[`Error`] types. The parser is a complete JSON
+//! reader (escapes, surrogate pairs, exponents); the writer keeps
+//! serde_json's conventions (compact form without spaces, two-space
+//! pretty indent, deterministic key order via `BTreeMap`).
+
+use std::fmt;
+
+pub use serde::{Map, Number, Value};
+
+mod read;
+mod write;
+
+/// JSON (de)serialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serializes `value` to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    write::write_compact(&value.to_value())
+}
+
+/// Serializes `value` to human-readable JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    write::write_pretty(&value.to_value())
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a deserializable value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value).map_err(Error::from)
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = read::parse(s)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+#[doc(hidden)]
+pub fn __macro_to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Builds a [`Value`] from JSON-ish syntax, like serde_json's macro.
+/// Keys must be string literals or parenthesized expressions; values
+/// are JSON literals, arrays, objects or Rust expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($elems:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut elems: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::__json_array!(elems $($elems)*);
+        $crate::Value::Array(elems)
+    }};
+    ({ $($members:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::__json_object!(map $($members)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::__macro_to_value(&$other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_array {
+    ($vec:ident) => {};
+    ($vec:ident null $(, $($rest:tt)*)?) => {
+        $vec.push($crate::Value::Null);
+        $($crate::__json_array!($vec $($rest)*);)?
+    };
+    ($vec:ident true $(, $($rest:tt)*)?) => {
+        $vec.push($crate::Value::Bool(true));
+        $($crate::__json_array!($vec $($rest)*);)?
+    };
+    ($vec:ident false $(, $($rest:tt)*)?) => {
+        $vec.push($crate::Value::Bool(false));
+        $($crate::__json_array!($vec $($rest)*);)?
+    };
+    ($vec:ident [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!([ $($inner)* ]));
+        $($crate::__json_array!($vec $($rest)*);)?
+    };
+    ($vec:ident { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!({ $($inner)* }));
+        $($crate::__json_array!($vec $($rest)*);)?
+    };
+    ($vec:ident $value:expr , $($rest:tt)*) => {
+        $vec.push($crate::__macro_to_value(&$value));
+        $crate::__json_array!($vec $($rest)*);
+    };
+    ($vec:ident $value:expr) => {
+        $vec.push($crate::__macro_to_value(&$value));
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    ($map:ident) => {};
+    ($map:ident $key:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+        $($crate::__json_object!($map $($rest)*);)?
+    };
+    ($map:ident $key:literal : true $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::Value::Bool(true));
+        $($crate::__json_object!($map $($rest)*);)?
+    };
+    ($map:ident $key:literal : false $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::Value::Bool(false));
+        $($crate::__json_object!($map $($rest)*);)?
+    };
+    ($map:ident $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $($crate::__json_object!($map $($rest)*);)?
+    };
+    ($map:ident $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $($crate::__json_object!($map $($rest)*);)?
+    };
+    ($map:ident $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::__macro_to_value(&$value));
+        $crate::__json_object!($map $($rest)*);
+    };
+    ($map:ident $key:literal : $value:expr) => {
+        $map.insert($key.to_string(), $crate::__macro_to_value(&$value));
+    };
+    ($map:ident ($key:expr) : $value:expr , $($rest:tt)*) => {
+        $map.insert(::std::string::String::from($key), $crate::__macro_to_value(&$value));
+        $crate::__json_object!($map $($rest)*);
+    };
+    ($map:ident ($key:expr) : $value:expr) => {
+        $map.insert(::std::string::String::from($key), $crate::__macro_to_value(&$value));
+    };
+}

@@ -1,0 +1,112 @@
+//! JSON text emission: compact and pretty writers over [`Value`].
+
+use crate::{Error, Value};
+use std::fmt::Write as _;
+
+/// Compact form: no whitespace, serde_json's default.
+pub(crate) fn write_compact(v: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    compact(v, &mut out);
+    Ok(out)
+}
+
+/// Pretty form: two-space indent, space after `:`.
+pub(crate) fn write_pretty(v: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    pretty(v, 0, &mut out);
+    Ok(out)
+}
+
+fn compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::String(s) => escape_into(s, out),
+        Value::Array(a) => {
+            out.push('[');
+            for (i, elem) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                compact(elem, out);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(k, out);
+                out.push(':');
+                compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn pretty(v: &Value, depth: usize, out: &mut String) {
+    match v {
+        Value::Array(a) if !a.is_empty() => {
+            out.push_str("[\n");
+            for (i, elem) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(depth + 1, out);
+                pretty(elem, depth + 1, out);
+            }
+            out.push('\n');
+            indent(depth, out);
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(depth + 1, out);
+                escape_into(k, out);
+                out.push_str(": ");
+                pretty(val, depth + 1, out);
+            }
+            out.push('\n');
+            indent(depth, out);
+            out.push('}');
+        }
+        other => compact(other, out),
+    }
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Writes `s` as a quoted JSON string with all required escapes.
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

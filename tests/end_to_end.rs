@@ -22,7 +22,12 @@ fn pipeline(seed: u64) -> Pipeline {
     let panel = AlexaPanel::simulate(&world, seed ^ 1);
     let links = LinkGraph::simulate(&world, seed ^ 2);
     let feeds = FeedRegistry::simulate(&world, seed ^ 3);
-    Pipeline { world, panel, links, feeds }
+    Pipeline {
+        world,
+        panel,
+        links,
+        feeds,
+    }
 }
 
 #[test]
@@ -46,7 +51,10 @@ fn crawl_reconstructs_the_corpus_for_every_source_kind() {
         assert_eq!(report.items, expected);
         kinds_seen.insert(source.kind);
     }
-    assert!(kinds_seen.len() >= 3, "world exercises several source kinds");
+    assert!(
+        kinds_seen.len() >= 3,
+        "world exercises several source kinds"
+    );
 }
 
 #[test]
@@ -55,8 +63,22 @@ fn quality_scores_are_stable_across_identical_runs() {
     let b = pipeline(2);
     let di_a = a.world.tourism_di();
     let di_b = b.world.tourism_di();
-    let ctx_a = SourceContext::new(&a.world.corpus, &a.panel, &a.links, &a.feeds, &di_a, a.world.now);
-    let ctx_b = SourceContext::new(&b.world.corpus, &b.panel, &b.links, &b.feeds, &di_b, b.world.now);
+    let ctx_a = SourceContext::new(
+        &a.world.corpus,
+        &a.panel,
+        &a.links,
+        &a.feeds,
+        &di_a,
+        a.world.now,
+    );
+    let ctx_b = SourceContext::new(
+        &b.world.corpus,
+        &b.panel,
+        &b.links,
+        &b.feeds,
+        &di_b,
+        b.world.now,
+    );
     let weights = Weights::uniform();
     let bench_a = Benchmarks::for_sources(&ctx_a, 0.9);
     let bench_b = Benchmarks::for_sources(&ctx_b, 0.9);
@@ -71,7 +93,14 @@ fn quality_scores_are_stable_across_identical_runs() {
 fn ranking_is_a_permutation_and_prefers_higher_scores() {
     let p = pipeline(3);
     let di = p.world.open_di();
-    let ctx = SourceContext::new(&p.world.corpus, &p.panel, &p.links, &p.feeds, &di, p.world.now);
+    let ctx = SourceContext::new(
+        &p.world.corpus,
+        &p.panel,
+        &p.links,
+        &p.feeds,
+        &di,
+        p.world.now,
+    );
     let weights = Weights::uniform();
     let benchmarks = Benchmarks::for_sources(&ctx, 0.9);
     let candidates: Vec<_> = p.world.corpus.sources().iter().map(|s| s.id).collect();

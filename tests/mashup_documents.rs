@@ -53,7 +53,10 @@ fn every_builtin_kind_is_constructible_from_documented_params() {
         ("influencer-filter", json!({"top": 5})),
         ("category-filter", json!({"categories": ["hotels"]})),
         ("time-filter", json!({"last_days": 7})),
-        ("geo-filter", json!({"lat": 45.46, "lon": 9.19, "radius_km": 25.0})),
+        (
+            "geo-filter",
+            json!({"lat": 45.46, "lon": 9.19, "radius_km": 25.0}),
+        ),
         ("sentiment", json!({})),
         ("buzzwords", json!({"top": 5})),
         ("list-viewer", json!({"title": "t"})),
@@ -114,7 +117,7 @@ fn quality_filter_composes_with_sentiment_pipeline() {
         .with_data_edge("senti", "mood");
     let registry = standard_registry();
     let engine = Engine::new(&registry);
-    let execution = engine.execute(&composition, &engine_env(&env)).unwrap();
+    let execution = engine.execute(&composition, engine_env(&env)).unwrap();
 
     let merged = execution.dataset("a").unwrap().len() + execution.dataset("b").unwrap().len();
     assert_eq!(execution.dataset("good").unwrap().len(), merged);
