@@ -11,14 +11,14 @@
 //!   sessions with page counts and dwell times, sampled from the
 //!   source's *popularity* (session volume) and *stickiness* (session
 //!   depth/length);
-//! * [`panel`] — the [`AlexaPanel`](panel::AlexaPanel): aggregates
+//! * [`panel`] — the [`AlexaPanel`]: aggregates
 //!   the visit log into exactly the metrics the paper reads off
 //!   Alexa;
 //! * [`links`] — a preferential-attachment inbound [`LinkGraph`]
 //!   (popular sources attract links, topically close sources link
 //!   more), feeding both the authority measure and the search
 //!   baseline's PageRank;
-//! * [`feeds`] — the [`FeedRegistry`](feeds::FeedRegistry)
+//! * [`feeds`] — the [`FeedRegistry`]
 //!   (Feedburner substitute) for feed-subscription counts.
 
 #![warn(missing_docs)]

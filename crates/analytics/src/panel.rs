@@ -4,7 +4,7 @@
 //! visitors, daily page views, average time spent on site, and bounce
 //! rate (plus the derived page-views-per-visitor liveliness measure).
 //! [`AlexaPanel`] computes all of them by aggregating the simulated
-//! [`VisitLog`](crate::visits::VisitLog).
+//! [`VisitLog`].
 
 use crate::visits::VisitLog;
 use obs_model::SourceId;

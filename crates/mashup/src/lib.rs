@@ -8,7 +8,7 @@
 //! * [`data`] — the dataset flowing between components (normalized
 //!   content items enriched with sentiment/influence annotations) and
 //!   the selection events viewers exchange;
-//! * [`env`] — the shared environment (corpus, analytics, DI, quality
+//! * [`env`](mod@env) — the shared environment (corpus, analytics, DI, quality
 //!   scores, influence profiles) components evaluate against;
 //! * [`component`] — the component contract (sources, transforms,
 //!   viewers);

@@ -1,0 +1,275 @@
+//! Incremental corpus change-sets.
+//!
+//! A [`Corpus`] is an immutable arena, but the sources it snapshots
+//! are not: blogs publish, forums archive, crawlers observe. A
+//! [`CorpusDelta`] is the unit of change that flows from an
+//! incremental crawl into downstream consumers (the search index,
+//! the engine's static signals) without rebuilding the world:
+//!
+//! * [`DocDelta`] — one new (or re-published) opening post, carrying
+//!   the exact text a from-scratch index build would see;
+//! * removals — opening posts that disappeared from a source;
+//! * [`EngagementDelta`] — per-source discussion/comment count
+//!   adjustments, which feed query-independent ranking signals.
+//!
+//! Deltas compose: [`CorpusDelta::merge`] folds the change-sets of
+//! several crawl ticks into one, and the helpers
+//! [`CorpusDelta::for_posts`] / [`CorpusDelta::for_removals`] derive
+//! change-sets from a corpus so tests and benches can replay any
+//! subset of a world incrementally.
+
+use crate::{Corpus, ModelError, PostId, SourceId};
+use serde::{Deserialize, Serialize};
+
+/// One opening post entering the observed world.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DocDelta {
+    /// Identifier of the post.
+    pub post: PostId,
+    /// Source hosting the post.
+    pub source: SourceId,
+    /// Indexable text: title, body and tags, space-joined — the same
+    /// composition a full index build derives from the corpus.
+    pub text: String,
+}
+
+/// Per-source engagement adjustment (may be negative on removals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngagementDelta {
+    /// The source whose counters move.
+    pub source: SourceId,
+    /// Net change in hosted discussions.
+    pub discussions: i64,
+    /// Net change in comments across the source's discussions.
+    pub comments: i64,
+}
+
+/// A change-set observed between two crawl ticks.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CorpusDelta {
+    /// Newly observed opening posts, in observation order.
+    pub added: Vec<DocDelta>,
+    /// Opening posts that vanished from their source.
+    pub removed: Vec<PostId>,
+    /// Engagement adjustments, at most one entry per source.
+    pub engagement: Vec<EngagementDelta>,
+}
+
+impl CorpusDelta {
+    /// An empty change-set.
+    pub fn new() -> CorpusDelta {
+        CorpusDelta::default()
+    }
+
+    /// Whether the delta carries no changes at all.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.engagement.is_empty()
+    }
+
+    /// Number of document-level changes (adds + removals).
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// Records a newly observed opening post.
+    pub fn add_doc(&mut self, post: PostId, source: SourceId, text: impl Into<String>) {
+        self.added.push(DocDelta {
+            post,
+            source,
+            text: text.into(),
+        });
+    }
+
+    /// Records a vanished opening post.
+    pub fn remove_doc(&mut self, post: PostId) {
+        self.removed.push(post);
+    }
+
+    /// Accumulates an engagement adjustment for a source, merging
+    /// with any prior adjustment for the same source.
+    pub fn note_engagement(&mut self, source: SourceId, discussions: i64, comments: i64) {
+        if let Some(e) = self.engagement.iter_mut().find(|e| e.source == source) {
+            e.discussions += discussions;
+            e.comments += comments;
+        } else {
+            self.engagement.push(EngagementDelta {
+                source,
+                discussions,
+                comments,
+            });
+        }
+    }
+
+    /// Folds another delta into this one so that applying the merged
+    /// delta equals applying the two in sequence. A removal in
+    /// `other` cancels an earlier add of the same post (consumers
+    /// replay removals before additions, so the stale add would
+    /// otherwise resurrect the document); an add in `other` after an
+    /// earlier removal needs no reconciliation — remove-then-add is
+    /// already update semantics.
+    pub fn merge(&mut self, other: CorpusDelta) {
+        for doc in other.removed {
+            self.added.retain(|d| d.post != doc);
+            self.removed.push(doc);
+        }
+        self.added.extend(other.added);
+        for e in other.engagement {
+            self.note_engagement(e.source, e.discussions, e.comments);
+        }
+    }
+
+    /// Derives the change-set that adds the given opening posts,
+    /// with the same indexable text (title + body + tags) a full
+    /// build composes and one hosted discussion per post.
+    pub fn for_posts(corpus: &Corpus, posts: &[PostId]) -> Result<CorpusDelta, ModelError> {
+        let mut delta = CorpusDelta::new();
+        for &pid in posts {
+            let (source, text) = document_text(corpus, pid)?;
+            delta.add_doc(pid, source, text);
+            let comments = corpus
+                .comments_of_discussion(corpus.post(pid)?.discussion)
+                .len() as i64;
+            delta.note_engagement(source, 1, comments);
+        }
+        Ok(delta)
+    }
+
+    /// Derives the change-set that removes the given opening posts,
+    /// the exact inverse of [`CorpusDelta::for_posts`].
+    pub fn for_removals(corpus: &Corpus, posts: &[PostId]) -> Result<CorpusDelta, ModelError> {
+        let mut delta = CorpusDelta::new();
+        for &pid in posts {
+            let post = corpus.post(pid)?;
+            let discussion = corpus.discussion(post.discussion)?;
+            delta.remove_doc(pid);
+            let comments = corpus.comments_of_discussion(discussion.id).len() as i64;
+            delta.note_engagement(discussion.source, -1, -comments);
+        }
+        Ok(delta)
+    }
+}
+
+/// The indexable text of an opening post: title, body and tags,
+/// space-joined. Kept in one place so incremental adds reproduce a
+/// from-scratch build bit-for-bit.
+pub fn document_text(corpus: &Corpus, post: PostId) -> Result<(SourceId, String), ModelError> {
+    let p = corpus.post(post)?;
+    let discussion = corpus.discussion(p.discussion)?;
+    let mut text = String::with_capacity(discussion.title.len() + p.body.len() + 16 * p.tags.len());
+    text.push_str(&discussion.title);
+    text.push(' ');
+    text.push_str(&p.body);
+    for tag in &p.tags {
+        text.push(' ');
+        text.push_str(tag.as_str());
+    }
+    Ok((discussion.source, text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccountKind, CorpusBuilder, SourceKind, Tag, Timestamp};
+
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        let cat = b.add_category("attractions");
+        let s = b.add_source(SourceKind::Blog, "one", Timestamp::EPOCH);
+        let u = b.add_user("u", AccountKind::Person, Timestamp::EPOCH);
+        let (d, _) = b.add_discussion_with_post(
+            s,
+            cat,
+            "duomo views",
+            u,
+            Timestamp::from_days(1),
+            "rooftop is amazing",
+            vec![Tag::new("duomo")],
+            None,
+        );
+        b.add_comment(d, u, "agreed", Timestamp::from_days(2));
+        b.build()
+    }
+
+    #[test]
+    fn document_text_matches_build_composition() {
+        let c = corpus();
+        let (source, text) = document_text(&c, PostId::new(0)).unwrap();
+        assert_eq!(source, SourceId::new(0));
+        assert_eq!(text, "duomo views rooftop is amazing duomo");
+        assert!(document_text(&c, PostId::new(9)).is_err());
+    }
+
+    #[test]
+    fn for_posts_and_for_removals_are_inverses() {
+        let c = corpus();
+        let added = CorpusDelta::for_posts(&c, &[PostId::new(0)]).unwrap();
+        let removed = CorpusDelta::for_removals(&c, &[PostId::new(0)]).unwrap();
+        assert_eq!(added.added.len(), 1);
+        assert_eq!(
+            added.engagement,
+            vec![EngagementDelta {
+                source: SourceId::new(0),
+                discussions: 1,
+                comments: 1,
+            }]
+        );
+        assert_eq!(removed.removed, vec![PostId::new(0)]);
+        assert_eq!(removed.engagement[0].discussions, -1);
+        assert_eq!(removed.engagement[0].comments, -1);
+    }
+
+    #[test]
+    fn engagement_merges_per_source() {
+        let mut d = CorpusDelta::new();
+        d.note_engagement(SourceId::new(3), 1, 2);
+        d.note_engagement(SourceId::new(3), 1, 1);
+        d.note_engagement(SourceId::new(4), 1, 0);
+        assert_eq!(d.engagement.len(), 2);
+        assert_eq!(d.engagement[0].discussions, 2);
+        assert_eq!(d.engagement[0].comments, 3);
+    }
+
+    #[test]
+    fn merge_concatenates_docs_and_folds_engagement() {
+        let mut a = CorpusDelta::new();
+        a.add_doc(PostId::new(0), SourceId::new(0), "x");
+        a.note_engagement(SourceId::new(0), 1, 0);
+        let mut b = CorpusDelta::new();
+        b.remove_doc(PostId::new(1));
+        b.note_engagement(SourceId::new(0), 0, 5);
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert_eq!(a.engagement.len(), 1);
+        assert_eq!(a.engagement[0].comments, 5);
+    }
+
+    #[test]
+    fn later_removal_cancels_earlier_add() {
+        // Tick 1 observes post P; tick 2 observes it vanished. The
+        // merged delta must not resurrect P (removals replay before
+        // additions when a delta is applied).
+        let mut a = CorpusDelta::new();
+        a.add_doc(PostId::new(5), SourceId::new(0), "transient");
+        let mut b = CorpusDelta::new();
+        b.remove_doc(PostId::new(5));
+        a.merge(b);
+        assert!(a.added.is_empty());
+        assert_eq!(a.removed, vec![PostId::new(5)]);
+    }
+
+    #[test]
+    fn empty_delta_reports_empty() {
+        assert!(CorpusDelta::new().is_empty());
+        assert_eq!(CorpusDelta::new().len(), 0);
+    }
+
+    #[test]
+    fn delta_json_roundtrips() {
+        let c = corpus();
+        let d = CorpusDelta::for_posts(&c, &[PostId::new(0)]).unwrap();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: CorpusDelta = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod corpus;
+mod delta;
 mod domain;
 mod error;
 mod geo;
@@ -48,6 +49,7 @@ mod time;
 mod user;
 
 pub use corpus::{Corpus, CorpusBuilder, CorpusStats};
+pub use delta::{document_text, CorpusDelta, DocDelta, EngagementDelta};
 pub use domain::{CategoryBook, DomainOfInterest};
 pub use error::ModelError;
 pub use geo::{GeoPoint, Region};

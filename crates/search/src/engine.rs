@@ -17,12 +17,18 @@
 //! The penalties are small: traffic dominates, participation is
 //! secondary, dwell is weakest, mirroring the significance ordering
 //! (p < 0.001, p < 0.01, p < 0.05) of the paper's regressions.
+//!
+//! The engine is *maintainable*: [`SearchEngine::apply_delta`] feeds
+//! a [`CorpusDelta`] (e.g. one crawl tick) straight into the inverted
+//! index and refreshes the static signal blend, recomputing raw
+//! participation only for the sources the delta touched.
 
 use crate::index::InvertedIndex;
-use crate::pagerank::pagerank;
+use crate::pagerank::pagerank_converged;
 use crate::score::{bm25_scores, Bm25Params};
+use crate::token::tokenize;
 use obs_analytics::{AlexaPanel, LinkGraph};
-use obs_model::{Corpus, SourceId};
+use obs_model::{Corpus, CorpusDelta, SourceId};
 use obs_stats::normalize::z_scores;
 
 /// Signal weights of the blended ranker.
@@ -70,11 +76,60 @@ pub struct SearchHit {
     pub position: usize,
 }
 
+/// Raw (pre-standardization) per-source signal vectors, retained so
+/// incremental updates can refresh one source without re-deriving
+/// the others from a corpus walk.
+#[derive(Debug, Clone, Default)]
+struct StaticSignals {
+    /// `ln(1 + daily visitors)` from the traffic panel.
+    visitors: Vec<f64>,
+    /// `ln(1 + avg time on site)` from the traffic panel.
+    dwell: Vec<f64>,
+    /// `ln(pagerank)` over the link graph.
+    pr_log: Vec<f64>,
+    /// Hosted discussion count (participation input).
+    discussions: Vec<f64>,
+    /// Comment count across the source's discussions.
+    comments: Vec<f64>,
+    /// Derived participation signal (see [`StaticSignals::refresh`]).
+    participation: Vec<f64>,
+}
+
+impl StaticSignals {
+    /// Participation density as a crawler would see it: comments per
+    /// discussion plus discussion-opening rate.
+    fn refresh(&mut self, source: usize) {
+        let discussions = self.discussions[source];
+        let density = if discussions == 0.0 {
+            0.0
+        } else {
+            self.comments[source] / discussions
+        };
+        self.participation[source] = (1.0 + density).ln() + (1.0 + discussions).ln() * 0.3;
+    }
+
+    /// Grows every vector so `source` is addressable, with neutral
+    /// (zero) raw signals for the newly appeared sources.
+    fn ensure(&mut self, source: usize) {
+        let n = source + 1;
+        if self.visitors.len() < n {
+            self.visitors.resize(n, 0.0);
+            self.dwell.resize(n, 0.0);
+            self.pr_log.resize(n, 0.0);
+            self.discussions.resize(n, 0.0);
+            self.comments.resize(n, 0.0);
+            self.participation.resize(n, 0.0);
+        }
+    }
+}
+
 /// The search engine: index + per-source static signals.
 #[derive(Debug, Clone)]
 pub struct SearchEngine {
     index: InvertedIndex,
-    /// Static (query-independent) score component per source.
+    signals: StaticSignals,
+    /// Static (query-independent) score component per source,
+    /// re-blended from `signals` after every delta.
     static_score: Vec<f64>,
     weights: BlendWeights,
     params: Bm25Params,
@@ -91,40 +146,55 @@ impl SearchEngine {
         let index = InvertedIndex::build(corpus);
         let n = corpus.sources().len();
 
-        // Raw signals.
-        let mut visitors = vec![0.0; n];
-        let mut dwell = vec![0.0; n];
+        let mut signals = StaticSignals {
+            visitors: vec![0.0; n],
+            dwell: vec![0.0; n],
+            pr_log: vec![0.0; n],
+            discussions: vec![0.0; n],
+            comments: vec![0.0; n],
+            participation: vec![0.0; n],
+        };
         for (i, t) in panel.all().iter().enumerate() {
-            visitors[i] = (1.0 + t.daily_visitors).ln();
-            dwell[i] = (1.0 + t.avg_time_on_site).ln();
+            signals.visitors[i] = (1.0 + t.daily_visitors).ln();
+            signals.dwell[i] = (1.0 + t.avg_time_on_site).ln();
         }
-        let pr = pagerank(links, 0.85, 50);
-        let pr_log: Vec<f64> = pr.iter().map(|&x| (1e-12 + x).ln()).collect();
+        // 50 iterations was the fixed budget; with the convergence
+        // early-exit the run usually stops well short while staying
+        // within 1e-11 of the full-budget scores.
+        let pr = pagerank_converged(links, 0.85, 50, 1e-12).scores;
+        signals.pr_log = pr.iter().map(|&x| (1e-12 + x).ln()).collect();
 
-        // Participation density as a crawler would see it: comments
-        // per discussion plus discussion-opening rate.
-        let mut participation = vec![0.0; n];
         for (i, s) in corpus.sources().iter().enumerate() {
             let discussions = corpus.discussions_of_source(s.id);
             let comments: usize = discussions
                 .iter()
                 .map(|&d| corpus.comments_of_discussion(d).len())
                 .sum();
-            let density = if discussions.is_empty() {
-                0.0
-            } else {
-                comments as f64 / discussions.len() as f64
-            };
-            participation[i] = (1.0 + density).ln() + (1.0 + discussions.len() as f64).ln() * 0.3;
+            signals.discussions[i] = discussions.len() as f64;
+            signals.comments[i] = comments as f64;
+            signals.refresh(i);
         }
 
-        // Standardize each signal so the weights are comparable.
-        let zv = z_scores(&visitors);
-        let zp = z_scores(&pr_log);
-        let zpart = z_scores(&participation);
-        let zd = z_scores(&dwell);
+        let mut engine = SearchEngine {
+            index,
+            signals,
+            static_score: Vec::new(),
+            weights,
+            params: Bm25Params::default(),
+        };
+        engine.reblend();
+        engine
+    }
 
-        let static_score: Vec<f64> = (0..n)
+    /// Standardizes each raw signal and re-blends the static scores.
+    /// O(sources) vector arithmetic — no corpus or graph walk.
+    fn reblend(&mut self) {
+        let zv = z_scores(&self.signals.visitors);
+        let zp = z_scores(&self.signals.pr_log);
+        let zpart = z_scores(&self.signals.participation);
+        let zd = z_scores(&self.signals.dwell);
+        let weights = &self.weights;
+        self.static_score = (0..self.signals.visitors.len())
             .map(|i| {
                 weights.traffic * zv.get(i).copied().unwrap_or(0.0)
                     + weights.pagerank * zp.get(i).copied().unwrap_or(0.0)
@@ -132,23 +202,49 @@ impl SearchEngine {
                     - weights.dwell_penalty * zd.get(i).copied().unwrap_or(0.0)
             })
             .collect();
+    }
 
-        SearchEngine {
-            index,
-            static_score,
-            weights,
-            params: Bm25Params::default(),
+    /// Applies one change-set — typically what a crawl tick observed
+    /// — to the engine in place.
+    ///
+    /// The inverted index absorbs document adds/removes through its
+    /// tombstone-compacting writer; engagement adjustments update the
+    /// raw participation inputs of *only the touched sources* before
+    /// the static blend is re-standardized. Traffic and PageRank
+    /// inputs are untouched (a content delta carries no new panel or
+    /// link observations). Applying a delta and its exact inverse
+    /// restores the engine's rankings bit-for-bit.
+    pub fn apply_delta(&mut self, delta: &CorpusDelta) {
+        self.index.apply_delta(delta);
+        if delta.engagement.is_empty() {
+            return;
         }
+        for e in &delta.engagement {
+            let i = e.source.index();
+            self.signals.ensure(i);
+            self.signals.discussions[i] =
+                (self.signals.discussions[i] + e.discussions as f64).max(0.0);
+            self.signals.comments[i] = (self.signals.comments[i] + e.comments as f64).max(0.0);
+            self.signals.refresh(i);
+        }
+        self.reblend();
     }
 
     /// Evaluates a query, returning the top `k` sources.
     ///
-    /// Document BM25 scores aggregate per source by their maximum
-    /// (the best matching page represents the site), then blend with
-    /// the static signal. Sources with no matching document are not
-    /// returned — like a real engine, zero-recall sites don't rank.
+    /// Query terms pass through the same [`tokenize`] pipeline the
+    /// index was built with (lowercasing, punctuation splitting,
+    /// stopword removal), so `"The Duomo!"` finds what `"duomo"`
+    /// finds; duplicate terms are collapsed. Document BM25 scores
+    /// aggregate per source by their maximum (the best matching page
+    /// represents the site), then blend with the static signal.
+    /// Sources with no matching document are not returned — like a
+    /// real engine, zero-recall sites don't rank.
     pub fn query(&self, terms: &[String], k: usize) -> Vec<SearchHit> {
-        let doc_scores = bm25_scores(&self.index, terms, self.params);
+        // Duplicates left after tokenization are collapsed by the
+        // scorer itself (`distinct_terms` in `score`).
+        let normalized: Vec<String> = terms.iter().flat_map(|t| tokenize(t)).collect();
+        let doc_scores = bm25_scores(&self.index, &normalized, self.params);
         let mut best_per_source: std::collections::HashMap<SourceId, (f64, u32)> =
             std::collections::HashMap::new();
         for (doc, score) in doc_scores {
@@ -202,6 +298,7 @@ impl SearchEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obs_model::PostId;
     use obs_synth::{QueryWorkload, World, WorldConfig};
 
     fn engine() -> (World, SearchEngine) {
@@ -256,6 +353,85 @@ mod tests {
     }
 
     #[test]
+    fn raw_queries_are_tokenized_like_the_index() {
+        let (world, engine) = engine();
+        let post = world
+            .corpus
+            .posts()
+            .iter()
+            .find(|p| !p.tags.is_empty())
+            .expect("tagged post");
+        let term = post.tags[0].as_str();
+        // Uppercased, punctuated, stopword-padded — must match what
+        // the bare lowercase term matches.
+        let raw = format!("The {}!", term.to_uppercase());
+        let clean = engine.query(&[term.to_owned()], 50);
+        let messy = engine.query(&[raw], 50);
+        assert!(!clean.is_empty());
+        assert_eq!(clean, messy);
+    }
+
+    #[test]
+    fn duplicate_query_terms_do_not_inflate_scores() {
+        let (world, engine) = engine();
+        let post = world
+            .corpus
+            .posts()
+            .iter()
+            .find(|p| !p.tags.is_empty())
+            .expect("tagged post");
+        let term = post.tags[0].as_str().to_owned();
+        let once = engine.query(std::slice::from_ref(&term), 50);
+        let twice = engine.query(&[term.clone(), term], 50);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    // Removing recent posts then streaming them back in must
+    // converge to the untouched engine, bit for bit.
+    fn delta_and_inverse_restore_rankings_exactly() {
+        let (world, engine) = engine();
+        let mut live = engine.clone();
+        let recent: Vec<PostId> = world
+            .corpus
+            .posts()
+            .iter()
+            .filter(|p| p.published.seconds() > world.now.seconds() / 2)
+            .map(|p| p.id)
+            .collect();
+        assert!(!recent.is_empty(), "world has no recent posts");
+
+        let removal = obs_model::CorpusDelta::for_removals(&world.corpus, &recent).unwrap();
+        live.apply_delta(&removal);
+        assert_eq!(live.doc_count(), engine.doc_count() - recent.len());
+
+        let readd = obs_model::CorpusDelta::for_posts(&world.corpus, &recent).unwrap();
+        live.apply_delta(&readd);
+        assert_eq!(live.doc_count(), engine.doc_count());
+
+        let workload = QueryWorkload::generate(7, 20, world.config.categories);
+        for q in &workload.queries {
+            assert_eq!(live.query(&q.terms, 20), engine.query(&q.terms, 20));
+        }
+        for s in world.corpus.sources() {
+            assert_eq!(live.static_score(s.id), engine.static_score(s.id));
+        }
+    }
+
+    #[test]
+    fn delta_for_unseen_source_grows_the_signal_vectors() {
+        let (world, mut engine) = engine();
+        let unseen = SourceId::new(world.corpus.sources().len() as u32 + 5);
+        let mut delta = obs_model::CorpusDelta::new();
+        delta.add_doc(PostId::new(900_000), unseen, "brand new source post");
+        delta.note_engagement(unseen, 1, 0);
+        engine.apply_delta(&delta);
+        assert!(engine.static_score(unseen).is_finite());
+        let hits = engine.query(&["brand".to_owned()], 10);
+        assert!(hits.iter().any(|h| h.source == unseen));
+    }
+
+    #[test]
     fn traffic_lifts_static_score() {
         let (world, engine) = engine();
         let panel = AlexaPanel::simulate(&world, 1);
@@ -306,6 +482,8 @@ mod tests {
     fn empty_query_returns_nothing() {
         let (_, engine) = engine();
         assert!(engine.query(&[], 10).is_empty());
+        // Stopword-only queries normalize to nothing.
+        assert!(engine.query(&["the".to_owned()], 10).is_empty());
     }
 
     #[test]

@@ -4,10 +4,20 @@
 //! which is what a search engine of the paper's era would index of a
 //! blog or forum. Postings store term frequencies; document lengths
 //! feed BM25's length normalization.
+//!
+//! The index is maintainable in place: documents can be added and
+//! removed one at a time (or in batches through an
+//! [`IndexWriter`](crate::writer::IndexWriter)), and an incremental
+//! history of adds/removes converges to exactly the index a
+//! from-scratch [`InvertedIndex::build`] produces. Removals go
+//! through *tombstones*: the document's statistics disappear
+//! immediately, while its postings are swept out by a
+//! generation-aware compaction pass that touches each affected term
+//! list at most once per commit.
 
 use crate::token::tokenize;
-use obs_model::{Corpus, PostId, SourceId};
-use std::collections::HashMap;
+use obs_model::{document_text, Corpus, CorpusDelta, PostId, SourceId};
+use std::collections::{HashMap, HashSet};
 
 /// A posting: document and term frequency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,13 +28,31 @@ pub struct Posting {
     pub tf: u32,
 }
 
+/// One term's postings plus the compaction generation that last
+/// swept it, so a batched commit never rescans a list twice.
+#[derive(Debug, Clone, Default)]
+struct PostingList {
+    entries: Vec<Posting>,
+    clean_gen: u64,
+}
+
 /// The inverted index.
 #[derive(Debug, Clone, Default)]
 pub struct InvertedIndex {
-    postings: HashMap<String, Vec<Posting>>,
+    postings: HashMap<String, PostingList>,
     doc_len: HashMap<PostId, u32>,
     doc_source: HashMap<PostId, SourceId>,
+    /// Forward index: the distinct terms of each live document, so a
+    /// removal knows exactly which posting lists it dirties.
+    doc_terms: HashMap<PostId, Vec<String>>,
     total_len: u64,
+    /// Documents removed but not yet swept from their posting lists,
+    /// keyed to the terms awaiting compaction. Only ever non-empty
+    /// while an [`IndexWriter`](crate::writer::IndexWriter) holds the
+    /// index mutably, so readers never observe a stale posting.
+    tombstones: HashMap<PostId, Vec<String>>,
+    /// Compaction generation, bumped once per sweep.
+    generation: u64,
 }
 
 impl InvertedIndex {
@@ -32,27 +60,25 @@ impl InvertedIndex {
     pub fn build(corpus: &Corpus) -> InvertedIndex {
         let mut index = InvertedIndex::default();
         for post in corpus.posts() {
-            let discussion = match corpus.discussion(post.discussion) {
-                Ok(d) => d,
+            let (source, text) = match document_text(corpus, post.id) {
+                Ok(pair) => pair,
                 Err(_) => continue,
             };
-            let mut text = String::with_capacity(
-                discussion.title.len() + post.body.len() + 16 * post.tags.len(),
-            );
-            text.push_str(&discussion.title);
-            text.push(' ');
-            text.push_str(&post.body);
-            for tag in &post.tags {
-                text.push(' ');
-                text.push_str(tag.as_str());
-            }
-            index.add_document(post.id, discussion.source, &text);
+            index.add_document(post.id, source, &text);
         }
         index
     }
 
-    /// Adds one document.
+    /// Adds one document. Re-adding a live document replaces its
+    /// previous contents (update semantics).
     pub fn add_document(&mut self, doc: PostId, source: SourceId, text: &str) {
+        if self.doc_len.contains_key(&doc) {
+            self.remove_document(doc);
+        } else if self.tombstones.contains_key(&doc) {
+            // Pending removal of the same id: sweep its old postings
+            // now so the fresh ones below survive the next commit.
+            self.sweep_tombstone(doc);
+        }
         let tokens = tokenize(text);
         let mut tf: HashMap<String, u32> = HashMap::new();
         for t in tokens {
@@ -62,17 +88,107 @@ impl InvertedIndex {
         self.doc_len.insert(doc, len);
         self.doc_source.insert(doc, source);
         self.total_len += len as u64;
+        let mut terms = Vec::with_capacity(tf.len());
         for (term, freq) in tf {
             self.postings
-                .entry(term)
+                .entry(term.clone())
                 .or_default()
+                .entries
                 .push(Posting { doc, tf: freq });
+            terms.push(term);
         }
+        self.doc_terms.insert(doc, terms);
+    }
+
+    /// Removes one document, sweeping its postings immediately.
+    /// Returns whether the document was present.
+    pub fn remove_document(&mut self, doc: PostId) -> bool {
+        if !self.tombstone_document(doc) {
+            return false;
+        }
+        self.sweep_tombstone(doc);
+        true
+    }
+
+    /// Applies a change-set: removals first, then additions, so a
+    /// delta that replaces a document behaves like an update.
+    pub fn apply_delta(&mut self, delta: &CorpusDelta) {
+        let mut writer = crate::writer::IndexWriter::new(self);
+        writer.apply(delta);
+        writer.commit();
+    }
+
+    /// Marks a document removed without sweeping its postings:
+    /// statistics (count, lengths, source) update immediately, the
+    /// posting entries wait for [`InvertedIndex::sweep`]. Crate-
+    /// internal: only the writer defers sweeps.
+    pub(crate) fn tombstone_document(&mut self, doc: PostId) -> bool {
+        let Some(len) = self.doc_len.remove(&doc) else {
+            return false;
+        };
+        self.total_len -= len as u64;
+        self.doc_source.remove(&doc);
+        let terms = self.doc_terms.remove(&doc).unwrap_or_default();
+        self.tombstones.insert(doc, terms);
+        true
+    }
+
+    /// Sweeps all pending tombstones in one generation: every posting
+    /// list dirtied by at least one tombstoned document is compacted
+    /// exactly once, however many documents it hosted.
+    pub(crate) fn sweep(&mut self) -> usize {
+        if self.tombstones.is_empty() {
+            return 0;
+        }
+        self.generation += 1;
+        let gen = self.generation;
+        let tombstones = std::mem::take(&mut self.tombstones);
+        let swept = tombstones.len();
+        let mut emptied: Vec<&String> = Vec::new();
+        for term in tombstones.values().flatten() {
+            if let Some(list) = self.postings.get_mut(term) {
+                if list.clean_gen < gen {
+                    list.entries.retain(|p| !tombstones.contains_key(&p.doc));
+                    list.clean_gen = gen;
+                    if list.entries.is_empty() {
+                        emptied.push(term);
+                    }
+                }
+            }
+        }
+        let emptied: HashSet<&String> = emptied.into_iter().collect();
+        for term in emptied {
+            self.postings.remove(term);
+        }
+        swept
+    }
+
+    /// Sweeps one specific tombstone (used when a pending removal is
+    /// cancelled by a re-add of the same document id).
+    fn sweep_tombstone(&mut self, doc: PostId) {
+        let Some(terms) = self.tombstones.remove(&doc) else {
+            return;
+        };
+        for term in &terms {
+            if let Some(list) = self.postings.get_mut(term) {
+                list.entries.retain(|p| p.doc != doc);
+                if list.entries.is_empty() {
+                    self.postings.remove(term);
+                }
+            }
+        }
+    }
+
+    /// Number of removals awaiting a sweep.
+    pub(crate) fn pending_tombstones(&self) -> usize {
+        self.tombstones.len()
     }
 
     /// Postings for a term (empty slice when absent).
     pub fn postings(&self, term: &str) -> &[Posting] {
-        self.postings.get(term).map_or(&[], Vec::as_slice)
+        self.postings
+            .get(term)
+            .map_or(&[], |list| list.entries.as_slice())
     }
 
     /// Document frequency of a term.
@@ -180,5 +296,79 @@ mod tests {
         let idx = InvertedIndex::build(&c);
         assert_eq!(idx.doc_frequency("the"), 0);
         assert_eq!(idx.doc_frequency("is"), 0);
+    }
+
+    #[test]
+    fn removal_erases_every_trace() {
+        let c = corpus();
+        let mut idx = InvertedIndex::build(&c);
+        assert!(idx.remove_document(PostId::new(0)));
+        assert_eq!(idx.doc_count(), 1);
+        assert_eq!(idx.doc_frequency("duomo"), 0);
+        assert_eq!(idx.doc_length(PostId::new(0)), 0);
+        assert_eq!(idx.source_of(PostId::new(0)), None);
+        // Terms exclusive to the removed doc leave the vocabulary.
+        assert_eq!(idx.postings("rooftop"), &[]);
+        // Removing twice is a no-op.
+        assert!(!idx.remove_document(PostId::new(0)));
+    }
+
+    #[test]
+    fn incremental_adds_match_full_build() {
+        let c = corpus();
+        let built = InvertedIndex::build(&c);
+        let mut incremental = InvertedIndex::default();
+        // Reverse order: the converged state must not depend on it.
+        for post in c.posts().iter().rev() {
+            let (source, text) = document_text(&c, post.id).unwrap();
+            incremental.add_document(post.id, source, &text);
+        }
+        assert_eq!(built.doc_count(), incremental.doc_count());
+        assert_eq!(built.vocabulary_size(), incremental.vocabulary_size());
+        assert_eq!(built.avg_doc_length(), incremental.avg_doc_length());
+        assert_eq!(
+            built.doc_frequency("duomo"),
+            incremental.doc_frequency("duomo")
+        );
+    }
+
+    #[test]
+    fn add_remove_add_equals_single_add() {
+        let c = corpus();
+        let mut idx = InvertedIndex::build(&c);
+        let (source, text) = document_text(&c, PostId::new(0)).unwrap();
+        idx.remove_document(PostId::new(0));
+        idx.add_document(PostId::new(0), source, &text);
+        let fresh = InvertedIndex::build(&c);
+        assert_eq!(idx.doc_count(), fresh.doc_count());
+        assert_eq!(idx.vocabulary_size(), fresh.vocabulary_size());
+        assert_eq!(idx.avg_doc_length(), fresh.avg_doc_length());
+        assert_eq!(idx.postings("duomo")[0].tf, 3);
+    }
+
+    #[test]
+    fn readd_replaces_previous_contents() {
+        let c = corpus();
+        let mut idx = InvertedIndex::build(&c);
+        idx.add_document(PostId::new(0), SourceId::new(0), "fountain plaza");
+        assert_eq!(idx.doc_count(), 2);
+        assert_eq!(idx.doc_frequency("duomo"), 0);
+        assert_eq!(idx.doc_frequency("fountain"), 1);
+        assert_eq!(idx.doc_length(PostId::new(0)), 2);
+    }
+
+    #[test]
+    fn apply_delta_adds_and_removes() {
+        let c = corpus();
+        let mut idx = InvertedIndex::build(&c);
+        let delta = CorpusDelta::for_removals(&c, &[PostId::new(1)]).unwrap();
+        idx.apply_delta(&delta);
+        assert_eq!(idx.doc_count(), 1);
+        let delta = CorpusDelta::for_posts(&c, &[PostId::new(1)]).unwrap();
+        idx.apply_delta(&delta);
+        let fresh = InvertedIndex::build(&c);
+        assert_eq!(idx.doc_count(), fresh.doc_count());
+        assert_eq!(idx.vocabulary_size(), fresh.vocabulary_size());
+        assert_eq!(idx.doc_frequency("castle"), fresh.doc_frequency("castle"));
     }
 }

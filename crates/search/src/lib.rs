@@ -11,11 +11,16 @@
 //! participation: negative; time-on-site: negative).
 //!
 //! * [`token`] — tokenizer shared with the sentiment services;
-//! * [`index`] — an inverted index over opening posts;
+//! * [`index`] — an inverted index over opening posts, maintainable
+//!   in place through add/remove with tombstoned compaction;
+//! * [`writer`] — the [`IndexWriter`]: batched index maintenance
+//!   driven by [`CorpusDelta`](obs_model::CorpusDelta) change-sets;
 //! * [`score`] — TF-IDF and BM25 document scoring;
-//! * [`pagerank`] — PageRank over the inter-source link graph;
-//! * [`engine`] — the [`SearchEngine`](engine::SearchEngine):
-//!   per-source signal blending and top-k query evaluation.
+//! * [`pagerank`](mod@pagerank) — PageRank over the inter-source
+//!   link graph, with a convergence-aware early exit;
+//! * [`engine`] — the [`SearchEngine`]: per-source signal blending,
+//!   top-k query evaluation, and incremental refresh via
+//!   [`apply_delta`](engine::SearchEngine::apply_delta).
 
 #![warn(missing_docs)]
 
@@ -24,8 +29,10 @@ pub mod index;
 pub mod pagerank;
 pub mod score;
 pub mod token;
+pub mod writer;
 
 pub use engine::{BlendWeights, SearchEngine, SearchHit};
 pub use index::InvertedIndex;
-pub use pagerank::pagerank;
+pub use pagerank::{pagerank, pagerank_converged, PagerankRun};
 pub use token::tokenize;
+pub use writer::{CommitStats, IndexWriter};

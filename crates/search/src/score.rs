@@ -2,7 +2,7 @@
 
 use crate::index::InvertedIndex;
 use obs_model::PostId;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// BM25 parameters (classic defaults).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,10 +26,20 @@ pub fn idf(index: &InvertedIndex, term: &str) -> f64 {
     ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
 }
 
+/// Deduplicates query terms preserving first-occurrence order, so a
+/// repeated term contributes to a document's score exactly once (the
+/// bag-of-words model treats the query as a term *set* per scorer
+/// pass; without this, `["duomo", "duomo"]` doubled every matching
+/// document's score).
+fn distinct_terms(terms: &[String]) -> Vec<&String> {
+    let mut seen: HashSet<&str> = HashSet::with_capacity(terms.len());
+    terms.iter().filter(|t| seen.insert(t.as_str())).collect()
+}
+
 /// TF-IDF scores of all documents matching any query term.
 pub fn tfidf_scores(index: &InvertedIndex, terms: &[String]) -> HashMap<PostId, f64> {
     let mut scores: HashMap<PostId, f64> = HashMap::new();
-    for term in terms {
+    for term in distinct_terms(terms) {
         let w = idf(index, term);
         for p in index.postings(term) {
             *scores.entry(p.doc).or_insert(0.0) += (1.0 + (p.tf as f64).ln()) * w;
@@ -46,7 +56,7 @@ pub fn bm25_scores(
 ) -> HashMap<PostId, f64> {
     let avg_len = index.avg_doc_length().max(1.0);
     let mut scores: HashMap<PostId, f64> = HashMap::new();
-    for term in terms {
+    for term in distinct_terms(terms) {
         let w = idf(index, term);
         for p in index.postings(term) {
             let tf = p.tf as f64;
@@ -119,6 +129,21 @@ mod tests {
         // Doc 2 matches both terms.
         assert!(scores[&PostId::new(2)] > 0.0);
         assert_eq!(scores.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_terms_score_once() {
+        let idx = tiny_index();
+        let once = bm25_scores(&idx, &["duomo".to_owned()], Bm25Params::default());
+        let twice = bm25_scores(
+            &idx,
+            &["duomo".to_owned(), "duomo".to_owned()],
+            Bm25Params::default(),
+        );
+        assert_eq!(once, twice);
+        let once = tfidf_scores(&idx, &["duomo".to_owned()]);
+        let twice = tfidf_scores(&idx, &["duomo".to_owned(), "duomo".to_owned()]);
+        assert_eq!(once, twice);
     }
 
     #[test]

@@ -47,7 +47,7 @@ fn words(text: &str) -> Vec<String> {
 
 /// Scores a text: each opinion word contributes its intensity,
 /// multiplied by the closest preceding intensifier and flipped by a
-/// negator within the last [`NEGATION_WINDOW`] tokens.
+/// negator within the last `NEGATION_WINDOW` (3) tokens.
 pub fn score_text(text: &str) -> SentimentScore {
     let tokens = words(text);
     let mut positive = 0.0;

@@ -9,7 +9,7 @@
 use crate::error::WrapperError;
 use crate::observation::SourceObservation;
 use crate::service::{Cursor, DataService};
-use obs_model::{Clock, Duration, Timestamp};
+use obs_model::{Clock, CorpusDelta, Duration, Timestamp};
 
 /// Crawl policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +129,29 @@ impl Crawler {
             report,
         ))
     }
+
+    /// One incremental crawl *tick*: crawls items published strictly
+    /// after `since` and returns them as the [`CorpusDelta`] they
+    /// imply, ready for
+    /// `SearchEngine::apply_delta` /
+    /// `InvertedIndex::apply_delta` — the path that keeps a live
+    /// index fresh without a rebuild.
+    ///
+    /// The delta's document text is what the wrappers observed: body
+    /// plus tags, without the discussion title (the uniform item
+    /// model carries none). When exact parity with a from-scratch
+    /// corpus build matters, re-derive the text for the observed post
+    /// ids with `CorpusDelta::for_posts` — see
+    /// `examples/live_index.rs`.
+    pub fn crawl_delta(
+        &self,
+        service: &mut dyn DataService,
+        clock: &mut Clock,
+        since: Option<Timestamp>,
+    ) -> Result<(CorpusDelta, CrawlReport), WrapperError> {
+        let (observation, report) = self.crawl_since(service, clock, since)?;
+        Ok((observation.to_delta(), report))
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +219,74 @@ mod tests {
             .filter(|i| i.published <= midpoint)
             .count();
         assert_eq!(old + fresh.len(), full.len());
+    }
+
+    #[test]
+    fn crawl_delta_carries_fresh_posts_and_engagement() {
+        let w = world();
+        let crawler = Crawler::default();
+        let s = w
+            .corpus
+            .sources()
+            .iter()
+            .find(|s| !w.corpus.discussions_of_source(s.id).is_empty())
+            .unwrap();
+        let mut clock = Clock::starting_at(w.now);
+        let mut service = service_for(&w.corpus, s.id, w.now).unwrap();
+        let (delta, report) = crawler
+            .crawl_delta(service.as_mut(), &mut clock, None)
+            .unwrap();
+        let discussions = w.corpus.discussions_of_source(s.id).len();
+        let comments: usize = w
+            .corpus
+            .discussions_of_source(s.id)
+            .iter()
+            .map(|&d| w.corpus.comments_of_discussion(d).len())
+            .sum();
+        assert_eq!(delta.added.len(), discussions);
+        assert!(delta.removed.is_empty());
+        assert_eq!(report.items, discussions + comments);
+        // Engagement folds into a single per-source entry.
+        assert_eq!(delta.engagement.len(), 1);
+        assert_eq!(delta.engagement[0].source, s.id);
+        assert_eq!(delta.engagement[0].discussions, discussions as i64);
+        assert_eq!(delta.engagement[0].comments, comments as i64);
+        // Every added doc carries indexable text.
+        for d in &delta.added {
+            assert_eq!(d.source, s.id);
+            assert!(!d.text.is_empty());
+        }
+    }
+
+    #[test]
+    fn crawl_delta_since_midpoint_is_a_subset() {
+        let w = world();
+        let crawler = Crawler::default();
+        let s = w
+            .corpus
+            .sources()
+            .iter()
+            .find(|s| !w.corpus.discussions_of_source(s.id).is_empty())
+            .unwrap();
+        let mut clock = Clock::starting_at(w.now);
+        let mut service = service_for(&w.corpus, s.id, w.now).unwrap();
+        let (full, _) = crawler
+            .crawl_delta(service.as_mut(), &mut clock, None)
+            .unwrap();
+        let midpoint = Timestamp(w.now.seconds() / 2);
+        let mut clock2 = Clock::starting_at(w.now);
+        let mut service2 = service_for(&w.corpus, s.id, w.now).unwrap();
+        let (fresh, _) = crawler
+            .crawl_delta(service2.as_mut(), &mut clock2, Some(midpoint))
+            .unwrap();
+        assert!(fresh.added.len() <= full.added.len());
+        for d in &fresh.added {
+            assert!(
+                full.added.iter().any(|f| f.post == d.post),
+                "{} not in the full delta",
+                d.post
+            );
+        }
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! [`SourceObservation`].
 
 use obs_model::{
-    CategoryId, ContentRef, Corpus, DiscussionId, GeoPoint, InteractionKind, SourceId, Tag,
-    Timestamp, UserId,
+    CategoryId, ContentRef, Corpus, CorpusDelta, DiscussionId, GeoPoint, InteractionKind, SourceId,
+    Tag, Timestamp, UserId,
 };
 
 /// Whether an item is an opening post or a comment.
@@ -115,6 +115,33 @@ impl SourceObservation {
     /// Whether the observation holds no items.
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()
+    }
+
+    /// Converts the observation into the change-set it implies:
+    /// every observed opening post becomes an indexable document
+    /// (body text plus tags — the discussion title is whatever the
+    /// native API folded into the body), and per-source engagement
+    /// counters move by one discussion per post and one comment per
+    /// comment. Feeding the delta to a search engine is how a crawl
+    /// tick flows straight into a queryable index.
+    pub fn to_delta(&self) -> CorpusDelta {
+        let mut delta = CorpusDelta::new();
+        for item in &self.items {
+            match (item.kind, item.content) {
+                (ItemKind::Post, ContentRef::Post(pid)) => {
+                    let mut text = String::with_capacity(item.text.len() + 16 * item.tags.len());
+                    text.push_str(&item.text);
+                    for tag in &item.tags {
+                        text.push(' ');
+                        text.push_str(tag.as_str());
+                    }
+                    delta.add_doc(pid, item.source, text);
+                    delta.note_engagement(item.source, 1, 0);
+                }
+                _ => delta.note_engagement(item.source, 0, 1),
+            }
+        }
+        delta
     }
 }
 

@@ -112,17 +112,56 @@ impl fmt::Display for BenchmarkId {
 pub struct Bencher {
     samples: Vec<Duration>,
     iters_per_sample: u64,
+    /// Iterations the last routine actually ran per sample (batched
+    /// routines always run one), for honest reporting.
+    iters_used: u64,
+}
+
+/// How expensive `iter_batched` setup values are to produce. The
+/// real crate uses this to size batches; the shim runs one setup +
+/// routine pair per sample regardless, so the hint is accepted for
+/// API parity only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is cheap to build.
+    SmallInput,
+    /// Setup output is expensive to build (e.g. cloning a large
+    /// index); keep batches minimal.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
 }
 
 impl Bencher {
     /// Times `routine`, recording one sample per call batch.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iters_used = self.iters_per_sample;
         let start = Instant::now();
         for _ in 0..self.iters_per_sample {
             black_box(routine());
         }
         self.samples
             .push(start.elapsed() / self.iters_per_sample as u32);
+    }
+
+    /// Times `routine` on inputs produced by `setup`, excluding the
+    /// setup cost from the measurement. Unlike [`Bencher::iter`],
+    /// each sample is a single setup + routine pair — expensive
+    /// setups (cloning a big structure) never multiply.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.iters_used = 1;
+        let input = setup();
+        let start = Instant::now();
+        let output = routine(input);
+        let elapsed = start.elapsed();
+        self.samples.push(elapsed);
+        // Output teardown stays outside the measurement, like the
+        // real crate's batched drop.
+        drop(black_box(output));
     }
 }
 
@@ -135,6 +174,7 @@ where
     let mut bencher = Bencher {
         samples: Vec::with_capacity(sample_size + 1),
         iters_per_sample: 1,
+        iters_used: 1,
     };
     f(&mut bencher);
     let warmup = bencher.samples.first().copied().unwrap_or_default();
@@ -147,6 +187,7 @@ where
     let mut bencher = Bencher {
         samples: Vec::with_capacity(sample_size),
         iters_per_sample: iters,
+        iters_used: 1,
     };
     for _ in 0..sample_size {
         f(&mut bencher);
@@ -159,10 +200,11 @@ where
     let total: Duration = bencher.samples.iter().sum();
     let mean = total / bencher.samples.len() as u32;
     println!(
-        "{label:<50} min {:>12} mean {:>12} ({} samples x {iters} iters)",
+        "{label:<50} min {:>12} mean {:>12} ({} samples x {} iters)",
         fmt_duration(*min),
         fmt_duration(mean),
         bencher.samples.len(),
+        bencher.iters_used,
     );
 }
 

@@ -2,10 +2,12 @@
 //! any seed, exercised through the public facade.
 
 use informing_observers::analytics::{AlexaPanel, FeedRegistry, LinkGraph};
-use informing_observers::model::Clock;
+use informing_observers::model::{document_text, Clock, CorpusDelta, PostId};
 use informing_observers::quality::{
     assess_source, influence_profiles, Benchmarks, SourceContext, Weights,
 };
+use informing_observers::search::score::{bm25_scores, Bm25Params};
+use informing_observers::search::{tokenize, IndexWriter, InvertedIndex};
 use informing_observers::synth::{TwitterConfig, TwitterPopulation, World, WorldConfig};
 use informing_observers::wrappers::{service_for, Crawler};
 use proptest::prelude::*;
@@ -23,8 +25,87 @@ fn tiny_world(seed: u64) -> World {
     })
 }
 
+/// Deterministic pseudo-shuffle: orders ids by a seed-keyed hash.
+fn permuted_posts(world: &World, seed: u64) -> Vec<PostId> {
+    let mut posts: Vec<PostId> = world.corpus.posts().iter().map(|p| p.id).collect();
+    posts.sort_by_key(|p| (p.raw() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed);
+    posts
+}
+
+/// Every distinct term of every indexed document, plus one absent
+/// term, so equivalence checks cover the whole vocabulary.
+fn probe_terms(world: &World) -> Vec<String> {
+    let mut terms: Vec<String> = world
+        .corpus
+        .posts()
+        .iter()
+        .filter_map(|p| document_text(&world.corpus, p.id).ok())
+        .flat_map(|(_, text)| tokenize(&text))
+        .collect();
+    terms.sort_unstable();
+    terms.dedup();
+    terms.push("zzz-never-indexed".to_owned());
+    terms
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn incremental_adds_are_order_independent(seed in 0u64..10_000) {
+        let world = tiny_world(seed);
+        let fresh = InvertedIndex::build(&world.corpus);
+
+        // Stream the same documents in a seed-permuted order through
+        // the writer, split into two batches.
+        let posts = permuted_posts(&world, seed);
+        let mut incremental = InvertedIndex::default();
+        let (first, second) = posts.split_at(posts.len() / 2);
+        let mut writer = IndexWriter::new(&mut incremental);
+        writer.apply(&CorpusDelta::for_posts(&world.corpus, first).unwrap());
+        writer.commit();
+        incremental.apply_delta(&CorpusDelta::for_posts(&world.corpus, second).unwrap());
+
+        prop_assert_eq!(fresh.doc_count(), incremental.doc_count());
+        prop_assert_eq!(fresh.vocabulary_size(), incremental.vocabulary_size());
+        prop_assert_eq!(fresh.avg_doc_length(), incremental.avg_doc_length());
+        let terms = probe_terms(&world);
+        for t in &terms {
+            prop_assert_eq!(fresh.doc_frequency(t), incremental.doc_frequency(t), "{}", t);
+        }
+        // Query results — not just statistics — must be identical.
+        let scores_fresh = bm25_scores(&fresh, &terms, Bm25Params::default());
+        let scores_inc = bm25_scores(&incremental, &terms, Bm25Params::default());
+        prop_assert_eq!(scores_fresh, scores_inc);
+    }
+
+    #[test]
+    fn add_then_remove_equals_never_added(seed in 0u64..10_000) {
+        let world = tiny_world(seed);
+        let posts = permuted_posts(&world, seed);
+        // Half the documents are transient: added, then removed.
+        let (kept, transient) = posts.split_at(posts.len() / 2);
+
+        let mut churned = InvertedIndex::build(&world.corpus);
+        let mut writer = IndexWriter::new(&mut churned);
+        writer.apply(&CorpusDelta::for_removals(&world.corpus, transient).unwrap());
+        let stats = writer.commit();
+        prop_assert_eq!(stats.removed, transient.len());
+
+        let mut pristine = InvertedIndex::default();
+        pristine.apply_delta(&CorpusDelta::for_posts(&world.corpus, kept).unwrap());
+
+        prop_assert_eq!(churned.doc_count(), pristine.doc_count());
+        prop_assert_eq!(churned.vocabulary_size(), pristine.vocabulary_size());
+        prop_assert_eq!(churned.avg_doc_length(), pristine.avg_doc_length());
+        let terms = probe_terms(&world);
+        for t in &terms {
+            prop_assert_eq!(churned.doc_frequency(t), pristine.doc_frequency(t), "{}", t);
+        }
+        let scores_churned = bm25_scores(&churned, &terms, Bm25Params::default());
+        let scores_pristine = bm25_scores(&pristine, &terms, Bm25Params::default());
+        prop_assert_eq!(scores_churned, scores_pristine);
+    }
 
     #[test]
     fn crawls_always_match_ground_truth(seed in 0u64..10_000) {
