@@ -1,0 +1,186 @@
+//! The serving-layer costs: what does it take to keep answering
+//! queries while content streams in?
+//!
+//! Four numbers per corpus scale (~10k and ~100k docs):
+//!
+//! * `publish_only` — swapping a new snapshot into the store (the
+//!   reader-visible step of an update tick);
+//! * `ingest_1_doc` — the full durable tick: journal append + fsync,
+//!   copy-on-write `apply_delta`, publish (two of them: a removal
+//!   and a re-add, so the engine state is identical across
+//!   iterations);
+//! * `snapshot_acquire` — what a reader pays to pin an epoch;
+//! * `query_baseline` / `query_under_writes` — the same probe query
+//!   against an idle engine and against one absorbing a continuous
+//!   write stream from a background thread. The serving claim is
+//!   that these two are the same order of magnitude: readers never
+//!   wait on writes.
+//!
+//! Unlike the other targets this one also *persists* its numbers:
+//! the measurements recorded by the criterion shim are written to
+//! `BENCH_live.json` at the workspace root, giving the repo a
+//! machine-readable perf baseline to track across PRs.
+
+use criterion::{black_box, criterion_group, Criterion};
+use obs_analytics::{AlexaPanel, LinkGraph};
+use obs_live::{LiveService, LiveWriter};
+use obs_model::{CorpusDelta, PostId};
+use obs_search::{BlendWeights, SearchEngine};
+use obs_synth::{World, WorldConfig};
+use serde_json::{json, Value};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A ranking-style world with roughly `posts` opening posts (same
+/// sizing rule as the `index_maintenance` target).
+fn world_with_posts(posts: usize, seed: u64) -> World {
+    World::generate(WorldConfig {
+        sources: (posts as f64 / 5.7).ceil() as usize,
+        users: 4_000,
+        mean_discussions_per_source: 20.0,
+        mean_comments_per_discussion: 1.0,
+        interaction_rate: 0.05,
+        comment_bodies: false,
+        ..WorldConfig::ranking_study(seed)
+    })
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "obs_live_bench_{}_{}_{}.journal",
+        std::process::id(),
+        tag,
+        n
+    ))
+}
+
+/// Probe terms guaranteed to hit: the tags of an indexed post.
+fn probe_terms(world: &World) -> Vec<String> {
+    let post = world
+        .corpus
+        .posts()
+        .iter()
+        .find(|p| !p.tags.is_empty())
+        .expect("tagged post");
+    post.tags.iter().map(|t| t.as_str().to_owned()).collect()
+}
+
+fn bench_scale(c: &mut Criterion, label: &str, world: &World) {
+    let panel = AlexaPanel::simulate(world, 1);
+    let links = LinkGraph::simulate(world, 2);
+    let engine = SearchEngine::build(&world.corpus, &panel, &links, BlendWeights::default());
+    let docs = engine.doc_count();
+    let probe = probe_terms(world);
+
+    // The churned document: the last post, removed and re-added so
+    // every iteration pair leaves the engine where it started.
+    let last = PostId::new(world.corpus.posts().len() as u32 - 1);
+    let removal = CorpusDelta::for_removals(&world.corpus, &[last]).expect("last post resolves");
+    let readd = CorpusDelta::for_posts(&world.corpus, &[last]).expect("last post resolves");
+
+    let mut group = c.benchmark_group(format!("live_service_{label}"));
+    group.sample_size(10);
+
+    group.bench_function(format!("publish_only/{docs}_docs"), |b| {
+        let writer = LiveWriter::new(engine.clone(), 0);
+        b.iter(|| writer.publish());
+    });
+
+    let path = temp_journal(label);
+    let mut service = LiveService::start(engine.clone(), &path).expect("journal in temp dir");
+    group.bench_function(format!("ingest_1_doc/{docs}_docs"), |b| {
+        b.iter(|| {
+            service.ingest(black_box(&removal)).expect("ingest");
+            service.ingest(black_box(&readd)).expect("ingest");
+        })
+    });
+
+    let reader = service.reader();
+    group.bench_function(format!("snapshot_acquire/{docs}_docs"), |b| {
+        b.iter(|| black_box(reader.snapshot()))
+    });
+    group.bench_function(format!("query_baseline/{docs}_docs"), |b| {
+        b.iter(|| {
+            let snap = reader.snapshot();
+            black_box(snap.engine().query(&probe, 20))
+        })
+    });
+
+    // Reader throughput while a writer thread streams deltas through
+    // journal → apply → publish as fast as it can.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer_stop = Arc::clone(&stop);
+    let (writer_removal, writer_readd) = (removal.clone(), readd.clone());
+    let writer = std::thread::spawn(move || {
+        let mut service = service;
+        let mut writes = 0u64;
+        while !writer_stop.load(Ordering::Relaxed) {
+            service.ingest(&writer_removal).expect("ingest");
+            service.ingest(&writer_readd).expect("ingest");
+            writes += 2;
+        }
+        writes
+    });
+    group.bench_function(format!("query_under_writes/{docs}_docs"), |b| {
+        b.iter(|| {
+            let snap = reader.snapshot();
+            black_box(snap.engine().query(&probe, 20))
+        })
+    });
+    stop.store(true, Ordering::Relaxed);
+    let writes = writer.join().expect("writer thread");
+    println!("  (writer sustained {writes} journaled ingests during the contended bench)");
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+fn bench_live_service(c: &mut Criterion) {
+    let small = world_with_posts(10_000, 42);
+    bench_scale(c, "10k", &small);
+    let large = world_with_posts(100_000, 43);
+    bench_scale(c, "100k", &large);
+}
+
+criterion_group!(benches, bench_live_service);
+
+/// Writes the baseline `BENCH_live.json` at the workspace root from
+/// the measurements the criterion shim recorded during this run.
+fn write_baseline() {
+    let measurements = criterion::take_measurements();
+    if measurements.is_empty() {
+        return;
+    }
+    let entries: Vec<Value> = measurements
+        .iter()
+        .map(|m| {
+            json!({
+                "label": (m.label.as_str()),
+                "min_ns": (m.min_ns as u64),
+                "mean_ns": (m.mean_ns as u64),
+                "samples": m.samples,
+            })
+        })
+        .collect();
+    let doc = json!({
+        "bench": "live_service",
+        "schema": 1,
+        "unit": "ns/iter",
+        "note": "written by `cargo bench -p obs_bench --bench live_service`; \
+                 shim-timed wall clock, good for order-of-magnitude tracking",
+        "measurements": (Value::Array(entries)),
+    });
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_live.json");
+    let text = serde_json::to_string_pretty(&doc).expect("baseline serializes");
+    match std::fs::write(&path, text + "\n") {
+        Ok(()) => println!("\nwrote perf baseline: {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    benches();
+    write_baseline();
+}

@@ -1,0 +1,697 @@
+//! The durable delta journal.
+//!
+//! An append-only on-disk log of serialized
+//! [`CorpusDelta`]s — the filtered source
+//! updates treated as a first-class, replayable stream rather than a
+//! transient mutation. One record per line:
+//!
+//! ```text
+//! <seq> <crc32-hex> <delta-json>\n
+//! ```
+//!
+//! * `seq` — contiguous, 1-based sequence number; replay refuses a
+//!   log with a gap or regression (that's corruption, not a crash);
+//! * `crc32` — IEEE CRC-32 of the JSON bytes, so a bit-flipped or
+//!   truncated record is detected rather than deserialized into
+//!   garbage;
+//! * `delta-json` — the delta through the in-tree serde_json shim.
+//!
+//! **Torn-tail tolerance:** a crash mid-append leaves at most one
+//! truncated record, and only at the end of the file. Replay detects
+//! a final record that is incomplete (no newline, bad CRC, or
+//! unparseable) and *drops it* — the delta was never acknowledged as
+//! durable, so dropping it is the correct recovery. The same damage
+//! anywhere else in the file is reported as
+//! [`JournalError::Corrupt`].
+//!
+//! **Compaction:** once a checkpoint (an engine snapshot at sequence
+//! `S`) makes the prefix `..=S` redundant, [`DeltaJournal::compact_through`]
+//! rewrites the log without it (atomically, via a temp file +
+//! rename). Sequence numbers keep rising across compactions; the
+//! first retained record pins the replay base.
+
+use obs_model::{CorpusDelta, SequencedDelta};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+/// Why a journal operation failed.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// A record *before* the final one is damaged, or sequence
+    /// numbers are not contiguous — the log cannot be trusted.
+    Corrupt {
+        /// 1-based record (line) number of the damage.
+        record: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o error: {e}"),
+            JournalError::Corrupt { record, reason } => {
+                write!(f, "journal corrupt at record {record}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// What replaying a journal found.
+#[derive(Debug, Clone, Default)]
+pub struct JournalReplay {
+    /// Every intact record, in sequence order.
+    pub records: Vec<SequencedDelta>,
+    /// Whether a truncated final record (torn tail) was dropped.
+    pub torn_tail_dropped: bool,
+    /// Byte length of the intact prefix — the whole file when no
+    /// tail was torn. Healing truncates to exactly here.
+    pub clean_len: u64,
+}
+
+impl JournalReplay {
+    /// Sequence of the last intact record (0 when empty).
+    pub fn last_seq(&self) -> u64 {
+        self.records.last().map_or(0, |r| r.seq)
+    }
+}
+
+/// IEEE CRC-32 (the polynomial every zip/png reader uses),
+/// bit-reflected, table-free — journal records are small and append
+/// throughput is bounded by fsync, not the checksum.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One parse attempt over a record line (without its newline).
+fn parse_record(line: &str) -> Result<SequencedDelta, String> {
+    let (seq_text, rest) = line.split_once(' ').ok_or("missing field separators")?;
+    let (crc_text, json) = rest.split_once(' ').ok_or("missing crc separator")?;
+    let seq: u64 = seq_text
+        .parse()
+        .map_err(|_| format!("bad sequence number {seq_text:?}"))?;
+    let stored_crc =
+        u32::from_str_radix(crc_text, 16).map_err(|_| format!("bad crc field {crc_text:?}"))?;
+    let actual_crc = crc32(json.as_bytes());
+    if stored_crc != actual_crc {
+        return Err(format!(
+            "crc mismatch: stored {stored_crc:08x}, computed {actual_crc:08x}"
+        ));
+    }
+    let delta: CorpusDelta =
+        serde_json::from_str(json).map_err(|e| format!("undecodable delta: {e}"))?;
+    Ok(SequencedDelta::new(seq, delta))
+}
+
+/// The append handle over a journal file.
+#[derive(Debug)]
+pub struct DeltaJournal {
+    path: PathBuf,
+    file: BufWriter<File>,
+    /// Sequence the next appended record will carry.
+    next_seq: u64,
+    /// Records currently in the file (post-compaction, post-recovery).
+    len: usize,
+    /// Byte length of the most recent append, so a failed
+    /// durability step can retract exactly that record.
+    last_record_len: Option<u64>,
+}
+
+impl DeltaJournal {
+    /// Creates a fresh, empty journal, truncating any existing file.
+    pub fn create(path: impl AsRef<Path>) -> Result<DeltaJournal, JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(DeltaJournal {
+            path,
+            file: BufWriter::new(file),
+            next_seq: 1,
+            len: 0,
+            last_record_len: None,
+        })
+    }
+
+    /// Opens an existing journal (or creates an empty one), replaying
+    /// it to find the append position. A torn tail is physically
+    /// truncated away so the file is clean for future appends; the
+    /// replay of everything intact is returned alongside the handle.
+    pub fn open(path: impl AsRef<Path>) -> Result<(DeltaJournal, JournalReplay), JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let replay = match Self::replay_path(&path) {
+            Ok(replay) => replay,
+            Err(JournalError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                JournalReplay::default()
+            }
+            Err(e) => return Err(e),
+        };
+        if replay.torn_tail_dropped {
+            // Heal by truncating to the end of the last intact
+            // record: O(1), and the durable prefix keeps its exact
+            // original bytes.
+            let file = OpenOptions::new().write(true).open(&path)?;
+            file.set_len(replay.clean_len)?;
+            file.sync_data()?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok((
+            DeltaJournal {
+                path,
+                file: BufWriter::new(file),
+                next_seq: replay.last_seq() + 1,
+                len: replay.records.len(),
+                last_record_len: None,
+            },
+            replay,
+        ))
+    }
+
+    /// Reads and verifies every record of the journal at `path`
+    /// without taking an append handle. Tolerates (and reports) a
+    /// torn final record; fails on any other damage.
+    ///
+    /// The file is read as *bytes*, not as a string: a crash can
+    /// truncate mid-UTF-8-sequence or leave garbage blocks at the
+    /// tail, and that damage must be confined to the torn record,
+    /// not fail the whole read.
+    pub fn replay_path(path: impl AsRef<Path>) -> Result<JournalReplay, JournalError> {
+        let mut bytes = Vec::new();
+        File::open(path.as_ref())?.read_to_end(&mut bytes)?;
+
+        let mut replay = JournalReplay::default();
+        let mut offset = 0usize;
+        let mut record_no = 0usize;
+        while offset < bytes.len() {
+            record_no += 1;
+            let rest = &bytes[offset..];
+            let (line_bytes, complete, consumed) = match rest.iter().position(|&b| b == b'\n') {
+                Some(nl) => (&rest[..nl], true, nl + 1),
+                None => (rest, false, rest.len()),
+            };
+            let is_last = offset + consumed >= bytes.len();
+            let parsed = std::str::from_utf8(line_bytes)
+                .map_err(|_| "invalid utf-8".to_owned())
+                .and_then(parse_record);
+            match parsed {
+                Ok(record) => {
+                    let expected = replay.records.last().map(|r| r.seq + 1);
+                    if !complete {
+                        // A record without its newline is a torn
+                        // append even if its payload happens to
+                        // verify — the trailing newline is part of
+                        // the durable format.
+                        replay.torn_tail_dropped = true;
+                    } else if expected.is_some_and(|e| record.seq != e) {
+                        return Err(JournalError::Corrupt {
+                            record: record_no,
+                            reason: format!(
+                                "sequence gap: expected {}, found {}",
+                                expected.unwrap_or(1),
+                                record.seq
+                            ),
+                        });
+                    } else {
+                        replay.records.push(record);
+                        replay.clean_len = (offset + consumed) as u64;
+                    }
+                }
+                Err(_) if is_last => {
+                    replay.torn_tail_dropped = true;
+                }
+                Err(reason) => {
+                    return Err(JournalError::Corrupt {
+                        record: record_no,
+                        reason,
+                    });
+                }
+            }
+            offset += consumed;
+        }
+        Ok(replay)
+    }
+
+    /// Appends one delta, assigning it the next sequence number. The
+    /// record is flushed to the OS; call [`DeltaJournal::sync`] to
+    /// force it to stable storage before acknowledging durability.
+    pub fn append(&mut self, delta: &CorpusDelta) -> Result<u64, JournalError> {
+        let seq = self.next_seq;
+        let json = serde_json::to_string(delta)
+            .map_err(|e| std::io::Error::other(format!("delta serialization failed: {e}")))?;
+        let crc = crc32(json.as_bytes());
+        let record = format!("{seq} {crc:08x} {json}\n");
+        self.file.write_all(record.as_bytes())?;
+        self.file.flush()?;
+        self.next_seq += 1;
+        self.len += 1;
+        self.last_record_len = Some(record.len() as u64);
+        Ok(seq)
+    }
+
+    /// Forces appended records to stable storage (fsync).
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Truncates away the most recent [`DeltaJournal::append`],
+    /// winding the sequence back with it. The failure-path inverse:
+    /// when the durability step after an append fails, the record
+    /// was never acknowledged, so it must not linger in the file to
+    /// be replayed on recovery (the caller will retry and re-journal
+    /// the same content under the same sequence).
+    pub fn retract_last(&mut self) -> Result<(), JournalError> {
+        let Some(record_len) = self.last_record_len else {
+            return Ok(());
+        };
+        self.file.flush()?;
+        let mut file = self.file.get_ref();
+        let end = file.metadata()?.len();
+        let new_end = end.saturating_sub(record_len);
+        file.set_len(new_end)?;
+        // Truncation does not move the write cursor; without the
+        // seek the next append would leave a zero-filled hole where
+        // the retracted record was (files created by
+        // `DeltaJournal::create` are not in O_APPEND mode).
+        file.seek(std::io::SeekFrom::Start(new_end))?;
+        // Counters move only after the truncate is known durable, so
+        // a failed retract leaves them honest about file contents.
+        file.sync_data()?;
+        self.next_seq -= 1;
+        self.len -= 1;
+        self.last_record_len = None;
+        Ok(())
+    }
+
+    /// Drops every record with `seq <= through_seq` — legal once a
+    /// checkpoint covers that prefix — rewriting the file atomically
+    /// (temp file + rename). Returns how many records were dropped.
+    /// Sequence numbers are preserved, so replay-over-checkpoint
+    /// still lines up.
+    pub fn compact_through(&mut self, through_seq: u64) -> Result<usize, JournalError> {
+        self.sync()?;
+        let replay = Self::replay_path(&self.path)?;
+        let retained: Vec<&SequencedDelta> = replay
+            .records
+            .iter()
+            .filter(|r| r.seq > through_seq)
+            .collect();
+        let dropped = replay.records.len() - retained.len();
+        if dropped == 0 {
+            return Ok(0);
+        }
+        Self::rewrite_refs(&self.path, &retained)?;
+        // Reopen the handle onto the rewritten file; the last append
+        // is no longer retractable (the rewrite re-framed it).
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        self.file = BufWriter::new(file);
+        self.len = retained.len();
+        self.last_record_len = None;
+        Ok(dropped)
+    }
+
+    /// Number of records currently in the file.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the file currently holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sequence number the next append will be stamped with.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Fast-forwards the next append sequence to `next_seq` (never
+    /// backwards). A fully-compacted journal file carries no records,
+    /// so on re-open its derived position restarts at 1; the owner —
+    /// who knows the stream position from its checkpoint — uses this
+    /// to keep sequence numbers rising monotonically across
+    /// compact-then-crash-then-recover cycles.
+    pub fn resume_at(&mut self, next_seq: u64) {
+        self.next_seq = self.next_seq.max(next_seq);
+    }
+
+    /// Where the journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Writes `records` to a sibling temp file, fsyncs it, and
+    /// renames it over `path` so the journal is never observable in
+    /// a half-rewritten state.
+    fn rewrite_refs(path: &Path, records: &[&SequencedDelta]) -> Result<(), JournalError> {
+        let tmp = path.with_extension("journal.tmp");
+        {
+            let file = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&tmp)?;
+            let mut out = BufWriter::new(file);
+            for record in records {
+                let json = serde_json::to_string(&record.delta).map_err(|e| {
+                    std::io::Error::other(format!("delta serialization failed: {e}"))
+                })?;
+                let crc = crc32(json.as_bytes());
+                writeln!(out, "{} {crc:08x} {json}", record.seq)?;
+            }
+            out.flush()?;
+            out.get_ref().sync_data()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs_model::{PostId, SourceId};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "obs_live_journal_{}_{}_{}.journal",
+            std::process::id(),
+            tag,
+            n
+        ))
+    }
+
+    fn sample_delta(post: u32) -> CorpusDelta {
+        let mut d = CorpusDelta::new();
+        d.add_doc(PostId::new(post), SourceId::new(0), format!("doc {post}"));
+        d.note_engagement(SourceId::new(0), 1, 0);
+        d
+    }
+
+    #[test]
+    fn append_sync_replay_roundtrips() {
+        let path = temp_path("roundtrip");
+        let mut journal = DeltaJournal::create(&path).unwrap();
+        for i in 0..5 {
+            let seq = journal.append(&sample_delta(i)).unwrap();
+            assert_eq!(seq, u64::from(i) + 1);
+        }
+        journal.sync().unwrap();
+        assert_eq!(journal.len(), 5);
+        assert_eq!(journal.next_seq(), 6);
+
+        let replay = DeltaJournal::replay_path(&path).unwrap();
+        assert!(!replay.torn_tail_dropped);
+        assert_eq!(replay.records.len(), 5);
+        assert_eq!(replay.last_seq(), 5);
+        for (i, r) in replay.records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64 + 1);
+            assert_eq!(r.delta, sample_delta(i as u32));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let path = temp_path("torn");
+        let mut journal = DeltaJournal::create(&path).unwrap();
+        for i in 0..3 {
+            journal.append(&sample_delta(i)).unwrap();
+        }
+        journal.sync().unwrap();
+        drop(journal);
+
+        // Simulate a crash mid-append: truncate the file inside the
+        // final record.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 7]).unwrap();
+
+        let replay = DeltaJournal::replay_path(&path).unwrap();
+        assert!(replay.torn_tail_dropped);
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.last_seq(), 2);
+
+        // Re-opening heals the file and appends continue the
+        // sequence from the surviving prefix.
+        let (mut journal, replay) = DeltaJournal::open(&path).unwrap();
+        assert!(replay.torn_tail_dropped);
+        assert_eq!(journal.next_seq(), 3);
+        journal.append(&sample_delta(9)).unwrap();
+        journal.sync().unwrap();
+        let healed = DeltaJournal::replay_path(&path).unwrap();
+        assert!(!healed.torn_tail_dropped);
+        assert_eq!(healed.last_seq(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_record_without_newline_is_dropped_even_if_payload_verifies() {
+        let path = temp_path("no_newline");
+        let mut journal = DeltaJournal::create(&path).unwrap();
+        journal.append(&sample_delta(0)).unwrap();
+        journal.append(&sample_delta(1)).unwrap();
+        journal.sync().unwrap();
+        drop(journal);
+
+        // Strip only the final newline: payload intact, frame torn.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.trim_end_matches('\n')).unwrap();
+        let replay = DeltaJournal::replay_path(&path).unwrap();
+        assert!(replay.torn_tail_dropped);
+        assert_eq!(replay.records.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_utf8_torn_tail_is_dropped_not_io_error() {
+        let path = temp_path("utf8_tail");
+        let mut journal = DeltaJournal::create(&path).unwrap();
+        journal.append(&sample_delta(0)).unwrap();
+        journal.append(&sample_delta(1)).unwrap();
+        journal.sync().unwrap();
+        drop(journal);
+
+        // A crash can leave raw garbage (or a truncated multi-byte
+        // UTF-8 sequence) at the tail; replay must confine the
+        // damage to the torn record, not refuse the whole file.
+        {
+            use std::io::Write;
+            let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+            file.write_all(b"3 deadbeef {\"added\xff\xfe\x00").unwrap();
+        }
+        let replay = DeltaJournal::replay_path(&path).unwrap();
+        assert!(replay.torn_tail_dropped);
+        assert_eq!(replay.records.len(), 2);
+
+        // Re-opening heals it and appends continue.
+        let (mut journal, _) = DeltaJournal::open(&path).unwrap();
+        assert_eq!(journal.append(&sample_delta(7)).unwrap(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_utf8_mid_file_is_corruption() {
+        let path = temp_path("utf8_mid");
+        let mut journal = DeltaJournal::create(&path).unwrap();
+        journal.append(&sample_delta(0)).unwrap();
+        journal.append(&sample_delta(1)).unwrap();
+        journal.sync().unwrap();
+        drop(journal);
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Clobber a byte inside the first record.
+        bytes[10] = 0xFF;
+        std::fs::write(&path, bytes).unwrap();
+        let err = DeltaJournal::replay_path(&path).unwrap_err();
+        assert!(
+            matches!(err, JournalError::Corrupt { record: 1, .. }),
+            "{err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn retract_last_unwinds_an_unacknowledged_append() {
+        let path = temp_path("retract");
+        let mut journal = DeltaJournal::create(&path).unwrap();
+        journal.append(&sample_delta(0)).unwrap();
+        journal.append(&sample_delta(1)).unwrap();
+        journal.sync().unwrap();
+
+        // Append a record whose durability step "failed": retract it.
+        journal.append(&sample_delta(2)).unwrap();
+        journal.retract_last().unwrap();
+        assert_eq!(journal.len(), 2);
+        assert_eq!(journal.next_seq(), 3);
+        // A second retract is a no-op (nothing retractable).
+        journal.retract_last().unwrap();
+        assert_eq!(journal.len(), 2);
+
+        // The retry claims the same sequence, and replay sees a
+        // clean two-then-three record history with no orphan.
+        assert_eq!(journal.append(&sample_delta(3)).unwrap(), 3);
+        journal.sync().unwrap();
+        let replay = DeltaJournal::replay_path(&path).unwrap();
+        assert!(!replay.torn_tail_dropped);
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(replay.records[2].delta, sample_delta(3));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn healing_a_torn_tail_preserves_the_intact_prefix_bytes() {
+        let path = temp_path("heal_bytes");
+        let mut journal = DeltaJournal::create(&path).unwrap();
+        journal.append(&sample_delta(0)).unwrap();
+        journal.append(&sample_delta(1)).unwrap();
+        journal.sync().unwrap();
+        drop(journal);
+
+        let intact = std::fs::read(&path).unwrap();
+        let mut torn = intact.clone();
+        torn.extend_from_slice(b"3 0badc0de {\"trunc");
+        std::fs::write(&path, &torn).unwrap();
+
+        let (_journal, replay) = DeltaJournal::open(&path).unwrap();
+        assert!(replay.torn_tail_dropped);
+        assert_eq!(replay.clean_len, intact.len() as u64);
+        // Healing truncated, it did not rewrite: byte-identical.
+        assert_eq!(std::fs::read(&path).unwrap(), intact);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_at_only_moves_forward() {
+        let path = temp_path("resume");
+        let mut journal = DeltaJournal::create(&path).unwrap();
+        journal.append(&sample_delta(0)).unwrap();
+        assert_eq!(journal.next_seq(), 2);
+        journal.resume_at(10);
+        assert_eq!(journal.next_seq(), 10);
+        journal.resume_at(4); // never backwards
+        assert_eq!(journal.next_seq(), 10);
+        assert_eq!(journal.append(&sample_delta(1)).unwrap(), 10);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_file_damage_is_corruption() {
+        let path = temp_path("corrupt");
+        let mut journal = DeltaJournal::create(&path).unwrap();
+        for i in 0..3 {
+            journal.append(&sample_delta(i)).unwrap();
+        }
+        journal.sync().unwrap();
+        drop(journal);
+
+        // Flip a byte inside the *second* record's JSON.
+        let mut lines: Vec<String> = std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .map(str::to_owned)
+            .collect();
+        lines[1] = lines[1].replace("doc 1", "doc X");
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        let err = DeltaJournal::replay_path(&path).unwrap_err();
+        match err {
+            JournalError::Corrupt { record, reason } => {
+                assert_eq!(record, 2);
+                assert!(reason.contains("crc mismatch"), "{reason}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sequence_gap_is_corruption() {
+        let path = temp_path("gap");
+        let mut journal = DeltaJournal::create(&path).unwrap();
+        for i in 0..3 {
+            journal.append(&sample_delta(i)).unwrap();
+        }
+        journal.sync().unwrap();
+        drop(journal);
+
+        // Delete the middle line: seqs 1,3 remain.
+        let lines: Vec<String> = std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .map(str::to_owned)
+            .collect();
+        std::fs::write(&path, format!("{}\n{}\n", lines[0], lines[2])).unwrap();
+
+        let err = DeltaJournal::replay_path(&path).unwrap_err();
+        assert!(
+            matches!(err, JournalError::Corrupt { record: 2, .. }),
+            "{err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_drops_covered_prefix_and_keeps_sequences() {
+        let path = temp_path("compact");
+        let mut journal = DeltaJournal::create(&path).unwrap();
+        for i in 0..6 {
+            journal.append(&sample_delta(i)).unwrap();
+        }
+        journal.sync().unwrap();
+
+        let dropped = journal.compact_through(4).unwrap();
+        assert_eq!(dropped, 4);
+        assert_eq!(journal.len(), 2);
+        // Appends continue the global sequence.
+        assert_eq!(journal.append(&sample_delta(9)).unwrap(), 7);
+        journal.sync().unwrap();
+
+        let replay = DeltaJournal::replay_path(&path).unwrap();
+        let seqs: Vec<u64> = replay.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![5, 6, 7]);
+
+        // Compacting an already-covered prefix is a no-op.
+        assert_eq!(journal.compact_through(3).unwrap(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_and_missing_journals_replay_empty() {
+        let path = temp_path("empty");
+        let (journal, replay) = DeltaJournal::open(&path).unwrap();
+        assert!(journal.is_empty());
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.last_seq(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,48 @@
+//! # obs-live — concurrent snapshot serving with a durable delta journal
+//!
+//! The batch pipeline builds a [`SearchEngine`](obs_search::SearchEngine)
+//! once and queries it; the paper's observer model instead assumes
+//! queries are answered *continuously while new Web 2.0 content
+//! streams in*. This crate is the serving layer that closes that gap:
+//!
+//! * [`SnapshotStore`] / [`SnapshotReader`] — readers grab an
+//!   immutable engine snapshot through an epoch-style arc swap.
+//!   Acquiring a snapshot is a reference-count bump under a lock held
+//!   for nanoseconds; **`query` never blocks on an in-flight
+//!   `apply_delta`**, because writers mutate a private copy-on-write
+//!   engine and publish by swapping one `Arc` pointer.
+//! * [`LiveWriter`] — the single owner of the mutable engine. It
+//!   applies [`CorpusDelta`](obs_model::CorpusDelta)s and publishes
+//!   new snapshots; published snapshots are frozen forever.
+//! * [`DeltaJournal`] — an append-only on-disk log of serialized
+//!   deltas with sequence numbers, crc-protected records,
+//!   torn-tail tolerance (a truncated final record is detected and
+//!   dropped, not a panic) and prefix compaction once a checkpoint
+//!   covers it.
+//! * [`LiveService`] — wires a crawl tick through
+//!   *journal → apply → publish*, and [`LiveService::recover`]
+//!   rebuilds the exact pre-crash engine by replaying the journal
+//!   over a checkpoint.
+//!
+//! ```text
+//! crawler ticks ──► DeltaJournal (fsync) ──► LiveWriter.apply ──► publish
+//!                                                                    │
+//!                       SnapshotReader.snapshot() ◄── SnapshotStore ◄┘
+//!                       (N reader threads, never blocked)
+//! ```
+//!
+//! The recovery invariant — replaying the journal over a checkpoint
+//! reproduces the uninterrupted engine down to identical BM25 score
+//! maps — is enforced by property tests at the workspace level.
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod journal;
+pub mod service;
+pub mod snapshot;
+
+pub use error::LiveError;
+pub use journal::{DeltaJournal, JournalError, JournalReplay};
+pub use service::{LiveService, RecoveryReport};
+pub use snapshot::{EngineSnapshot, LiveWriter, SnapshotReader, SnapshotStore};

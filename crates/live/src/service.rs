@@ -1,0 +1,463 @@
+//! The live service: crawl ticks in, durable snapshots out.
+//!
+//! [`LiveService`] owns the three moving parts — journal, writer,
+//! snapshot store — and enforces the one ordering that makes crashes
+//! safe: **journal (fsync) → apply → publish**. A delta is applied
+//! to the served engine only after it is durable, so the journal is
+//! always a superset of every published snapshot, and replaying it
+//! over a checkpoint reproduces the pre-crash engine exactly.
+
+use crate::error::LiveError;
+use crate::journal::DeltaJournal;
+use crate::snapshot::{LiveWriter, SnapshotReader};
+use obs_model::{Clock, CorpusDelta};
+use obs_search::SearchEngine;
+use obs_wrappers::{CrawlReport, Crawler, DataService, HighWaterMarks};
+use std::path::Path;
+
+/// What [`LiveService::recover`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Journal records replayed into the checkpoint engine.
+    pub replayed: usize,
+    /// Records skipped because the checkpoint already covered them.
+    pub skipped: usize,
+    /// Whether a truncated final record was dropped (torn tail).
+    pub torn_tail_dropped: bool,
+    /// Sequence the recovered service resumed at.
+    pub recovered_seq: u64,
+}
+
+/// A continuously-updatable, concurrently-queryable engine.
+#[derive(Debug)]
+pub struct LiveService {
+    writer: LiveWriter,
+    journal: DeltaJournal,
+}
+
+impl LiveService {
+    /// Starts a fresh service over `engine`, creating (truncating)
+    /// the journal at `journal_path`. The engine is published
+    /// immediately as snapshot 0.
+    pub fn start(
+        engine: SearchEngine,
+        journal_path: impl AsRef<Path>,
+    ) -> Result<LiveService, LiveError> {
+        Ok(LiveService {
+            writer: LiveWriter::new(engine, 0),
+            journal: DeltaJournal::create(journal_path)?,
+        })
+    }
+
+    /// Rebuilds the exact pre-crash service: opens the journal at
+    /// `journal_path` (healing any torn tail) and replays every
+    /// record past `checkpoint_seq` into `checkpoint` — the engine
+    /// state that covered sequences `..=checkpoint_seq`. For a
+    /// journal that was never compacted, the checkpoint is simply
+    /// the engine the service originally started with and
+    /// `checkpoint_seq` is 0.
+    ///
+    /// Fails with [`LiveError::CheckpointGap`] if compaction has
+    /// dropped records the checkpoint does not cover.
+    pub fn recover(
+        checkpoint: SearchEngine,
+        checkpoint_seq: u64,
+        journal_path: impl AsRef<Path>,
+    ) -> Result<(LiveService, RecoveryReport), LiveError> {
+        let (mut journal, replay) = DeltaJournal::open(journal_path)?;
+        let mut report = RecoveryReport {
+            torn_tail_dropped: replay.torn_tail_dropped,
+            ..RecoveryReport::default()
+        };
+        if let Some(first) = replay.records.first() {
+            if first.seq > checkpoint_seq + 1 {
+                return Err(LiveError::CheckpointGap {
+                    checkpoint_seq,
+                    journal_first_seq: first.seq,
+                });
+            }
+        }
+        let mut writer = LiveWriter::new(checkpoint, checkpoint_seq);
+        for record in &replay.records {
+            if record.seq <= checkpoint_seq {
+                report.skipped += 1;
+                continue;
+            }
+            writer.apply(record.seq, &record.delta);
+            report.replayed += 1;
+        }
+        writer.publish();
+        report.recovered_seq = writer.seq();
+        // A fully-compacted journal file carries no records to derive
+        // its position from; the checkpoint knows better. Without
+        // this, the first post-recovery ingest would be stamped seq 1
+        // and rejected by the writer.
+        journal.resume_at(report.recovered_seq + 1);
+        Ok((LiveService { writer, journal }, report))
+    }
+
+    /// Ingests one delta: journals it durably (append + fsync),
+    /// applies it to the engine, publishes the new snapshot. Returns
+    /// the sequence number the delta was stamped with. On a journal
+    /// failure the engine and the served snapshot are untouched, and
+    /// a record whose fsync failed is retracted from the journal —
+    /// it was never acknowledged, so it must neither occupy the
+    /// sequence the retry will claim nor resurface on recovery.
+    pub fn ingest(&mut self, delta: &CorpusDelta) -> Result<u64, LiveError> {
+        let seq = self.journal.append(delta)?;
+        if let Err(sync_err) = self.journal.sync() {
+            // Best effort: if the retract also fails the journal and
+            // writer sequences have diverged and only recover() can
+            // rebuild a consistent service; surface the original
+            // failure either way.
+            let _ = self.journal.retract_last();
+            return Err(sync_err.into());
+        }
+        self.writer.apply(seq, delta);
+        self.writer.publish();
+        Ok(seq)
+    }
+
+    /// One crawl tick: crawls `service` since its high-water mark
+    /// (advancing it), and — if anything new was observed — ingests
+    /// the resulting delta. Returns the current sequence and the
+    /// crawl report; an empty tick journals nothing.
+    ///
+    /// If the journal refuses the delta, the source's high-water
+    /// mark is rolled back to its pre-tick value: content the
+    /// journal never accepted must stay observable, or a retried
+    /// tick would skip it forever.
+    pub fn tick(
+        &mut self,
+        crawler: &Crawler,
+        service: &mut dyn DataService,
+        clock: &mut Clock,
+        marks: &mut HighWaterMarks,
+    ) -> Result<(u64, CrawlReport), LiveError> {
+        let source = service.descriptor().source;
+        let pre_tick_mark = marks.since(source);
+        let (delta, crawl_report) = crawler.crawl_tick(service, clock, marks)?;
+        if !delta.is_empty() {
+            if let Err(e) = self.ingest(&delta) {
+                marks.rollback(source, pre_tick_mark);
+                return Err(e);
+            }
+        }
+        Ok((self.seq(), crawl_report))
+    }
+
+    /// A cloneable handle for reader threads. Snapshots acquired
+    /// through it never block on an in-flight ingest.
+    pub fn reader(&self) -> SnapshotReader {
+        self.writer.reader()
+    }
+
+    /// Sequence of the last ingested delta (0 before the first).
+    pub fn seq(&self) -> u64 {
+        self.writer.seq()
+    }
+
+    /// The served engine's current document count.
+    pub fn doc_count(&self) -> usize {
+        self.writer.engine().doc_count()
+    }
+
+    /// Captures a checkpoint: a clone of the current engine (cheap —
+    /// the index is shared copy-on-write) plus the sequence it
+    /// covers. Feed it back to [`LiveService::recover`], and once it
+    /// is safely stored, to [`LiveService::compact_through`].
+    pub fn checkpoint(&self) -> (SearchEngine, u64) {
+        (self.writer.engine().clone(), self.writer.seq())
+    }
+
+    /// Compacts the journal prefix `..=through_seq`. Only legal once
+    /// a checkpoint covering `through_seq` exists outside the
+    /// journal; recovery from an older checkpoint will fail with
+    /// [`LiveError::CheckpointGap`] afterwards. Returns the number
+    /// of records dropped.
+    pub fn compact_through(&mut self, through_seq: u64) -> Result<usize, LiveError> {
+        Ok(self.journal.compact_through(through_seq)?)
+    }
+
+    /// Number of records currently in the journal file.
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs_analytics::{AlexaPanel, LinkGraph};
+    use obs_model::{PostId, Timestamp};
+    use obs_search::BlendWeights;
+    use obs_synth::{World, WorldConfig};
+    use obs_wrappers::service_for;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "obs_live_service_{}_{}_{}.journal",
+            std::process::id(),
+            tag,
+            n
+        ))
+    }
+
+    fn world_and_engine(seed: u64) -> (World, SearchEngine) {
+        let world = World::generate(WorldConfig::small(seed));
+        let panel = AlexaPanel::simulate(&world, 1);
+        let links = LinkGraph::simulate(&world, 2);
+        let engine = SearchEngine::build(&world.corpus, &panel, &links, BlendWeights::default());
+        (world, engine)
+    }
+
+    /// Splits the most recent posts into `batches` delta batches.
+    fn recent_batches(world: &World, batches: usize) -> Vec<CorpusDelta> {
+        let midpoint = Timestamp(world.now.seconds() / 2);
+        let recent: Vec<PostId> = world
+            .corpus
+            .posts()
+            .iter()
+            .filter(|p| p.published > midpoint)
+            .map(|p| p.id)
+            .collect();
+        assert!(!recent.is_empty(), "world has no recent posts");
+        let per = recent.len().div_ceil(batches);
+        recent
+            .chunks(per.max(1))
+            .map(|chunk| CorpusDelta::for_posts(&world.corpus, chunk).unwrap())
+            .collect()
+    }
+
+    /// An engine wound back to before `deltas` were applied.
+    fn stale_engine(world: &World, engine: &SearchEngine) -> SearchEngine {
+        let midpoint = Timestamp(world.now.seconds() / 2);
+        let recent: Vec<PostId> = world
+            .corpus
+            .posts()
+            .iter()
+            .filter(|p| p.published > midpoint)
+            .map(|p| p.id)
+            .collect();
+        let mut stale = engine.clone();
+        stale.apply_delta(&CorpusDelta::for_removals(&world.corpus, &recent).unwrap());
+        stale
+    }
+
+    #[test]
+    fn ingest_journals_then_publishes() {
+        let (world, engine) = world_and_engine(501);
+        let stale = stale_engine(&world, &engine);
+        let path = temp_path("ingest");
+        let mut service = LiveService::start(stale.clone(), &path).unwrap();
+        let reader = service.reader();
+        assert_eq!(reader.snapshot().seq(), 0);
+
+        for (i, delta) in recent_batches(&world, 4).iter().enumerate() {
+            let seq = service.ingest(delta).unwrap();
+            assert_eq!(seq, i as u64 + 1);
+            let snap = reader.snapshot();
+            assert_eq!(snap.seq(), seq);
+            assert_eq!(snap.engine().doc_count(), service.doc_count());
+        }
+        // The converged engine equals the never-stale engine.
+        assert_eq!(service.doc_count(), engine.doc_count());
+        assert_eq!(service.journal_len(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kill_and_recover_is_bit_identical_to_uninterrupted() {
+        let (world, engine) = world_and_engine(502);
+        let stale = stale_engine(&world, &engine);
+        let batches = recent_batches(&world, 5);
+        let probe: Vec<String> = vec!["duomo".into(), "rooftop".into(), "castle".into()];
+
+        // Uninterrupted run: all five batches through one service.
+        let path_a = temp_path("uninterrupted");
+        let mut uninterrupted = LiveService::start(stale.clone(), &path_a).unwrap();
+        for delta in &batches {
+            uninterrupted.ingest(delta).unwrap();
+        }
+
+        // Interrupted run: three batches, then the process "dies"
+        // (service dropped without any shutdown grace).
+        let path_b = temp_path("killed");
+        {
+            let mut doomed = LiveService::start(stale.clone(), &path_b).unwrap();
+            for delta in &batches[..3] {
+                doomed.ingest(delta).unwrap();
+            }
+        } // killed here
+
+        // Recover from the original checkpoint + journal, then catch
+        // up with the remaining batches.
+        let (mut recovered, report) = LiveService::recover(stale.clone(), 0, &path_b).unwrap();
+        assert_eq!(report.replayed, 3);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(report.recovered_seq, 3);
+        for delta in &batches[3..] {
+            recovered.ingest(delta).unwrap();
+        }
+
+        // Bit-identical rankings and static scores.
+        let a = uninterrupted.reader().snapshot();
+        let b = recovered.reader().snapshot();
+        assert_eq!(a.seq(), b.seq());
+        assert_eq!(a.engine().doc_count(), b.engine().doc_count());
+        assert_eq!(a.engine().query(&probe, 50), b.engine().query(&probe, 50));
+        for s in world.corpus.sources() {
+            assert_eq!(a.engine().static_score(s.id), b.engine().static_score(s.id));
+        }
+        std::fs::remove_file(&path_a).ok();
+        std::fs::remove_file(&path_b).ok();
+    }
+
+    #[test]
+    fn recover_from_mid_stream_checkpoint_skips_covered_prefix() {
+        let (world, engine) = world_and_engine(503);
+        let stale = stale_engine(&world, &engine);
+        let batches = recent_batches(&world, 4);
+        let path = temp_path("checkpointed");
+
+        let mut service = LiveService::start(stale, &path).unwrap();
+        service.ingest(&batches[0]).unwrap();
+        service.ingest(&batches[1]).unwrap();
+        let (checkpoint, checkpoint_seq) = service.checkpoint();
+        assert_eq!(checkpoint_seq, 2);
+        service.ingest(&batches[2]).unwrap();
+        service.ingest(&batches[3]).unwrap();
+        let expected = service.reader().snapshot();
+        drop(service);
+
+        let (recovered, report) = LiveService::recover(checkpoint, checkpoint_seq, &path).unwrap();
+        assert_eq!(report.skipped, 2);
+        assert_eq!(report.replayed, 2);
+        assert_eq!(report.recovered_seq, 4);
+        let probe: Vec<String> = vec!["duomo".into(), "gardens".into()];
+        let snap = recovered.reader().snapshot();
+        assert_eq!(snap.engine().doc_count(), expected.engine().doc_count());
+        assert_eq!(
+            snap.engine().query(&probe, 50),
+            expected.engine().query(&probe, 50)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_after_checkpoint_still_recovers() {
+        let (world, engine) = world_and_engine(504);
+        let stale = stale_engine(&world, &engine);
+        let batches = recent_batches(&world, 4);
+        let path = temp_path("compacted");
+
+        let mut service = LiveService::start(stale.clone(), &path).unwrap();
+        for delta in &batches {
+            service.ingest(delta).unwrap();
+        }
+        let (checkpoint, checkpoint_seq) = service.checkpoint();
+        let dropped = service.compact_through(checkpoint_seq).unwrap();
+        assert_eq!(dropped, 4);
+        assert_eq!(service.journal_len(), 0);
+        let expected_docs = service.doc_count();
+        drop(service);
+
+        // An empty (fully-compacted) journal replays fine even from
+        // an old checkpoint: there is simply nothing to apply.
+        let (ok, _) = LiveService::recover(stale.clone(), 0, &path).unwrap();
+        assert_eq!(ok.seq(), 0);
+        drop(ok);
+
+        // The checkpoint covers everything compacted away.
+        let (mut recovered, report) =
+            LiveService::recover(checkpoint, checkpoint_seq, &path).unwrap();
+        assert_eq!(report.replayed, 0);
+        assert_eq!(recovered.doc_count(), expected_docs);
+        assert_eq!(recovered.seq(), checkpoint_seq);
+
+        // Ingestion continues the global sequence after recovering
+        // from a fully-compacted (record-less) journal — the
+        // checkpoint, not the empty file, pins the position.
+        let last = world.corpus.posts().last().unwrap().id;
+        let removal = CorpusDelta::for_removals(&world.corpus, &[last]).unwrap();
+        let seq = recovered.ingest(&removal).unwrap();
+        assert_eq!(seq, checkpoint_seq + 1);
+        assert_eq!(recovered.reader().snapshot().seq(), seq);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_checkpoint_against_compacted_journal_is_a_gap() {
+        let (world, engine) = world_and_engine(505);
+        let stale = stale_engine(&world, &engine);
+        let batches = recent_batches(&world, 4);
+        let path = temp_path("gap");
+
+        let mut service = LiveService::start(stale.clone(), &path).unwrap();
+        for delta in &batches {
+            service.ingest(delta).unwrap();
+        }
+        // Compact through 2 while records 3,4 remain.
+        service.compact_through(2).unwrap();
+        drop(service);
+
+        // A checkpoint at 0 cannot bridge to first retained seq 3.
+        let err = LiveService::recover(stale, 0, &path).unwrap_err();
+        match err {
+            LiveError::CheckpointGap {
+                checkpoint_seq,
+                journal_first_seq,
+            } => {
+                assert_eq!(checkpoint_seq, 0);
+                assert_eq!(journal_first_seq, 3);
+            }
+            other => panic!("expected CheckpointGap, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crawl_ticks_flow_through_journal_to_snapshots() {
+        let (world, engine) = world_and_engine(506);
+        let stale = stale_engine(&world, &engine);
+        let path = temp_path("ticks");
+        let mut service = LiveService::start(stale, &path).unwrap();
+        let crawler = Crawler::default();
+        let midpoint = Timestamp(world.now.seconds() / 2);
+        let mut marks = HighWaterMarks::new();
+        for source in world.corpus.sources() {
+            // The service was built from content up to the midpoint;
+            // seed each mark there so ticks only surface fresh items.
+            marks.advance(source.id, midpoint);
+        }
+
+        let before = service.seq();
+        for source in world.corpus.sources() {
+            let mut clock = Clock::starting_at(world.now);
+            let mut api = service_for(&world.corpus, source.id, world.now).unwrap();
+            service
+                .tick(&crawler, api.as_mut(), &mut clock, &mut marks)
+                .unwrap();
+        }
+        assert!(service.seq() > before, "no tick ingested anything");
+        assert_eq!(service.journal_len() as u64, service.seq());
+        let snap = service.reader().snapshot();
+        assert_eq!(snap.seq(), service.seq());
+
+        // A second sweep observes nothing new: same seq, no growth.
+        let seq = service.seq();
+        for source in world.corpus.sources() {
+            let mut clock = Clock::starting_at(world.now);
+            let mut api = service_for(&world.corpus, source.id, world.now).unwrap();
+            service
+                .tick(&crawler, api.as_mut(), &mut clock, &mut marks)
+                .unwrap();
+        }
+        assert_eq!(service.seq(), seq);
+        std::fs::remove_file(&path).ok();
+    }
+}

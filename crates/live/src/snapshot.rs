@@ -1,0 +1,240 @@
+//! Epoch-style snapshot publication.
+//!
+//! The serving contract: any number of reader threads query the
+//! engine while one writer applies crawl deltas, and **a reader
+//! never blocks on an in-flight `apply_delta`**. The scheme is a
+//! hand-rolled arc swap over `std::sync` (the build image is
+//! offline, so no `arc-swap` crate):
+//!
+//! * the [`SnapshotStore`] holds the current [`EngineSnapshot`]
+//!   behind an `RwLock<Arc<_>>`. Readers take the read lock *only
+//!   long enough to clone the `Arc`* — nanoseconds — and then query
+//!   their snapshot entirely outside any lock;
+//! * the [`LiveWriter`] owns a private [`SearchEngine`] and applies
+//!   deltas to it without holding any lock at all. The engine's
+//!   index is copy-on-write (shared via `Arc` until mutated), so
+//!   published snapshots are physically immune to later writes;
+//! * publishing swaps the `Arc` under the write lock — again a
+//!   pointer-sized critical section.
+//!
+//! The lock is therefore never held across an `apply_delta` or a
+//! `query`; the worst a reader can experience is waiting for a
+//! pointer swap. Readers holding an old snapshot keep its epoch of
+//! the index alive until they drop it — the classic epoch
+//! reclamation trade-off, made safe by `Arc`.
+
+use obs_search::SearchEngine;
+use std::sync::{Arc, RwLock};
+
+/// One published, immutable engine state.
+///
+/// The sequence number is the journal sequence of the last delta the
+/// engine absorbed (0 for the initial build), so observers can order
+/// snapshots and correlate them with the durable log.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    seq: u64,
+    engine: SearchEngine,
+}
+
+impl EngineSnapshot {
+    /// Wraps an engine state at a journal position.
+    pub fn new(seq: u64, engine: SearchEngine) -> EngineSnapshot {
+        EngineSnapshot { seq, engine }
+    }
+
+    /// Journal sequence of the last delta this snapshot contains.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The frozen engine. Query it freely — nothing can mutate it.
+    pub fn engine(&self) -> &SearchEngine {
+        &self.engine
+    }
+}
+
+/// The swap point between one writer and many readers.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    current: RwLock<Arc<EngineSnapshot>>,
+}
+
+impl SnapshotStore {
+    /// Creates a store serving `initial` until the first publish.
+    pub fn new(initial: EngineSnapshot) -> SnapshotStore {
+        SnapshotStore {
+            current: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// The current snapshot. Lock-held time is one `Arc` clone.
+    pub fn load(&self) -> Arc<EngineSnapshot> {
+        // A poisoned lock only means a reader panicked mid-clone;
+        // the guarded Arc itself is always intact.
+        match self.current.read() {
+            Ok(guard) => Arc::clone(&guard),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+
+    /// Swaps in a new snapshot. Lock-held time is one pointer swap.
+    fn publish(&self, snapshot: Arc<EngineSnapshot>) {
+        match self.current.write() {
+            Ok(mut guard) => *guard = snapshot,
+            Err(poisoned) => *poisoned.into_inner() = snapshot,
+        }
+    }
+}
+
+/// A cloneable, `Send` handle for reader threads.
+#[derive(Debug, Clone)]
+pub struct SnapshotReader {
+    store: Arc<SnapshotStore>,
+}
+
+impl SnapshotReader {
+    /// The current snapshot; query it outside any lock.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.store.load()
+    }
+}
+
+/// The single owner of the mutable engine.
+///
+/// Applies deltas to a private copy-on-write engine and decides when
+/// to publish. Keeping apply and publish separate lets a caller
+/// batch several deltas per published snapshot (publishing is cheap,
+/// but each publish-then-apply cycle detaches the index once).
+#[derive(Debug)]
+pub struct LiveWriter {
+    engine: SearchEngine,
+    store: Arc<SnapshotStore>,
+    seq: u64,
+}
+
+impl LiveWriter {
+    /// Starts a writer at `engine`/`seq` and publishes that state as
+    /// the initial snapshot.
+    pub fn new(engine: SearchEngine, seq: u64) -> LiveWriter {
+        let store = Arc::new(SnapshotStore::new(EngineSnapshot::new(seq, engine.clone())));
+        LiveWriter { engine, store, seq }
+    }
+
+    /// A reader handle onto this writer's store.
+    pub fn reader(&self) -> SnapshotReader {
+        SnapshotReader {
+            store: Arc::clone(&self.store),
+        }
+    }
+
+    /// Applies one delta to the private engine, stamping it as
+    /// change `seq`. Not visible to readers until
+    /// [`LiveWriter::publish`]. Sequence numbers must be contiguous.
+    ///
+    /// # Panics
+    /// If `seq` is not exactly one past the last applied sequence —
+    /// a skipped or replayed delta would silently corrupt the
+    /// journal ↔ snapshot correspondence.
+    pub fn apply(&mut self, seq: u64, delta: &obs_model::CorpusDelta) {
+        assert_eq!(
+            seq,
+            self.seq + 1,
+            "delta applied out of order: expected seq {}, got {seq}",
+            self.seq + 1
+        );
+        self.engine.apply_delta(delta);
+        self.seq = seq;
+    }
+
+    /// Publishes the current engine state. Readers acquiring
+    /// snapshots from now on see every delta applied so far.
+    pub fn publish(&self) {
+        self.store
+            .publish(Arc::new(EngineSnapshot::new(self.seq, self.engine.clone())));
+    }
+
+    /// Sequence of the last applied (not necessarily published) delta.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The writer's private engine state (diagnostics; readers should
+    /// go through [`LiveWriter::reader`]).
+    pub fn engine(&self) -> &SearchEngine {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs_analytics::{AlexaPanel, LinkGraph};
+    use obs_model::{CorpusDelta, PostId};
+    use obs_search::BlendWeights;
+    use obs_synth::{World, WorldConfig};
+
+    fn engine() -> (World, SearchEngine) {
+        let world = World::generate(WorldConfig::small(404));
+        let panel = AlexaPanel::simulate(&world, 1);
+        let links = LinkGraph::simulate(&world, 2);
+        let engine = SearchEngine::build(&world.corpus, &panel, &links, BlendWeights::default());
+        (world, engine)
+    }
+
+    #[test]
+    fn initial_snapshot_serves_the_seed_engine() {
+        let (_, engine) = engine();
+        let docs = engine.doc_count();
+        let writer = LiveWriter::new(engine, 0);
+        let snap = writer.reader().snapshot();
+        assert_eq!(snap.seq(), 0);
+        assert_eq!(snap.engine().doc_count(), docs);
+    }
+
+    #[test]
+    fn applies_are_invisible_until_publish() {
+        let (world, engine) = engine();
+        let mut writer = LiveWriter::new(engine, 0);
+        let reader = writer.reader();
+        let before = reader.snapshot();
+
+        let last = world.corpus.posts().last().unwrap().id;
+        let removal = CorpusDelta::for_removals(&world.corpus, &[last]).unwrap();
+        writer.apply(1, &removal);
+        // The published snapshot is untouched by the un-published
+        // apply, down to index identity.
+        let mid = reader.snapshot();
+        assert_eq!(mid.seq(), 0);
+        assert_eq!(mid.engine().doc_count(), before.engine().doc_count());
+        assert!(mid.engine().shares_index_with(before.engine()));
+
+        writer.publish();
+        let after = reader.snapshot();
+        assert_eq!(after.seq(), 1);
+        assert_eq!(after.engine().doc_count(), before.engine().doc_count() - 1);
+        // The old snapshot handle still serves the old epoch.
+        assert_eq!(before.engine().doc_count(), mid.engine().doc_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "delta applied out of order")]
+    fn out_of_order_apply_panics() {
+        let (world, engine) = engine();
+        let mut writer = LiveWriter::new(engine, 0);
+        let last = world.corpus.posts().last().unwrap().id;
+        let removal = CorpusDelta::for_removals(&world.corpus, &[last]).unwrap();
+        writer.apply(2, &removal); // skips seq 1
+    }
+
+    #[test]
+    fn unknown_post_delta_is_safe() {
+        let (_, engine) = engine();
+        let mut writer = LiveWriter::new(engine, 0);
+        let mut delta = CorpusDelta::new();
+        delta.remove_doc(PostId::new(9_999_999));
+        writer.apply(1, &delta);
+        writer.publish();
+        assert_eq!(writer.reader().snapshot().seq(), 1);
+    }
+}

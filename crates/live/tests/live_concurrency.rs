@@ -1,0 +1,187 @@
+//! Concurrent correctness of the snapshot-serving layer.
+//!
+//! N reader threads hammer snapshots while one writer ingests a
+//! known sequence of deltas. The test is deterministic in what it
+//! *asserts* (not in thread interleaving, which is the point): the
+//! expected engine state at every sequence number is precomputed by
+//! replaying the same deltas on a scratch engine, so every snapshot
+//! any reader observes — whichever write it races with — must match
+//! one of the precomputed states *exactly*, and the sequence numbers
+//! each reader observes must be monotone. A torn read (half-applied
+//! delta) would fail both checks.
+//!
+//! Run this under `--release` too: races hide in debug timings (CI
+//! does — see the test job).
+
+use obs_analytics::{AlexaPanel, LinkGraph};
+use obs_live::LiveService;
+use obs_model::{CorpusDelta, PostId, Timestamp};
+use obs_search::{BlendWeights, SearchEngine, SearchHit};
+use obs_synth::{World, WorldConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "obs_live_conc_{}_{}.journal",
+        std::process::id(),
+        tag
+    ))
+}
+
+const PROBE: [&str; 4] = ["duomo", "rooftop", "castle", "gardens"];
+
+/// The full expected trajectory: doc count and probe-query result
+/// after each delta (index = sequence number).
+struct Expected {
+    docs: Vec<usize>,
+    hits: Vec<Vec<SearchHit>>,
+}
+
+fn probe_query(engine: &SearchEngine) -> Vec<SearchHit> {
+    engine.query(&PROBE, 20)
+}
+
+#[test]
+fn readers_never_observe_torn_or_regressing_snapshots() {
+    let world = World::generate(WorldConfig {
+        sources: 60,
+        users: 300,
+        ..WorldConfig::small(7007)
+    });
+    let panel = AlexaPanel::simulate(&world, 1);
+    let links = LinkGraph::simulate(&world, 2);
+    let full = SearchEngine::build(&world.corpus, &panel, &links, BlendWeights::default());
+
+    // Start stale (recent posts absent), stream them back in batches.
+    let midpoint = Timestamp(world.now.seconds() / 2);
+    let recent: Vec<PostId> = world
+        .corpus
+        .posts()
+        .iter()
+        .filter(|p| p.published > midpoint)
+        .map(|p| p.id)
+        .collect();
+    assert!(recent.len() >= 16, "world too small: {}", recent.len());
+    let mut stale = full.clone();
+    stale.apply_delta(&CorpusDelta::for_removals(&world.corpus, &recent).unwrap());
+
+    let deltas: Vec<CorpusDelta> = recent
+        .chunks(recent.len().div_ceil(16))
+        .map(|chunk| CorpusDelta::for_posts(&world.corpus, chunk).unwrap())
+        .collect();
+
+    // Precompute the expected state at every sequence number.
+    let mut expected = Expected {
+        docs: vec![stale.doc_count()],
+        hits: vec![probe_query(&stale)],
+    };
+    {
+        let mut scratch = stale.clone();
+        for delta in &deltas {
+            scratch.apply_delta(delta);
+            expected.docs.push(scratch.doc_count());
+            expected.hits.push(probe_query(&scratch));
+        }
+    }
+    let expected = Arc::new(expected);
+    let final_seq = deltas.len() as u64;
+
+    let path = temp_path("torn");
+    let mut service = LiveService::start(stale, &path).unwrap();
+    let snapshots_checked = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        // 4 reader threads, each validating every snapshot it sees
+        // against the precomputed trajectory until the final
+        // sequence lands.
+        let mut readers = Vec::new();
+        for reader_id in 0..4 {
+            let reader = service.reader();
+            let expected = Arc::clone(&expected);
+            let checked = &snapshots_checked;
+            readers.push(scope.spawn(move || {
+                let mut last_seq = 0u64;
+                loop {
+                    let snap = reader.snapshot();
+                    let seq = snap.seq();
+                    assert!(
+                        seq >= last_seq,
+                        "reader {reader_id}: sequence regressed {last_seq} -> {seq}"
+                    );
+                    last_seq = seq;
+                    let engine = snap.engine();
+                    assert_eq!(
+                        engine.doc_count(),
+                        expected.docs[seq as usize],
+                        "reader {reader_id}: torn doc count at seq {seq}"
+                    );
+                    assert_eq!(
+                        probe_query(engine),
+                        expected.hits[seq as usize],
+                        "reader {reader_id}: torn query result at seq {seq}"
+                    );
+                    checked.fetch_add(1, Ordering::Relaxed);
+                    if seq == final_seq {
+                        break;
+                    }
+                }
+            }));
+        }
+
+        // The writer: journal → apply → publish, one delta at a time.
+        for delta in &deltas {
+            service.ingest(delta).unwrap();
+        }
+
+        for handle in readers {
+            handle.join().expect("reader thread panicked");
+        }
+    });
+
+    // Every reader ran to the final sequence and at least one
+    // snapshot per reader was validated.
+    assert!(snapshots_checked.load(Ordering::Relaxed) >= 4);
+    assert_eq!(service.seq(), final_seq);
+    assert_eq!(service.doc_count(), full.doc_count());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn writer_throughput_is_not_gated_by_slow_readers() {
+    // A reader that *holds* a snapshot for the whole run must not
+    // stop the writer from publishing: old epochs stay alive, new
+    // ones keep flowing.
+    let world = World::generate(WorldConfig::small(7008));
+    let panel = AlexaPanel::simulate(&world, 1);
+    let links = LinkGraph::simulate(&world, 2);
+    let engine = SearchEngine::build(&world.corpus, &panel, &links, BlendWeights::default());
+
+    let last = world.corpus.posts().last().unwrap().id;
+    let removal = CorpusDelta::for_removals(&world.corpus, &[last]).unwrap();
+    let readd = CorpusDelta::for_posts(&world.corpus, &[last]).unwrap();
+
+    let path = temp_path("epochs");
+    let mut service = LiveService::start(engine.clone(), &path).unwrap();
+    let reader = service.reader();
+
+    let pinned = reader.snapshot(); // held across all writes
+    let pinned_docs = pinned.engine().doc_count();
+    let pinned_hits = probe_query(pinned.engine());
+
+    for _ in 0..25 {
+        service.ingest(&removal).unwrap();
+        service.ingest(&readd).unwrap();
+    }
+
+    // The pinned epoch is untouched by 50 published snapshots…
+    assert_eq!(pinned.seq(), 0);
+    assert_eq!(pinned.engine().doc_count(), pinned_docs);
+    assert_eq!(probe_query(pinned.engine()), pinned_hits);
+    // …and the current epoch has moved on.
+    let current = reader.snapshot();
+    assert_eq!(current.seq(), 50);
+    assert_eq!(current.engine().doc_count(), pinned_docs);
+    std::fs::remove_file(&path).ok();
+}

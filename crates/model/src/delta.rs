@@ -149,6 +149,29 @@ impl CorpusDelta {
     }
 }
 
+/// A [`CorpusDelta`] stamped with its position in a delta stream.
+///
+/// Sequence numbers are assigned by whoever owns the stream (a delta
+/// journal, a replication log) and are contiguous: record `seq`
+/// follows record `seq - 1`. Stamping lives in the model crate so
+/// every consumer — journals, replicas, replay tools — agrees on
+/// what "the n-th change" means, and so the stamped form serializes
+/// with the same serde derives as the delta itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequencedDelta {
+    /// 1-based position of this change-set in its stream.
+    pub seq: u64,
+    /// The change-set.
+    pub delta: CorpusDelta,
+}
+
+impl SequencedDelta {
+    /// Stamps a delta with its stream position.
+    pub fn new(seq: u64, delta: CorpusDelta) -> SequencedDelta {
+        SequencedDelta { seq, delta }
+    }
+}
+
 /// The indexable text of an opening post: title, body and tags,
 /// space-joined. Kept in one place so incremental adds reproduce a
 /// from-scratch build bit-for-bit.
@@ -271,5 +294,16 @@ mod tests {
         let json = serde_json::to_string(&d).unwrap();
         let back: CorpusDelta = serde_json::from_str(&json).unwrap();
         assert_eq!(d, back);
+    }
+
+    #[test]
+    fn sequenced_delta_json_roundtrips() {
+        let c = corpus();
+        let d = CorpusDelta::for_posts(&c, &[PostId::new(0)]).unwrap();
+        let stamped = SequencedDelta::new(7, d);
+        let json = serde_json::to_string(&stamped).unwrap();
+        let back: SequencedDelta = serde_json::from_str(&json).unwrap();
+        assert_eq!(stamped, back);
+        assert_eq!(back.seq, 7);
     }
 }

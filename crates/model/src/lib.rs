@@ -49,7 +49,7 @@ mod time;
 mod user;
 
 pub use corpus::{Corpus, CorpusBuilder, CorpusStats};
-pub use delta::{document_text, CorpusDelta, DocDelta, EngagementDelta};
+pub use delta::{document_text, CorpusDelta, DocDelta, EngagementDelta, SequencedDelta};
 pub use domain::{CategoryBook, DomainOfInterest};
 pub use error::ModelError;
 pub use geo::{GeoPoint, Region};

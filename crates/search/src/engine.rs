@@ -26,10 +26,12 @@
 use crate::index::InvertedIndex;
 use crate::pagerank::pagerank_converged;
 use crate::score::{bm25_scores, Bm25Params};
-use crate::token::tokenize;
+use crate::token::{is_normalized_token, tokenize};
 use obs_analytics::{AlexaPanel, LinkGraph};
 use obs_model::{Corpus, CorpusDelta, SourceId};
 use obs_stats::normalize::z_scores;
+use std::borrow::Cow;
+use std::sync::Arc;
 
 /// Signal weights of the blended ranker.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -124,9 +126,18 @@ impl StaticSignals {
 }
 
 /// The search engine: index + per-source static signals.
+///
+/// Cloning is *cheap*: the inverted index — by far the largest piece
+/// — is behind an [`Arc`] shared by the clone, so a clone costs a
+/// reference-count bump plus `O(sources)` signal vectors. Mutation
+/// stays safe through copy-on-write: [`SearchEngine::apply_delta`]
+/// detaches (deep-copies) the index only when clones still share it.
+/// This is what makes the engine snapshot-friendly — a serving layer
+/// can publish an immutable clone per update tick and keep applying
+/// deltas to its own copy without ever touching published snapshots.
 #[derive(Debug, Clone)]
 pub struct SearchEngine {
-    index: InvertedIndex,
+    index: Arc<InvertedIndex>,
     signals: StaticSignals,
     /// Static (query-independent) score component per source,
     /// re-blended from `signals` after every delta.
@@ -176,7 +187,7 @@ impl SearchEngine {
         }
 
         let mut engine = SearchEngine {
-            index,
+            index: Arc::new(index),
             signals,
             static_score: Vec::new(),
             weights,
@@ -214,8 +225,13 @@ impl SearchEngine {
     /// inputs are untouched (a content delta carries no new panel or
     /// link observations). Applying a delta and its exact inverse
     /// restores the engine's rankings bit-for-bit.
+    ///
+    /// If clones of this engine still share the index (published
+    /// snapshots), the index is detached first — copy-on-write — so
+    /// concurrent readers of those clones never observe a
+    /// half-applied delta.
     pub fn apply_delta(&mut self, delta: &CorpusDelta) {
-        self.index.apply_delta(delta);
+        Arc::make_mut(&mut self.index).apply_delta(delta);
         if delta.engagement.is_empty() {
             return;
         }
@@ -240,10 +256,23 @@ impl SearchEngine {
     /// represents the site), then blend with the static signal.
     /// Sources with no matching document are not returned — like a
     /// real engine, zero-recall sites don't rank.
-    pub fn query(&self, terms: &[String], k: usize) -> Vec<SearchHit> {
+    ///
+    /// Terms that are already normalized tokens (the common case:
+    /// lowercase alphanumeric, non-stopword) are borrowed as-is;
+    /// only messy terms pay for re-tokenization, so a clean query
+    /// allocates no per-term strings on the hot path.
+    pub fn query<S: AsRef<str>>(&self, terms: &[S], k: usize) -> Vec<SearchHit> {
         // Duplicates left after tokenization are collapsed by the
         // scorer itself (`distinct_terms` in `score`).
-        let normalized: Vec<String> = terms.iter().flat_map(|t| tokenize(t)).collect();
+        let mut normalized: Vec<Cow<'_, str>> = Vec::with_capacity(terms.len());
+        for term in terms {
+            let term = term.as_ref();
+            if is_normalized_token(term) {
+                normalized.push(Cow::Borrowed(term));
+            } else {
+                normalized.extend(tokenize(term).into_iter().map(Cow::Owned));
+            }
+        }
         let doc_scores = bm25_scores(&self.index, &normalized, self.params);
         let mut best_per_source: std::collections::HashMap<SourceId, (f64, u32)> =
             std::collections::HashMap::new();
@@ -292,6 +321,19 @@ impl SearchEngine {
     /// Number of indexed documents.
     pub fn doc_count(&self) -> usize {
         self.index.doc_count()
+    }
+
+    /// Read access to the underlying inverted index (for equivalence
+    /// checks and serving-layer diagnostics).
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Whether this engine and `other` still share the same index
+    /// storage (i.e. neither has been mutated since they were
+    /// cloned apart). Diagnostics hook for snapshot tests.
+    pub fn shares_index_with(&self, other: &SearchEngine) -> bool {
+        Arc::ptr_eq(&self.index, &other.index)
     }
 }
 
@@ -481,9 +523,45 @@ mod tests {
     #[test]
     fn empty_query_returns_nothing() {
         let (_, engine) = engine();
-        assert!(engine.query(&[], 10).is_empty());
+        assert!(engine.query::<String>(&[], 10).is_empty());
         // Stopword-only queries normalize to nothing.
         assert!(engine.query(&["the".to_owned()], 10).is_empty());
+    }
+
+    #[test]
+    fn borrowed_and_owned_queries_agree() {
+        let (world, engine) = engine();
+        let post = world
+            .corpus
+            .posts()
+            .iter()
+            .find(|p| !p.tags.is_empty())
+            .expect("tagged post");
+        let term = post.tags[0].as_str();
+        // &str terms take the borrow fast path; String terms took the
+        // original path. Results must be identical.
+        let borrowed = engine.query(&[term], 50);
+        let owned = engine.query(&[term.to_owned()], 50);
+        assert!(!borrowed.is_empty());
+        assert_eq!(borrowed, owned);
+    }
+
+    #[test]
+    fn clones_share_index_until_mutated() {
+        let (world, engine) = engine();
+        let snapshot = engine.clone();
+        assert!(snapshot.shares_index_with(&engine));
+
+        // Mutating a clone detaches it (copy-on-write) and leaves the
+        // original untouched.
+        let mut live = engine.clone();
+        let last = world.corpus.posts().last().unwrap().id;
+        let removal = obs_model::CorpusDelta::for_removals(&world.corpus, &[last]).unwrap();
+        live.apply_delta(&removal);
+        assert!(!live.shares_index_with(&engine));
+        assert!(snapshot.shares_index_with(&engine));
+        assert_eq!(snapshot.doc_count(), engine.doc_count());
+        assert_eq!(live.doc_count(), engine.doc_count() - 1);
     }
 
     #[test]

@@ -30,14 +30,20 @@ pub fn idf(index: &InvertedIndex, term: &str) -> f64 {
 /// repeated term contributes to a document's score exactly once (the
 /// bag-of-words model treats the query as a term *set* per scorer
 /// pass; without this, `["duomo", "duomo"]` doubled every matching
-/// document's score).
-fn distinct_terms(terms: &[String]) -> Vec<&String> {
+/// document's score). Generic over the term representation so
+/// callers can pass `String`s, `&str`s or `Cow<str>`s without
+/// converting the slice.
+fn distinct_terms<S: AsRef<str>>(terms: &[S]) -> Vec<&str> {
     let mut seen: HashSet<&str> = HashSet::with_capacity(terms.len());
-    terms.iter().filter(|t| seen.insert(t.as_str())).collect()
+    terms
+        .iter()
+        .map(|t| t.as_ref())
+        .filter(|t| seen.insert(t))
+        .collect()
 }
 
 /// TF-IDF scores of all documents matching any query term.
-pub fn tfidf_scores(index: &InvertedIndex, terms: &[String]) -> HashMap<PostId, f64> {
+pub fn tfidf_scores<S: AsRef<str>>(index: &InvertedIndex, terms: &[S]) -> HashMap<PostId, f64> {
     let mut scores: HashMap<PostId, f64> = HashMap::new();
     for term in distinct_terms(terms) {
         let w = idf(index, term);
@@ -49,9 +55,9 @@ pub fn tfidf_scores(index: &InvertedIndex, terms: &[String]) -> HashMap<PostId, 
 }
 
 /// BM25 scores of all documents matching any query term.
-pub fn bm25_scores(
+pub fn bm25_scores<S: AsRef<str>>(
     index: &InvertedIndex,
-    terms: &[String],
+    terms: &[S],
     params: Bm25Params,
 ) -> HashMap<PostId, f64> {
     let avg_len = index.avg_doc_length().max(1.0);
@@ -149,7 +155,15 @@ mod tests {
     #[test]
     fn empty_query_scores_nothing() {
         let idx = tiny_index();
-        assert!(tfidf_scores(&idx, &[]).is_empty());
-        assert!(bm25_scores(&idx, &[], Bm25Params::default()).is_empty());
+        assert!(tfidf_scores::<String>(&idx, &[]).is_empty());
+        assert!(bm25_scores::<String>(&idx, &[], Bm25Params::default()).is_empty());
+    }
+
+    #[test]
+    fn borrowed_terms_score_like_owned_terms() {
+        let idx = tiny_index();
+        let owned = bm25_scores(&idx, &["duomo".to_owned()], Bm25Params::default());
+        let borrowed = bm25_scores(&idx, &["duomo"], Bm25Params::default());
+        assert_eq!(owned, borrowed);
     }
 }

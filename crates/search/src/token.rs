@@ -37,6 +37,21 @@ fn push_token(out: &mut Vec<String>, token: String) {
     }
 }
 
+/// Whether `term` is already exactly one output token of
+/// [`tokenize`], i.e. running it through the tokenizer would return
+/// `[term]` unchanged. Deliberately conservative: only ASCII
+/// lowercase letters and digits qualify, so any term this accepts
+/// can be scored by borrowing it instead of re-tokenizing into fresh
+/// allocations (the hot-path case — query terms are usually already
+/// normalized).
+pub fn is_normalized_token(term: &str) -> bool {
+    term.len() >= 2
+        && term
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit())
+        && !is_stopword(term)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +81,19 @@ mod tests {
     #[test]
     fn tokenize_lowercases_unicode() {
         assert_eq!(tokenize("CAFFÈ Milano"), vec!["caffè", "milano"]);
+    }
+
+    #[test]
+    fn normalized_token_agrees_with_tokenize() {
+        // Accepted terms must be tokenize fixed points.
+        for term in ["duomo", "metro4", "x2"] {
+            assert!(is_normalized_token(term), "{term}");
+            assert_eq!(tokenize(term), vec![term.to_owned()]);
+        }
+        // Rejected: too short, stopword, uppercase, punctuation,
+        // non-ASCII (conservatively sent to the slow path).
+        for term in ["x", "the", "Duomo", "metro-line", "caffè", ""] {
+            assert!(!is_normalized_token(term), "{term}");
+        }
     }
 }

@@ -9,7 +9,63 @@
 use crate::error::WrapperError;
 use crate::observation::SourceObservation;
 use crate::service::{Cursor, DataService};
-use obs_model::{Clock, CorpusDelta, Duration, Timestamp};
+use obs_model::{Clock, CorpusDelta, Duration, SourceId, Timestamp};
+use std::collections::HashMap;
+
+/// Per-source incremental-crawl cursors: the publish instant of the
+/// newest item each source has ever yielded. A tick loop keeps one
+/// of these across ticks so every [`Crawler::crawl_tick`] call only
+/// surfaces content the loop has not seen yet.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HighWaterMarks {
+    marks: HashMap<SourceId, Timestamp>,
+}
+
+impl HighWaterMarks {
+    /// No source observed yet.
+    pub fn new() -> HighWaterMarks {
+        HighWaterMarks::default()
+    }
+
+    /// The high-water mark of a source, if it has one.
+    pub fn since(&self, source: SourceId) -> Option<Timestamp> {
+        self.marks.get(&source).copied()
+    }
+
+    /// Raises a source's mark to `observed` (never lowers it).
+    pub fn advance(&mut self, source: SourceId, observed: Timestamp) {
+        let mark = self.marks.entry(source).or_insert(observed);
+        if observed > *mark {
+            *mark = observed;
+        }
+    }
+
+    /// Restores a source's mark to an earlier reading of
+    /// [`HighWaterMarks::since`] — the failure-path primitive. When a
+    /// tick crawls (advancing the mark) but then fails to persist
+    /// what it observed, rolling the mark back is what lets a retry
+    /// re-observe the otherwise-lost items.
+    pub fn rollback(&mut self, source: SourceId, to: Option<Timestamp>) {
+        match to {
+            Some(mark) => {
+                self.marks.insert(source, mark);
+            }
+            None => {
+                self.marks.remove(&source);
+            }
+        }
+    }
+
+    /// Number of sources with a mark.
+    pub fn len(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// Whether no source has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+}
 
 /// Crawl policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,6 +208,27 @@ impl Crawler {
         let (observation, report) = self.crawl_since(service, clock, since)?;
         Ok((observation.to_delta(), report))
     }
+
+    /// One tick of a *stateful* crawl loop: crawls the service since
+    /// its recorded high-water mark, advances the mark to the newest
+    /// item observed, and returns the [`CorpusDelta`] the tick
+    /// implies. Calling this repeatedly with the same `marks` yields
+    /// each piece of content exactly once — the contract a journaled
+    /// serving layer needs (re-observing an item would re-journal
+    /// and double-count it).
+    pub fn crawl_tick(
+        &self,
+        service: &mut dyn DataService,
+        clock: &mut Clock,
+        marks: &mut HighWaterMarks,
+    ) -> Result<(CorpusDelta, CrawlReport), WrapperError> {
+        let source = service.descriptor().source;
+        let (observation, report) = self.crawl_since(service, clock, marks.since(source))?;
+        if let Some(newest) = observation.items.iter().map(|i| i.published).max() {
+            marks.advance(source, newest);
+        }
+        Ok((observation.to_delta(), report))
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +364,69 @@ mod tests {
                 d.post
             );
         }
+    }
+
+    #[test]
+    fn crawl_tick_observes_each_item_exactly_once() {
+        let w = world();
+        let crawler = Crawler::default();
+        let s = w
+            .corpus
+            .sources()
+            .iter()
+            .find(|s| !w.corpus.discussions_of_source(s.id).is_empty())
+            .unwrap();
+        let mut marks = HighWaterMarks::new();
+        assert!(marks.is_empty());
+
+        // First tick sees the whole source…
+        let mut clock = Clock::starting_at(w.now);
+        let mut service = service_for(&w.corpus, s.id, w.now).unwrap();
+        let (first, _) = crawler
+            .crawl_tick(service.as_mut(), &mut clock, &mut marks)
+            .unwrap();
+        assert!(!first.is_empty());
+        assert_eq!(marks.len(), 1);
+        let mark = marks.since(s.id).expect("mark recorded");
+
+        // …the second tick, nothing new (no content was published in
+        // between), and the mark stays put.
+        let mut service2 = service_for(&w.corpus, s.id, w.now).unwrap();
+        let (second, _) = crawler
+            .crawl_tick(service2.as_mut(), &mut clock, &mut marks)
+            .unwrap();
+        assert!(second.is_empty(), "tick 2 re-observed content");
+        assert_eq!(marks.since(s.id), Some(mark));
+    }
+
+    #[test]
+    fn high_water_marks_never_regress() {
+        let mut marks = HighWaterMarks::new();
+        let s = obs_model::SourceId::new(3);
+        marks.advance(s, Timestamp::from_days(10));
+        marks.advance(s, Timestamp::from_days(4));
+        assert_eq!(marks.since(s), Some(Timestamp::from_days(10)));
+        marks.advance(s, Timestamp::from_days(12));
+        assert_eq!(marks.since(s), Some(Timestamp::from_days(12)));
+        assert_eq!(marks.since(obs_model::SourceId::new(9)), None);
+    }
+
+    #[test]
+    fn rollback_restores_a_previous_reading() {
+        let mut marks = HighWaterMarks::new();
+        let s = obs_model::SourceId::new(3);
+
+        // Roll back to an earlier mark after a failed persist.
+        marks.advance(s, Timestamp::from_days(10));
+        let before = marks.since(s);
+        marks.advance(s, Timestamp::from_days(20));
+        marks.rollback(s, before);
+        assert_eq!(marks.since(s), Some(Timestamp::from_days(10)));
+
+        // Roll back to "never observed".
+        marks.rollback(s, None);
+        assert_eq!(marks.since(s), None);
+        assert!(marks.is_empty());
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod observation;
 pub mod rate;
 pub mod service;
 
-pub use crawler::{CrawlReport, Crawler, CrawlerConfig};
+pub use crawler::{CrawlReport, Crawler, CrawlerConfig, HighWaterMarks};
 pub use error::WrapperError;
 pub use fault::FaultPlan;
 pub use observation::{ContentItem, InteractionCounts, ItemKind, SourceObservation};

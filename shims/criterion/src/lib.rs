@@ -10,9 +10,33 @@
 //! rigorous measurements.
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One finished benchmark's timings, recorded so harnesses can export
+/// machine-readable baselines (the real crate writes these under
+/// `target/criterion/`; the shim hands them to the caller instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Measurement {
+    /// Full benchmark label (`group/function` for grouped benches).
+    pub label: String,
+    /// Fastest observed per-iteration time, in nanoseconds.
+    pub min_ns: u128,
+    /// Mean per-iteration time across samples, in nanoseconds.
+    pub mean_ns: u128,
+    /// Number of timed samples taken.
+    pub samples: usize,
+}
+
+static MEASUREMENTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// Drains every measurement recorded since the last call (across all
+/// groups and targets in this process), in execution order.
+pub fn take_measurements() -> Vec<Measurement> {
+    std::mem::take(&mut MEASUREMENTS.lock().expect("measurement store poisoned"))
+}
 
 /// Top-level harness handle passed to every bench target.
 #[derive(Debug, Default)]
@@ -199,6 +223,15 @@ where
     let min = bencher.samples.iter().min().expect("non-empty");
     let total: Duration = bencher.samples.iter().sum();
     let mean = total / bencher.samples.len() as u32;
+    MEASUREMENTS
+        .lock()
+        .expect("measurement store poisoned")
+        .push(Measurement {
+            label: label.to_owned(),
+            min_ns: min.as_nanos(),
+            mean_ns: mean.as_nanos(),
+            samples: bencher.samples.len(),
+        });
     println!(
         "{label:<50} min {:>12} mean {:>12} ({} samples x {} iters)",
         fmt_duration(*min),

@@ -1,6 +1,7 @@
 //! Facade: re-exports every crate of the workspace.
 pub use obs_analytics as analytics;
 pub use obs_experiments as experiments;
+pub use obs_live as live;
 pub use obs_mashup as mashup;
 pub use obs_model as model;
 pub use obs_quality as quality;
