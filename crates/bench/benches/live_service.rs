@@ -1,7 +1,7 @@
 //! The serving-layer costs: what does it take to keep answering
 //! queries while content streams in?
 //!
-//! Four numbers per corpus scale (~10k and ~100k docs):
+//! Per corpus scale (~10k and ~100k docs):
 //!
 //! * `publish_only` — swapping a new snapshot into the store (the
 //!   reader-visible step of an update tick);
@@ -9,6 +9,11 @@
 //!   copy-on-write `apply_delta`, publish (two of them: a removal
 //!   and a re-add, so the engine state is identical across
 //!   iterations);
+//! * `ingest_batch_8` / `ingest_batch_64` — the same churn pushed
+//!   through one group commit: N journal records under a single
+//!   fsync, one amortized in-order apply, one publish. Divide by the batch
+//!   size and compare against `ingest_1_doc / 2` for the per-delta
+//!   amortization (the batch-64 target is ≥5× at 100k docs);
 //! * `snapshot_acquire` — what a reader pays to pin an epoch;
 //! * `query_baseline` / `query_under_writes` — the same probe query
 //!   against an idle engine and against one absorbing a continuous
@@ -95,6 +100,35 @@ fn bench_scale(c: &mut Criterion, label: &str, world: &World) {
         b.iter(|| {
             service.ingest(black_box(&removal)).expect("ingest");
             service.ingest(black_box(&readd)).expect("ingest");
+        })
+    });
+
+    // Group-commit churn: remove/re-add pairs over distinct posts,
+    // so a batch of B deltas nets out to the starting engine every
+    // iteration while paying one fsync + one amortized apply + one
+    // publish for the burst. Compare (batch time / B) against
+    // (ingest_1_doc / 2) for the per-delta amortization.
+    let churn_posts: Vec<PostId> = (0..32)
+        .map(|i| PostId::new(world.corpus.posts().len() as u32 - 1 - i))
+        .collect();
+    let batch_64: Vec<CorpusDelta> = churn_posts
+        .iter()
+        .flat_map(|&p| {
+            [
+                CorpusDelta::for_removals(&world.corpus, &[p]).expect("churn post resolves"),
+                CorpusDelta::for_posts(&world.corpus, &[p]).expect("churn post resolves"),
+            ]
+        })
+        .collect();
+    let batch_8: Vec<CorpusDelta> = batch_64[..8].to_vec();
+    group.bench_function(format!("ingest_batch_8/{docs}_docs"), |b| {
+        b.iter(|| {
+            service.ingest_batch(black_box(&batch_8)).expect("ingest");
+        })
+    });
+    group.bench_function(format!("ingest_batch_64/{docs}_docs"), |b| {
+        b.iter(|| {
+            service.ingest_batch(black_box(&batch_64)).expect("ingest");
         })
     });
 

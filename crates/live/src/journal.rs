@@ -24,6 +24,14 @@
 //! anywhere else in the file is reported as
 //! [`JournalError::Corrupt`].
 //!
+//! **Group commit:** [`DeltaJournal::append_batch`] stages any number
+//! of records and makes them durable under **one** fsync — the
+//! amortization that turns a burst of crawl ticks from N disk syncs
+//! into one. The batch is all-or-nothing: if the sync fails, the
+//! whole staged suffix is truncated back out ([`DeltaJournal::retract_staged`]),
+//! so a retry re-claims the exact same sequence numbers and recovery
+//! never replays an unacknowledged record.
+//!
 //! **Compaction:** once a checkpoint (an engine snapshot at sequence
 //! `S`) makes the prefix `..=S` redundant, [`DeltaJournal::compact_through`]
 //! rewrites the log without it (atomically, via a temp file +
@@ -124,18 +132,40 @@ fn parse_record(line: &str) -> Result<SequencedDelta, String> {
     Ok(SequencedDelta::new(seq, delta))
 }
 
+/// The staged (appended but not yet acknowledged-durable) suffix of
+/// the file: how many bytes and records every append since the last
+/// acknowledged sync wrote. A failed durability step retracts
+/// exactly this much.
+#[derive(Debug, Clone, Copy)]
+struct StagedSuffix {
+    bytes: u64,
+    records: usize,
+}
+
 /// The append handle over a journal file.
+///
+/// Writes go straight to the [`File`] — no userspace write buffer.
+/// Every append hands the kernel one fully-rendered payload and is
+/// immediately visible in the file's length, so failure handling
+/// only ever has to reason about file bytes (truncate back to a
+/// known-clean length), never about a stale buffered tail that could
+/// fuse with a retry's bytes. Throughput is bounded by fsync, not by
+/// write syscalls, so buffering would buy nothing.
 #[derive(Debug)]
 pub struct DeltaJournal {
     path: PathBuf,
-    file: BufWriter<File>,
+    file: File,
     /// Sequence the next appended record will carry.
     next_seq: u64,
     /// Records currently in the file (post-compaction, post-recovery).
     len: usize,
-    /// Byte length of the most recent append, so a failed
-    /// durability step can retract exactly that record.
-    last_record_len: Option<u64>,
+    /// The retractable suffix: the most recent append or batch whose
+    /// durability has not yet been acknowledged by a successful sync.
+    staged: Option<StagedSuffix>,
+    /// Pending injected [`DeltaJournal::sync`] failures (durability
+    /// fault injection for tests; see
+    /// [`DeltaJournal::inject_sync_failures`]).
+    sync_faults: u32,
 }
 
 impl DeltaJournal {
@@ -149,10 +179,11 @@ impl DeltaJournal {
             .open(&path)?;
         Ok(DeltaJournal {
             path,
-            file: BufWriter::new(file),
+            file,
             next_seq: 1,
             len: 0,
-            last_record_len: None,
+            staged: None,
+            sync_faults: 0,
         })
     }
 
@@ -181,10 +212,11 @@ impl DeltaJournal {
         Ok((
             DeltaJournal {
                 path,
-                file: BufWriter::new(file),
+                file,
                 next_seq: replay.last_seq() + 1,
                 len: replay.records.len(),
-                last_record_len: None,
+                staged: None,
+                sync_faults: 0,
             },
             replay,
         ))
@@ -254,56 +286,158 @@ impl DeltaJournal {
         Ok(replay)
     }
 
+    /// Serializes one record line (with its trailing newline).
+    fn render_record(seq: u64, delta: &CorpusDelta) -> Result<String, JournalError> {
+        let json = serde_json::to_string(delta)
+            .map_err(|e| std::io::Error::other(format!("delta serialization failed: {e}")))?;
+        let crc = crc32(json.as_bytes());
+        Ok(format!("{seq} {crc:08x} {json}\n"))
+    }
+
+    /// Grows the staged suffix. Accumulates rather than replaces:
+    /// every append since the last acknowledged sync is
+    /// unacknowledged, so a failed durability step must be able to
+    /// retract all of them, not just the latest.
+    fn stage(&mut self, bytes: u64, records: usize) {
+        match &mut self.staged {
+            Some(staged) => {
+                staged.bytes += bytes;
+                staged.records += records;
+            }
+            None => self.staged = Some(StagedSuffix { bytes, records }),
+        }
+    }
+
+    /// Writes `bytes` to the file (one write, no userspace buffer).
+    /// On failure the file is healed back to its pre-write length
+    /// (best effort), so a partially written payload never lingers
+    /// to fuse with the bytes a retry appends under the same
+    /// sequence numbers.
+    fn write_payload(&mut self, bytes: &[u8]) -> Result<(), JournalError> {
+        // With no write buffer, the file's length *is* the clean
+        // pre-write position.
+        let clean_len = self.file.metadata()?.len();
+        if let Err(e) = self.file.write_all(bytes) {
+            self.heal_failed_write(clean_len);
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Best-effort cleanup after a failed write: truncates the file
+    /// back to `clean_len` so no partially written tail survives on
+    /// disk. Errors are swallowed — the caller is already surfacing
+    /// the original failure, and the counters were never advanced.
+    fn heal_failed_write(&mut self, clean_len: u64) {
+        let _ = self.file.set_len(clean_len);
+        let _ = self.file.seek(std::io::SeekFrom::Start(clean_len));
+        let _ = self.file.sync_data();
+    }
+
     /// Appends one delta, assigning it the next sequence number. The
     /// record is flushed to the OS; call [`DeltaJournal::sync`] to
     /// force it to stable storage before acknowledging durability.
     pub fn append(&mut self, delta: &CorpusDelta) -> Result<u64, JournalError> {
         let seq = self.next_seq;
-        let json = serde_json::to_string(delta)
-            .map_err(|e| std::io::Error::other(format!("delta serialization failed: {e}")))?;
-        let crc = crc32(json.as_bytes());
-        let record = format!("{seq} {crc:08x} {json}\n");
-        self.file.write_all(record.as_bytes())?;
-        self.file.flush()?;
+        let record = Self::render_record(seq, delta)?;
+        self.write_payload(record.as_bytes())?;
+        // Counters and the staged suffix move only once the record
+        // is known to be in the file, so a failed write or flush
+        // leaves them honest about the file contents.
         self.next_seq += 1;
         self.len += 1;
-        self.last_record_len = Some(record.len() as u64);
+        self.stage(record.len() as u64, 1);
         Ok(seq)
     }
 
-    /// Forces appended records to stable storage (fsync).
+    /// Appends `deltas` as one *group commit*: every record is staged
+    /// with its own contiguous sequence number, then the whole batch
+    /// is forced to stable storage under a **single** fsync. Returns
+    /// the `(first, last)` sequence range, or `None` for an empty
+    /// batch (which touches neither the file nor the sequence).
+    ///
+    /// All-or-nothing: the batch is serialized in full before a byte
+    /// is written, and if the sync fails, the entire staged suffix
+    /// is retracted — no record of the batch survives to be
+    /// replayed, and a retry re-claims the same sequence numbers.
+    pub fn append_batch(
+        &mut self,
+        deltas: &[&CorpusDelta],
+    ) -> Result<Option<(u64, u64)>, JournalError> {
+        if deltas.is_empty() {
+            return Ok(None);
+        }
+        let first = self.next_seq;
+        let mut payload = String::new();
+        for (i, delta) in deltas.iter().enumerate() {
+            payload.push_str(&Self::render_record(first + i as u64, delta)?);
+        }
+        self.write_payload(payload.as_bytes())?;
+        self.next_seq += deltas.len() as u64;
+        self.len += deltas.len();
+        self.stage(payload.len() as u64, deltas.len());
+        let last = self.next_seq - 1;
+        if let Err(sync_err) = self.sync() {
+            // Best effort: if the retract also fails the counters
+            // and the file have diverged and only a re-open can
+            // reconcile them; surface the original failure either way.
+            let _ = self.retract_staged();
+            return Err(sync_err);
+        }
+        Ok(Some((first, last)))
+    }
+
+    /// Forces appended records to stable storage (fsync). A
+    /// successful sync acknowledges the staged suffix: it is durable
+    /// and no longer retractable.
     pub fn sync(&mut self) -> Result<(), JournalError> {
-        self.file.flush()?;
-        self.file.get_ref().sync_data()?;
+        if self.sync_faults > 0 {
+            self.sync_faults -= 1;
+            return Err(JournalError::Io(std::io::Error::other(
+                "injected fsync failure",
+            )));
+        }
+        self.file.sync_data()?;
+        self.staged = None;
         Ok(())
     }
 
-    /// Truncates away the most recent [`DeltaJournal::append`],
-    /// winding the sequence back with it. The failure-path inverse:
-    /// when the durability step after an append fails, the record
-    /// was never acknowledged, so it must not linger in the file to
-    /// be replayed on recovery (the caller will retry and re-journal
-    /// the same content under the same sequence).
-    pub fn retract_last(&mut self) -> Result<(), JournalError> {
-        let Some(record_len) = self.last_record_len else {
+    /// Arms the next `n` calls to [`DeltaJournal::sync`] to fail
+    /// deterministically (the staged bytes are already in the file,
+    /// exactly as a real failed fsync would leave them). Durability
+    /// fault injection for tests, in the same spirit as
+    /// `obs_wrappers::FaultPlan`.
+    pub fn inject_sync_failures(&mut self, n: u32) {
+        self.sync_faults = n;
+    }
+
+    /// Truncates away the staged suffix — every
+    /// [`DeltaJournal::append`] / [`DeltaJournal::append_batch`]
+    /// record since the last acknowledged sync — winding the
+    /// sequence back with it. The failure-path inverse: when the
+    /// durability step after an append fails, the records were never
+    /// acknowledged, so they must not linger in the file to be
+    /// replayed on recovery (the caller will retry and re-journal
+    /// the same content under the same sequences). A no-op when
+    /// nothing is staged.
+    pub fn retract_staged(&mut self) -> Result<(), JournalError> {
+        let Some(StagedSuffix { bytes, records }) = self.staged else {
             return Ok(());
         };
-        self.file.flush()?;
-        let mut file = self.file.get_ref();
-        let end = file.metadata()?.len();
-        let new_end = end.saturating_sub(record_len);
-        file.set_len(new_end)?;
+        let end = self.file.metadata()?.len();
+        let new_end = end.saturating_sub(bytes);
+        self.file.set_len(new_end)?;
         // Truncation does not move the write cursor; without the
         // seek the next append would leave a zero-filled hole where
-        // the retracted record was (files created by
+        // the retracted records were (files created by
         // `DeltaJournal::create` are not in O_APPEND mode).
-        file.seek(std::io::SeekFrom::Start(new_end))?;
+        self.file.seek(std::io::SeekFrom::Start(new_end))?;
         // Counters move only after the truncate is known durable, so
         // a failed retract leaves them honest about file contents.
-        file.sync_data()?;
-        self.next_seq -= 1;
-        self.len -= 1;
-        self.last_record_len = None;
+        self.file.sync_data()?;
+        self.next_seq -= records as u64;
+        self.len -= records;
+        self.staged = None;
         Ok(())
     }
 
@@ -331,9 +465,9 @@ impl DeltaJournal {
             .create(true)
             .append(true)
             .open(&self.path)?;
-        self.file = BufWriter::new(file);
+        self.file = file;
         self.len = retained.len();
-        self.last_record_len = None;
+        self.staged = None;
         Ok(dropped)
     }
 
@@ -541,7 +675,7 @@ mod tests {
     }
 
     #[test]
-    fn retract_last_unwinds_an_unacknowledged_append() {
+    fn retract_staged_unwinds_an_unacknowledged_append() {
         let path = temp_path("retract");
         let mut journal = DeltaJournal::create(&path).unwrap();
         journal.append(&sample_delta(0)).unwrap();
@@ -550,11 +684,11 @@ mod tests {
 
         // Append a record whose durability step "failed": retract it.
         journal.append(&sample_delta(2)).unwrap();
-        journal.retract_last().unwrap();
+        journal.retract_staged().unwrap();
         assert_eq!(journal.len(), 2);
         assert_eq!(journal.next_seq(), 3);
         // A second retract is a no-op (nothing retractable).
-        journal.retract_last().unwrap();
+        journal.retract_staged().unwrap();
         assert_eq!(journal.len(), 2);
 
         // The retry claims the same sequence, and replay sees a
@@ -565,6 +699,131 @@ mod tests {
         assert!(!replay.torn_tail_dropped);
         assert_eq!(replay.records.len(), 3);
         assert_eq!(replay.records[2].delta, sample_delta(3));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn retract_staged_unwinds_every_append_since_the_last_sync() {
+        // Two appends with no sync in between: both are
+        // unacknowledged, so a failed durability step must unwind
+        // both — retracting only the latest would leave an
+        // unacknowledged record to be replayed after a crash.
+        let path = temp_path("retract_multi");
+        let mut journal = DeltaJournal::create(&path).unwrap();
+        journal.append(&sample_delta(0)).unwrap();
+        journal.sync().unwrap();
+
+        journal.append(&sample_delta(1)).unwrap();
+        journal.append(&sample_delta(2)).unwrap();
+        journal.inject_sync_failures(1);
+        assert!(journal.sync().is_err());
+        journal.retract_staged().unwrap();
+        assert_eq!(journal.len(), 1);
+        assert_eq!(journal.next_seq(), 2);
+        let replay = DeltaJournal::replay_path(&path).unwrap();
+        assert_eq!(replay.last_seq(), 1);
+
+        // The retry re-claims seq 2 cleanly.
+        assert_eq!(journal.append(&sample_delta(1)).unwrap(), 2);
+        journal.sync().unwrap();
+        assert_eq!(DeltaJournal::replay_path(&path).unwrap().last_seq(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sync_acknowledges_the_staged_suffix() {
+        // Once a sync succeeds the record is durable; a later
+        // retract must not be able to unwind it.
+        let path = temp_path("acknowledged");
+        let mut journal = DeltaJournal::create(&path).unwrap();
+        journal.append(&sample_delta(0)).unwrap();
+        journal.sync().unwrap();
+        journal.retract_staged().unwrap();
+        assert_eq!(journal.len(), 1);
+        assert_eq!(journal.next_seq(), 2);
+        let replay = DeltaJournal::replay_path(&path).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_batch_is_one_commit_with_contiguous_seqs() {
+        let path = temp_path("batch");
+        let mut journal = DeltaJournal::create(&path).unwrap();
+        journal.append(&sample_delta(0)).unwrap();
+        journal.sync().unwrap();
+
+        let batch: Vec<CorpusDelta> = (1..5).map(sample_delta).collect();
+        let refs: Vec<&CorpusDelta> = batch.iter().collect();
+        let range = journal.append_batch(&refs).unwrap();
+        assert_eq!(range, Some((2, 5)));
+        assert_eq!(journal.len(), 5);
+        assert_eq!(journal.next_seq(), 6);
+
+        // The batch is already durable (append_batch syncs): replay
+        // sees every record, byte-identical to sequential appends.
+        let replay = DeltaJournal::replay_path(&path).unwrap();
+        assert_eq!(replay.records.len(), 5);
+        for (i, r) in replay.records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64 + 1);
+            assert_eq!(r.delta, sample_delta(i as u32));
+        }
+
+        let sequential_path = temp_path("batch_seq");
+        let mut sequential = DeltaJournal::create(&sequential_path).unwrap();
+        for i in 0..5 {
+            sequential.append(&sample_delta(i)).unwrap();
+        }
+        sequential.sync().unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&sequential_path).unwrap(),
+            "a batched journal must be byte-identical to a sequential one"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&sequential_path).ok();
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let path = temp_path("batch_empty");
+        let mut journal = DeltaJournal::create(&path).unwrap();
+        journal.append(&sample_delta(0)).unwrap();
+        journal.sync().unwrap();
+        let before = std::fs::read(&path).unwrap();
+        assert_eq!(journal.append_batch(&[]).unwrap(), None);
+        assert_eq!(journal.len(), 1);
+        assert_eq!(journal.next_seq(), 2);
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_batch_sync_retracts_the_whole_staged_suffix() {
+        let path = temp_path("batch_fail");
+        let mut journal = DeltaJournal::create(&path).unwrap();
+        journal.append(&sample_delta(0)).unwrap();
+        journal.sync().unwrap();
+        let durable = std::fs::read(&path).unwrap();
+
+        let batch: Vec<CorpusDelta> = (1..4).map(sample_delta).collect();
+        let refs: Vec<&CorpusDelta> = batch.iter().collect();
+        journal.inject_sync_failures(1);
+        let err = journal.append_batch(&refs).unwrap_err();
+        assert!(matches!(err, JournalError::Io(_)), "{err:?}");
+
+        // No trace of the batch: counters, file bytes and replay all
+        // match the pre-batch state, so a retry re-claims seq 2..=4.
+        assert_eq!(journal.len(), 1);
+        assert_eq!(journal.next_seq(), 2);
+        assert_eq!(std::fs::read(&path).unwrap(), durable);
+        let replay = DeltaJournal::replay_path(&path).unwrap();
+        assert_eq!(replay.last_seq(), 1);
+
+        let range = journal.append_batch(&refs).unwrap();
+        assert_eq!(range, Some((2, 4)));
+        let replay = DeltaJournal::replay_path(&path).unwrap();
+        assert_eq!(replay.last_seq(), 4);
         std::fs::remove_file(&path).ok();
     }
 
@@ -682,6 +941,69 @@ mod tests {
 
         // Compacting an already-covered prefix is a no-op.
         assert_eq!(journal.compact_through(3).unwrap(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compacting_below_the_first_retained_record_is_idempotent() {
+        let path = temp_path("compact_below");
+        let mut journal = DeltaJournal::create(&path).unwrap();
+        for i in 0..6 {
+            journal.append(&sample_delta(i)).unwrap();
+        }
+        journal.sync().unwrap();
+        assert_eq!(journal.compact_through(4).unwrap(), 4);
+        let bytes = std::fs::read(&path).unwrap();
+
+        // `through_seq` below the first retained record (5): not an
+        // error, not a rewrite — the file keeps its exact bytes.
+        for covered in [0, 1, 4] {
+            assert_eq!(journal.compact_through(covered).unwrap(), 0);
+            assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        }
+        assert_eq!(journal.len(), 2);
+        assert_eq!(journal.next_seq(), 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compacting_beyond_the_last_record_does_not_invent_sequences() {
+        let path = temp_path("compact_beyond");
+        let mut journal = DeltaJournal::create(&path).unwrap();
+        for i in 0..3 {
+            journal.append(&sample_delta(i)).unwrap();
+        }
+        journal.sync().unwrap();
+
+        // Compacting through a sequence past the end drops every
+        // record but must not fast-forward the stream: the next
+        // append still continues where the journal left off.
+        assert_eq!(journal.compact_through(100).unwrap(), 3);
+        assert_eq!(journal.len(), 0);
+        assert!(journal.is_empty());
+        assert_eq!(journal.next_seq(), 4);
+        assert_eq!(journal.append(&sample_delta(9)).unwrap(), 4);
+        journal.sync().unwrap();
+        let replay = DeltaJournal::replay_path(&path).unwrap();
+        let seqs: Vec<u64> = replay.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![4]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn double_compaction_at_the_same_seq_is_a_no_op() {
+        let path = temp_path("compact_twice");
+        let mut journal = DeltaJournal::create(&path).unwrap();
+        for i in 0..5 {
+            journal.append(&sample_delta(i)).unwrap();
+        }
+        journal.sync().unwrap();
+        assert_eq!(journal.compact_through(3).unwrap(), 3);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(journal.compact_through(3).unwrap(), 0);
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        assert_eq!(journal.len(), 2);
+        assert_eq!(journal.next_seq(), 6);
         std::fs::remove_file(&path).ok();
     }
 

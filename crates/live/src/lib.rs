@@ -23,6 +23,15 @@
 //!   *journal → apply → publish*, and [`LiveService::recover`]
 //!   rebuilds the exact pre-crash engine by replaying the journal
 //!   over a checkpoint.
+//! * **Group commit** — [`LiveService::ingest_batch`] and
+//!   [`LiveService::tick_sweep`] amortize the per-delta costs across
+//!   a burst: N journal records share one fsync
+//!   ([`DeltaJournal::append_batch`], all-or-nothing), one
+//!   copy-on-write index detach and one deferred signal re-blend
+//!   ([`LiveWriter::apply_batch`], which applies the burst in replay
+//!   order), and one published snapshot. Readers only ever observe
+//!   batch boundaries; recovery replays the per-delta records and
+//!   lands on the identical engine by construction.
 //!
 //! ```text
 //! crawler ticks ──► DeltaJournal (fsync) ──► LiveWriter.apply ──► publish

@@ -12,7 +12,7 @@ use crate::journal::DeltaJournal;
 use crate::snapshot::{LiveWriter, SnapshotReader};
 use obs_model::{Clock, CorpusDelta};
 use obs_search::SearchEngine;
-use obs_wrappers::{CrawlReport, Crawler, DataService, HighWaterMarks};
+use obs_wrappers::{CrawlReport, Crawler, DataService, HighWaterMarks, SweepReport};
 use std::path::Path;
 
 /// What [`LiveService::recover`] did.
@@ -103,19 +103,58 @@ impl LiveService {
     /// a record whose fsync failed is retracted from the journal —
     /// it was never acknowledged, so it must neither occupy the
     /// sequence the retry will claim nor resurface on recovery.
+    ///
+    /// An **empty delta is a cheap no-op** returning the current
+    /// sequence: it journals nothing, syncs nothing and publishes
+    /// nothing, so a tick over an already-caught-up source leaves
+    /// the journal byte-identical instead of burning a sequence
+    /// number and an fsync on zero changes.
     pub fn ingest(&mut self, delta: &CorpusDelta) -> Result<u64, LiveError> {
+        if delta.is_empty() {
+            return Ok(self.seq());
+        }
         let seq = self.journal.append(delta)?;
         if let Err(sync_err) = self.journal.sync() {
             // Best effort: if the retract also fails the journal and
             // writer sequences have diverged and only recover() can
             // rebuild a consistent service; surface the original
             // failure either way.
-            let _ = self.journal.retract_last();
+            let _ = self.journal.retract_staged();
             return Err(sync_err.into());
         }
         self.writer.apply(seq, delta);
         self.writer.publish();
         Ok(seq)
+    }
+
+    /// Ingests a burst of deltas as one *group commit*: every
+    /// non-empty delta is journaled with its own sequence number but
+    /// the whole batch shares **one** fsync, one copy-on-write index
+    /// detach, one static-signal re-blend and one published
+    /// snapshot. Returns the sequence of the last delta in the batch
+    /// (the current sequence when the batch carries no changes).
+    ///
+    /// All-or-nothing: a batch whose fsync fails is retracted in
+    /// full — no record of it survives in the journal, the engine
+    /// and the served snapshot are untouched, and a retry re-claims
+    /// the same sequence numbers. Empty deltas are skipped without
+    /// burning sequences, mirroring [`LiveService::ingest`].
+    ///
+    /// Readers of snapshots only ever observe batch boundaries: the
+    /// intermediate states "inside" a batch are never published.
+    /// Recovery replays the per-delta records one at a time and
+    /// reproduces the identical engine *by construction* — the live
+    /// batch applies the same deltas in the same order, just with
+    /// the re-blend deferred to the end (proved at the workspace
+    /// level down to BM25 score maps).
+    pub fn ingest_batch(&mut self, deltas: &[CorpusDelta]) -> Result<u64, LiveError> {
+        let fresh: Vec<&CorpusDelta> = deltas.iter().filter(|d| !d.is_empty()).collect();
+        let Some((first, _)) = self.journal.append_batch(&fresh)? else {
+            return Ok(self.seq());
+        };
+        self.writer.apply_batch(first, &fresh);
+        self.writer.publish();
+        Ok(self.seq())
     }
 
     /// One crawl tick: crawls `service` since its high-water mark
@@ -137,13 +176,58 @@ impl LiveService {
         let source = service.descriptor().source;
         let pre_tick_mark = marks.since(source);
         let (delta, crawl_report) = crawler.crawl_tick(service, clock, marks)?;
-        if !delta.is_empty() {
-            if let Err(e) = self.ingest(&delta) {
-                marks.rollback(source, pre_tick_mark);
-                return Err(e);
-            }
+        // An empty tick is a no-op inside `ingest` — nothing
+        // journaled, nothing published.
+        if let Err(e) = self.ingest(&delta) {
+            marks.rollback(source, pre_tick_mark);
+            return Err(e);
         }
         Ok((self.seq(), crawl_report))
+    }
+
+    /// One sweep tick over *every* registered service: crawls each
+    /// since its high-water mark
+    /// ([`Crawler::crawl_sweep`](obs_wrappers::Crawler::crawl_sweep))
+    /// and ingests the whole burst as one group commit — one fsync,
+    /// one engine application, one published snapshot, however many
+    /// sources had fresh content. Returns the current sequence and
+    /// the sweep report.
+    ///
+    /// Failure is all-or-nothing at both layers. A crawl failure
+    /// rolls back the marks the sweep had advanced (inside
+    /// `crawl_sweep`) before anything is journaled. If the journal
+    /// refuses the batch, **every participating source's** mark is
+    /// rolled back to its pre-sweep value: content the journal never
+    /// accepted must stay observable, or a retried sweep would skip
+    /// it forever.
+    pub fn tick_sweep(
+        &mut self,
+        crawler: &Crawler,
+        services: &mut [Box<dyn DataService + '_>],
+        clock: &mut Clock,
+        marks: &mut HighWaterMarks,
+    ) -> Result<(u64, SweepReport), LiveError> {
+        // Each layer guards its own failure domain: `crawl_sweep`
+        // restores the marks when a *crawl* fails, this copy
+        // restores them when the *journal* refuses the batch after
+        // every crawl succeeded. The copy is O(sources) — noise next
+        // to the sweep it protects.
+        let pre_sweep = marks.clone();
+        let (deltas, report) = crawler.crawl_sweep(services, clock, marks)?;
+        if let Err(e) = self.ingest_batch(&deltas) {
+            *marks = pre_sweep;
+            return Err(e);
+        }
+        Ok((self.seq(), report))
+    }
+
+    /// Arms the next `n` journal fsyncs to fail deterministically —
+    /// durability fault injection for tests (see
+    /// [`DeltaJournal::inject_sync_failures`]). A failed ingest must
+    /// leave the engine, the served snapshot and the journal exactly
+    /// as they were.
+    pub fn inject_journal_sync_failures(&mut self, n: u32) {
+        self.journal.inject_sync_failures(n);
     }
 
     /// A cloneable handle for reader threads. Snapshots acquired
@@ -267,6 +351,248 @@ mod tests {
         // The converged engine equals the never-stale engine.
         assert_eq!(service.doc_count(), engine.doc_count());
         assert_eq!(service.journal_len(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_delta_ingest_is_a_cheap_no_op() {
+        let (world, engine) = world_and_engine(507);
+        let stale = stale_engine(&world, &engine);
+        let path = temp_path("empty_ingest");
+        let mut service = LiveService::start(stale, &path).unwrap();
+        let batches = recent_batches(&world, 2);
+        service.ingest(&batches[0]).unwrap();
+        let seq = service.seq();
+        let journal_bytes = std::fs::read(&path).unwrap();
+        let snapshot_before = service.reader().snapshot();
+
+        // An empty delta returns the current seq without journaling,
+        // publishing or burning a sequence number.
+        assert_eq!(service.ingest(&CorpusDelta::new()).unwrap(), seq);
+        assert_eq!(service.seq(), seq);
+        assert_eq!(service.journal_len(), 1);
+        assert_eq!(std::fs::read(&path).unwrap(), journal_bytes);
+        // Not even a republish: the served snapshot is the same Arc.
+        assert!(service
+            .reader()
+            .snapshot()
+            .engine()
+            .shares_index_with(snapshot_before.engine()));
+
+        // The next real ingest claims the next sequence — nothing
+        // was burned.
+        assert_eq!(service.ingest(&batches[1]).unwrap(), seq + 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tick_on_a_caught_up_source_leaves_the_journal_byte_identical() {
+        let (world, engine) = world_and_engine(508);
+        let path = temp_path("caught_up");
+        // Start from the *full* engine: every source is already
+        // caught up once the marks sit at `world.now`.
+        let mut service = LiveService::start(engine, &path).unwrap();
+        let crawler = Crawler::default();
+        let mut marks = HighWaterMarks::new();
+        for source in world.corpus.sources() {
+            marks.advance(source.id, world.now);
+        }
+        let journal_bytes = std::fs::read(&path).unwrap();
+        let seq = service.seq();
+        for source in world.corpus.sources() {
+            let mut clock = Clock::starting_at(world.now);
+            let mut api = service_for(&world.corpus, source.id, world.now).unwrap();
+            let (tick_seq, _) = service
+                .tick(&crawler, api.as_mut(), &mut clock, &mut marks)
+                .unwrap();
+            assert_eq!(tick_seq, seq);
+        }
+        assert_eq!(service.journal_len(), 0);
+        assert_eq!(std::fs::read(&path).unwrap(), journal_bytes);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batched_ingest_equals_sequential_ingest() {
+        let (world, engine) = world_and_engine(509);
+        let stale = stale_engine(&world, &engine);
+        let batches = recent_batches(&world, 5);
+        let probe: Vec<String> = vec!["duomo".into(), "rooftop".into(), "castle".into()];
+
+        let path_seq = temp_path("sequential");
+        let mut sequential = LiveService::start(stale.clone(), &path_seq).unwrap();
+        for delta in &batches {
+            sequential.ingest(delta).unwrap();
+        }
+
+        let path_batch = temp_path("batched");
+        let mut batched = LiveService::start(stale, &path_batch).unwrap();
+        let last = batched.ingest_batch(&batches).unwrap();
+        assert_eq!(last, batches.len() as u64);
+        assert_eq!(batched.seq(), sequential.seq());
+        assert_eq!(batched.journal_len(), sequential.journal_len());
+
+        // Same engine state, same journal bytes: the batch only
+        // changed *when* durability and publication were paid for.
+        let a = sequential.reader().snapshot();
+        let b = batched.reader().snapshot();
+        assert_eq!(a.seq(), b.seq());
+        assert_eq!(a.engine().doc_count(), b.engine().doc_count());
+        assert_eq!(a.engine().query(&probe, 50), b.engine().query(&probe, 50));
+        for s in world.corpus.sources() {
+            assert_eq!(a.engine().static_score(s.id), b.engine().static_score(s.id));
+        }
+        assert_eq!(
+            std::fs::read(&path_seq).unwrap(),
+            std::fs::read(&path_batch).unwrap()
+        );
+        std::fs::remove_file(&path_seq).ok();
+        std::fs::remove_file(&path_batch).ok();
+    }
+
+    #[test]
+    fn batch_with_empty_deltas_skips_them_without_burning_sequences() {
+        let (world, engine) = world_and_engine(510);
+        let stale = stale_engine(&world, &engine);
+        let batches = recent_batches(&world, 2);
+        let path = temp_path("sparse_batch");
+        let mut service = LiveService::start(stale, &path).unwrap();
+
+        let sparse = vec![
+            CorpusDelta::new(),
+            batches[0].clone(),
+            CorpusDelta::new(),
+            batches[1].clone(),
+        ];
+        assert_eq!(service.ingest_batch(&sparse).unwrap(), 2);
+        assert_eq!(service.journal_len(), 2);
+
+        // An all-empty batch is a complete no-op.
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(
+            service
+                .ingest_batch(&[CorpusDelta::new(), CorpusDelta::new()])
+                .unwrap(),
+            2
+        );
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_batch_sync_leaves_service_and_journal_untouched() {
+        let (world, engine) = world_and_engine(511);
+        let stale = stale_engine(&world, &engine);
+        let batches = recent_batches(&world, 4);
+        let path = temp_path("failed_batch");
+        let mut service = LiveService::start(stale, &path).unwrap();
+        service.ingest(&batches[0]).unwrap();
+        let seq = service.seq();
+        let journal_bytes = std::fs::read(&path).unwrap();
+        let docs = service.doc_count();
+
+        service.inject_journal_sync_failures(1);
+        let err = service.ingest_batch(&batches[1..]).unwrap_err();
+        assert!(matches!(err, LiveError::Journal(_)), "{err:?}");
+        assert_eq!(service.seq(), seq);
+        assert_eq!(service.doc_count(), docs);
+        assert_eq!(service.journal_len(), 1);
+        assert_eq!(std::fs::read(&path).unwrap(), journal_bytes);
+        assert_eq!(service.reader().snapshot().seq(), seq);
+
+        // The retry claims the exact sequences the failed batch had
+        // staged.
+        assert_eq!(
+            service.ingest_batch(&batches[1..]).unwrap(),
+            seq + (batches.len() as u64 - 1)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tick_sweep_group_commits_the_whole_crawl_burst() {
+        let (world, engine) = world_and_engine(512);
+        let stale = stale_engine(&world, &engine);
+        let path = temp_path("sweep");
+        let mut service = LiveService::start(stale, &path).unwrap();
+        let crawler = Crawler::default();
+        let midpoint = Timestamp(world.now.seconds() / 2);
+        let mut marks = HighWaterMarks::new();
+        for source in world.corpus.sources() {
+            marks.advance(source.id, midpoint);
+        }
+        let mut services: Vec<Box<dyn DataService + '_>> = world
+            .corpus
+            .sources()
+            .iter()
+            .map(|s| service_for(&world.corpus, s.id, world.now).unwrap())
+            .collect();
+        let mut clock = Clock::starting_at(world.now);
+
+        let (seq, report) = service
+            .tick_sweep(&crawler, &mut services, &mut clock, &mut marks)
+            .unwrap();
+        assert_eq!(report.sources, world.corpus.sources().len());
+        assert!(report.fresh_sources > 0, "no source had fresh content");
+        // One record per fresh source, one published snapshot for
+        // the whole burst.
+        assert_eq!(seq, report.fresh_sources as u64);
+        assert_eq!(service.journal_len(), report.fresh_sources);
+        let snap = service.reader().snapshot();
+        assert_eq!(snap.seq(), seq);
+        // The sweep caught the engine all the way up.
+        assert_eq!(service.doc_count(), engine.doc_count());
+
+        // A second sweep observes nothing and journals nothing.
+        let bytes = std::fs::read(&path).unwrap();
+        let (seq2, report2) = service
+            .tick_sweep(&crawler, &mut services, &mut clock, &mut marks)
+            .unwrap();
+        assert_eq!(seq2, seq);
+        assert_eq!(report2.fresh_sources, 0);
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn refused_sweep_batch_rolls_back_every_participating_mark() {
+        let (world, engine) = world_and_engine(513);
+        let stale = stale_engine(&world, &engine);
+        let path = temp_path("sweep_refused");
+        let mut service = LiveService::start(stale, &path).unwrap();
+        let crawler = Crawler::default();
+        let midpoint = Timestamp(world.now.seconds() / 2);
+        let mut marks = HighWaterMarks::new();
+        for source in world.corpus.sources() {
+            marks.advance(source.id, midpoint);
+        }
+        let pre_sweep = marks.clone();
+        let mut services: Vec<Box<dyn DataService + '_>> = world
+            .corpus
+            .sources()
+            .iter()
+            .map(|s| service_for(&world.corpus, s.id, world.now).unwrap())
+            .collect();
+        let mut clock = Clock::starting_at(world.now);
+
+        service.inject_journal_sync_failures(1);
+        let err = service
+            .tick_sweep(&crawler, &mut services, &mut clock, &mut marks)
+            .unwrap_err();
+        assert!(matches!(err, LiveError::Journal(_)), "{err:?}");
+        // Every mark is back at its pre-sweep reading, so the retry
+        // re-observes the full burst…
+        assert_eq!(marks, pre_sweep);
+        assert_eq!(service.seq(), 0);
+        assert_eq!(service.journal_len(), 0);
+
+        // …and succeeds.
+        let (seq, report) = service
+            .tick_sweep(&crawler, &mut services, &mut clock, &mut marks)
+            .unwrap();
+        assert!(report.fresh_sources > 0);
+        assert_eq!(seq, report.fresh_sources as u64);
+        assert_eq!(service.doc_count(), engine.doc_count());
         std::fs::remove_file(&path).ok();
     }
 

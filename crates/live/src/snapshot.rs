@@ -147,6 +147,38 @@ impl LiveWriter {
         self.seq = seq;
     }
 
+    /// Applies a contiguous run of deltas as one batch, stamping
+    /// them as changes `first_seq ..= first_seq + deltas.len() - 1`.
+    ///
+    /// The burst goes through
+    /// [`SearchEngine::apply_deltas`](obs_search::SearchEngine::apply_deltas)
+    /// *in replay order*: one copy-on-write index detach (the first
+    /// apply detaches, the rest mutate the now-unique index in
+    /// place) and one static-signal re-blend at the end, however
+    /// many deltas the burst carries — the amortization the
+    /// group-commit ingest path exists for, with zero cloning and
+    /// unconditionally bit-identical results to replaying the same
+    /// records one at a time on recovery. Not visible to readers
+    /// until [`LiveWriter::publish`]; an empty batch is a no-op.
+    ///
+    /// # Panics
+    /// If `first_seq` is not exactly one past the last applied
+    /// sequence — a skipped or replayed batch would silently corrupt
+    /// the journal ↔ snapshot correspondence.
+    pub fn apply_batch(&mut self, first_seq: u64, deltas: &[&obs_model::CorpusDelta]) {
+        if deltas.is_empty() {
+            return;
+        }
+        assert_eq!(
+            first_seq,
+            self.seq + 1,
+            "batch applied out of order: expected first seq {}, got {first_seq}",
+            self.seq + 1
+        );
+        self.engine.apply_deltas(deltas.iter().copied());
+        self.seq = first_seq + deltas.len() as u64 - 1;
+    }
+
     /// Publishes the current engine state. Readers acquiring
     /// snapshots from now on see every delta applied so far.
     pub fn publish(&self) {
@@ -215,6 +247,62 @@ mod tests {
         assert_eq!(after.engine().doc_count(), before.engine().doc_count() - 1);
         // The old snapshot handle still serves the old epoch.
         assert_eq!(before.engine().doc_count(), mid.engine().doc_count());
+    }
+
+    #[test]
+    fn apply_batch_equals_sequential_applies() {
+        let (world, engine) = engine();
+        let recent: Vec<PostId> = world
+            .corpus
+            .posts()
+            .iter()
+            .rev()
+            .take(8)
+            .map(|p| p.id)
+            .collect();
+        let deltas: Vec<CorpusDelta> = recent
+            .chunks(2)
+            .map(|chunk| CorpusDelta::for_removals(&world.corpus, chunk).unwrap())
+            .collect();
+
+        let mut sequential = LiveWriter::new(engine.clone(), 0);
+        for (i, delta) in deltas.iter().enumerate() {
+            sequential.apply(i as u64 + 1, delta);
+        }
+        sequential.publish();
+
+        let mut batched = LiveWriter::new(engine, 0);
+        let refs: Vec<&CorpusDelta> = deltas.iter().collect();
+        batched.apply_batch(1, &refs);
+        batched.publish();
+
+        assert_eq!(batched.seq(), sequential.seq());
+        assert_eq!(batched.seq(), deltas.len() as u64);
+        let a = sequential.reader().snapshot();
+        let b = batched.reader().snapshot();
+        assert_eq!(a.seq(), b.seq());
+        assert_eq!(a.engine().doc_count(), b.engine().doc_count());
+        for s in world.corpus.sources() {
+            assert_eq!(a.engine().static_score(s.id), b.engine().static_score(s.id));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let (_, engine) = engine();
+        let mut writer = LiveWriter::new(engine, 0);
+        writer.apply_batch(1, &[]);
+        assert_eq!(writer.seq(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch applied out of order")]
+    fn out_of_order_batch_panics() {
+        let (world, engine) = engine();
+        let mut writer = LiveWriter::new(engine, 0);
+        let last = world.corpus.posts().last().unwrap().id;
+        let removal = CorpusDelta::for_removals(&world.corpus, &[last]).unwrap();
+        writer.apply_batch(2, &[&removal]); // skips seq 1
     }
 
     #[test]

@@ -149,6 +149,199 @@ fn readers_never_observe_torn_or_regressing_snapshots() {
 }
 
 #[test]
+fn readers_racing_batched_ingest_observe_only_batch_boundaries() {
+    // Group-commit ingestion publishes once per *batch*: the states
+    // "inside" a batch must never be served. Readers validate every
+    // snapshot against the precomputed per-batch trajectory and
+    // assert the observed sequence is always a batch boundary.
+    let world = World::generate(WorldConfig {
+        sources: 60,
+        users: 300,
+        ..WorldConfig::small(7009)
+    });
+    let panel = AlexaPanel::simulate(&world, 1);
+    let links = LinkGraph::simulate(&world, 2);
+    let full = SearchEngine::build(&world.corpus, &panel, &links, BlendWeights::default());
+
+    let midpoint = Timestamp(world.now.seconds() / 2);
+    let recent: Vec<PostId> = world
+        .corpus
+        .posts()
+        .iter()
+        .filter(|p| p.published > midpoint)
+        .map(|p| p.id)
+        .collect();
+    assert!(recent.len() >= 16, "world too small: {}", recent.len());
+    let mut stale = full.clone();
+    stale.apply_delta(&CorpusDelta::for_removals(&world.corpus, &recent).unwrap());
+
+    // 16 deltas, group-committed 4 at a time: the only observable
+    // sequences are 0, 4, 8, 12, 16.
+    let deltas: Vec<CorpusDelta> = recent
+        .chunks(recent.len().div_ceil(16))
+        .map(|chunk| CorpusDelta::for_posts(&world.corpus, chunk).unwrap())
+        .collect();
+    let batches: Vec<&[CorpusDelta]> = deltas.chunks(4).collect();
+
+    // Expected state per *batch boundary* sequence.
+    let mut boundary_docs = std::collections::HashMap::new();
+    let mut boundary_hits = std::collections::HashMap::new();
+    boundary_docs.insert(0u64, stale.doc_count());
+    boundary_hits.insert(0u64, probe_query(&stale));
+    {
+        let mut scratch = stale.clone();
+        let mut seq = 0u64;
+        for batch in &batches {
+            for delta in *batch {
+                scratch.apply_delta(delta);
+                seq += 1;
+            }
+            boundary_docs.insert(seq, scratch.doc_count());
+            boundary_hits.insert(seq, probe_query(&scratch));
+        }
+    }
+    let boundary_docs = Arc::new(boundary_docs);
+    let boundary_hits = Arc::new(boundary_hits);
+    let final_seq = deltas.len() as u64;
+
+    let path = temp_path("batch_boundaries");
+    let mut service = LiveService::start(stale, &path).unwrap();
+    let snapshots_checked = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for reader_id in 0..4 {
+            let reader = service.reader();
+            let docs = Arc::clone(&boundary_docs);
+            let hits = Arc::clone(&boundary_hits);
+            let checked = &snapshots_checked;
+            readers.push(scope.spawn(move || {
+                let mut last_seq = 0u64;
+                loop {
+                    let snap = reader.snapshot();
+                    let seq = snap.seq();
+                    assert!(
+                        seq >= last_seq,
+                        "reader {reader_id}: sequence regressed {last_seq} -> {seq}"
+                    );
+                    last_seq = seq;
+                    let expected_docs = docs.get(&seq).unwrap_or_else(|| {
+                        panic!("reader {reader_id}: observed mid-batch seq {seq}")
+                    });
+                    let engine = snap.engine();
+                    assert_eq!(
+                        engine.doc_count(),
+                        *expected_docs,
+                        "reader {reader_id}: torn doc count at seq {seq}"
+                    );
+                    assert_eq!(
+                        &probe_query(engine),
+                        hits.get(&seq).unwrap(),
+                        "reader {reader_id}: torn query result at seq {seq}"
+                    );
+                    checked.fetch_add(1, Ordering::Relaxed);
+                    if seq == final_seq {
+                        break;
+                    }
+                }
+            }));
+        }
+
+        // The writer: one group commit per batch. The middle batch
+        // suffers an injected fsync failure first — readers must be
+        // none the wiser, and the retry must succeed transparently.
+        for (i, batch) in batches.iter().enumerate() {
+            if i == batches.len() / 2 {
+                let seq_before = service.seq();
+                let journal_len = service.journal_len();
+                service.inject_journal_sync_failures(1);
+                service
+                    .ingest_batch(batch)
+                    .expect_err("injected fsync failure must surface");
+                assert_eq!(service.seq(), seq_before);
+                assert_eq!(service.journal_len(), journal_len);
+            }
+            service.ingest_batch(batch).unwrap();
+        }
+
+        for handle in readers {
+            handle.join().expect("reader thread panicked");
+        }
+    });
+
+    assert!(snapshots_checked.load(Ordering::Relaxed) >= 4);
+    assert_eq!(service.seq(), final_seq);
+    assert_eq!(service.doc_count(), full.doc_count());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn failed_batch_sync_is_never_replayed_by_recovery() {
+    // The all-or-nothing contract, end to end: a batch whose fsync
+    // failed must leave no trace — not in the served snapshots, not
+    // in the journal file, not in what recover() replays.
+    let world = World::generate(WorldConfig {
+        sources: 60,
+        users: 300,
+        ..WorldConfig::small(7010)
+    });
+    let panel = AlexaPanel::simulate(&world, 1);
+    let links = LinkGraph::simulate(&world, 2);
+    let full = SearchEngine::build(&world.corpus, &panel, &links, BlendWeights::default());
+
+    let midpoint = Timestamp(world.now.seconds() / 2);
+    let recent: Vec<PostId> = world
+        .corpus
+        .posts()
+        .iter()
+        .filter(|p| p.published > midpoint)
+        .map(|p| p.id)
+        .collect();
+    let mut stale = full.clone();
+    stale.apply_delta(&CorpusDelta::for_removals(&world.corpus, &recent).unwrap());
+
+    let deltas: Vec<CorpusDelta> = recent
+        .chunks(recent.len().div_ceil(8))
+        .map(|chunk| CorpusDelta::for_posts(&world.corpus, chunk).unwrap())
+        .collect();
+    let (first_half, second_half) = deltas.split_at(deltas.len() / 2);
+
+    let path = temp_path("no_replay");
+    let mut service = LiveService::start(stale.clone(), &path).unwrap();
+    service.ingest_batch(first_half).unwrap();
+    let committed_seq = service.seq();
+    let committed_hits = probe_query(service.reader().snapshot().engine());
+
+    service.inject_journal_sync_failures(1);
+    service
+        .ingest_batch(second_half)
+        .expect_err("injected fsync failure must surface");
+    // Served state: untouched, down to the query results.
+    let snap = service.reader().snapshot();
+    assert_eq!(snap.seq(), committed_seq);
+    assert_eq!(probe_query(snap.engine()), committed_hits);
+
+    // Crash right here (drop without shutdown): recovery over the
+    // original checkpoint must replay exactly the committed batch
+    // and nothing of the failed one.
+    drop(service);
+    let (recovered, report) = LiveService::recover(stale, 0, &path).unwrap();
+    assert_eq!(report.replayed as u64, committed_seq);
+    assert!(!report.torn_tail_dropped, "retraction must be clean");
+    assert_eq!(recovered.seq(), committed_seq);
+    let snap = recovered.reader().snapshot();
+    assert_eq!(probe_query(snap.engine()), committed_hits);
+
+    // And the recovered service continues the stream where the
+    // acknowledged prefix ended.
+    let mut recovered = recovered;
+    recovered.ingest_batch(second_half).unwrap();
+    assert_eq!(recovered.seq(), deltas.len() as u64);
+    assert_eq!(recovered.doc_count(), full.doc_count());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn writer_throughput_is_not_gated_by_slow_readers() {
     // A reader that *holds* a snapshot for the whole run must not
     // stop the writer from publishing: old epochs stay alive, new

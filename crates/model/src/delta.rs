@@ -118,6 +118,28 @@ impl CorpusDelta {
         }
     }
 
+    /// Folds a sequence of deltas into a single change-set —
+    /// repeated [`CorpusDelta::merge`] — for consumers that want to
+    /// ship or store a burst as one delta.
+    ///
+    /// Applying the coalesced delta is equivalent to applying the
+    /// originals in order for *consistent* streams (every removal
+    /// matches a present document). An inconsistent burst — say the
+    /// same post removed twice — can differ at a consumer that
+    /// clamps intermediate state (engagement counters floor at
+    /// zero), because coalescing sums the adjustments before the
+    /// clamp is applied. A consumer that needs unconditional
+    /// equivalence with one-at-a-time replay should apply the burst
+    /// in order instead (see `SearchEngine::apply_deltas` in
+    /// `obs_search`).
+    pub fn coalesce<'a>(deltas: impl IntoIterator<Item = &'a CorpusDelta>) -> CorpusDelta {
+        let mut merged = CorpusDelta::new();
+        for delta in deltas {
+            merged.merge(delta.clone());
+        }
+        merged
+    }
+
     /// Derives the change-set that adds the given opening posts,
     /// with the same indexable text (title + body + tags) a full
     /// build composes and one hosted discussion per post.
@@ -279,6 +301,27 @@ mod tests {
         a.merge(b);
         assert!(a.added.is_empty());
         assert_eq!(a.removed, vec![PostId::new(5)]);
+    }
+
+    #[test]
+    fn coalesce_equals_sequential_merges() {
+        let mut a = CorpusDelta::new();
+        a.add_doc(PostId::new(0), SourceId::new(0), "first");
+        a.note_engagement(SourceId::new(0), 1, 2);
+        let mut b = CorpusDelta::new();
+        b.remove_doc(PostId::new(0));
+        b.note_engagement(SourceId::new(1), 1, 0);
+        let mut c = CorpusDelta::new();
+        c.add_doc(PostId::new(3), SourceId::new(1), "third");
+
+        let mut sequential = a.clone();
+        sequential.merge(b.clone());
+        sequential.merge(c.clone());
+        let coalesced = CorpusDelta::coalesce([&a, &b, &c]);
+        assert_eq!(coalesced, sequential);
+
+        assert!(CorpusDelta::coalesce([]).is_empty());
+        assert_eq!(CorpusDelta::coalesce([&a]), a);
     }
 
     #[test]

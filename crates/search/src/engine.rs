@@ -231,19 +231,39 @@ impl SearchEngine {
     /// concurrent readers of those clones never observe a
     /// half-applied delta.
     pub fn apply_delta(&mut self, delta: &CorpusDelta) {
-        Arc::make_mut(&mut self.index).apply_delta(delta);
-        if delta.engagement.is_empty() {
-            return;
+        self.apply_deltas(std::iter::once(delta));
+    }
+
+    /// Applies a burst of change-sets *in order*, amortizing the
+    /// shared costs across the batch: the index is detached at most
+    /// once ([`Arc::make_mut`] is a no-op once the writer's copy is
+    /// unique) and the static blend is re-standardized once at the
+    /// end instead of once per delta.
+    ///
+    /// The result is bit-identical to applying the deltas one at a
+    /// time — each delta passes through the exact per-delta index
+    /// and signal updates (including the zero clamp on engagement
+    /// counters), and the final re-blend sees the same final
+    /// signals. This unconditional equivalence is what lets a
+    /// group-commit serving layer batch its live applies while crash
+    /// recovery replays the same records individually.
+    pub fn apply_deltas<'a>(&mut self, deltas: impl IntoIterator<Item = &'a CorpusDelta>) {
+        let mut engagement_touched = false;
+        for delta in deltas {
+            Arc::make_mut(&mut self.index).apply_delta(delta);
+            for e in &delta.engagement {
+                let i = e.source.index();
+                self.signals.ensure(i);
+                self.signals.discussions[i] =
+                    (self.signals.discussions[i] + e.discussions as f64).max(0.0);
+                self.signals.comments[i] = (self.signals.comments[i] + e.comments as f64).max(0.0);
+                self.signals.refresh(i);
+                engagement_touched = true;
+            }
         }
-        for e in &delta.engagement {
-            let i = e.source.index();
-            self.signals.ensure(i);
-            self.signals.discussions[i] =
-                (self.signals.discussions[i] + e.discussions as f64).max(0.0);
-            self.signals.comments[i] = (self.signals.comments[i] + e.comments as f64).max(0.0);
-            self.signals.refresh(i);
+        if engagement_touched {
+            self.reblend();
         }
-        self.reblend();
     }
 
     /// Evaluates a query, returning the top `k` sources.
@@ -458,6 +478,47 @@ mod tests {
         for s in world.corpus.sources() {
             assert_eq!(live.static_score(s.id), engine.static_score(s.id));
         }
+    }
+
+    #[test]
+    fn apply_deltas_equals_sequential_applies_even_through_the_clamp() {
+        let (world, engine) = engine();
+        let recent: Vec<PostId> = world
+            .corpus
+            .posts()
+            .iter()
+            .rev()
+            .take(6)
+            .map(|p| p.id)
+            .collect();
+        // A deliberately *inconsistent* burst: the same posts removed
+        // twice in a row, driving some source's engagement counters
+        // into the zero clamp mid-burst, then re-added. Summing the
+        // burst's engagement first would miss the intermediate clamp;
+        // in-order application must not.
+        let deltas = vec![
+            obs_model::CorpusDelta::for_removals(&world.corpus, &recent).unwrap(),
+            obs_model::CorpusDelta::for_removals(&world.corpus, &recent).unwrap(),
+            obs_model::CorpusDelta::for_posts(&world.corpus, &recent).unwrap(),
+        ];
+
+        let mut sequential = engine.clone();
+        for delta in &deltas {
+            sequential.apply_delta(delta);
+        }
+        let mut batched = engine.clone();
+        batched.apply_deltas(deltas.iter());
+
+        assert_eq!(batched.doc_count(), sequential.doc_count());
+        for s in world.corpus.sources() {
+            assert_eq!(batched.static_score(s.id), sequential.static_score(s.id));
+        }
+        let probe = vec!["duomo".to_owned(), "rooftop".to_owned()];
+        assert_eq!(batched.query(&probe, 50), sequential.query(&probe, 50));
+        // The batch detached the shared index exactly as a sequence
+        // of applies would have: the original is untouched.
+        assert!(!batched.shares_index_with(&engine));
+        assert_eq!(engine.doc_count(), batched.doc_count());
     }
 
     #[test]

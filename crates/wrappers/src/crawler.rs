@@ -105,6 +105,29 @@ pub struct CrawlReport {
     pub waited_secs: u64,
 }
 
+impl CrawlReport {
+    /// Folds another report's counters into this one (sweep
+    /// aggregation).
+    pub fn absorb(&mut self, other: CrawlReport) {
+        self.pages += other.pages;
+        self.items += other.items;
+        self.retries += other.retries;
+        self.rate_limit_waits += other.rate_limit_waits;
+        self.waited_secs += other.waited_secs;
+    }
+}
+
+/// What a multi-source sweep did, for logs and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepReport {
+    /// Services crawled.
+    pub sources: usize,
+    /// Services whose tick yielded fresh (non-empty) content.
+    pub fresh_sources: usize,
+    /// Aggregate of every per-source crawl report.
+    pub crawl: CrawlReport,
+}
+
 /// The crawl driver.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Crawler {
@@ -229,13 +252,60 @@ impl Crawler {
         }
         Ok((observation.to_delta(), report))
     }
+
+    /// One sweep over *every* registered service: a
+    /// [`Crawler::crawl_tick`] per service, returning the non-empty
+    /// per-source deltas of the whole burst (in service order) plus
+    /// an aggregate [`SweepReport`]. This is the producer side of
+    /// group-commit ingestion — the caller persists the burst under
+    /// one fsync and applies it in one amortized pass (one index
+    /// detach, one signal re-blend; see
+    /// `SearchEngine::apply_deltas`), or folds it into a single
+    /// shippable delta with
+    /// [`CorpusDelta::coalesce`](obs_model::CorpusDelta::coalesce).
+    ///
+    /// All-or-nothing on the crawl side too: if any service's tick
+    /// fails, every high-water mark the sweep already advanced is
+    /// rolled back — none of the burst was persisted, so all of it
+    /// must stay observable for the retry.
+    pub fn crawl_sweep(
+        &self,
+        services: &mut [Box<dyn DataService + '_>],
+        clock: &mut Clock,
+        marks: &mut HighWaterMarks,
+    ) -> Result<(Vec<CorpusDelta>, SweepReport), WrapperError> {
+        let mut deltas = Vec::new();
+        let mut sweep = SweepReport::default();
+        // The sweep is the only writer of `marks` while it runs, so
+        // a pre-sweep copy restores every participating source's
+        // cursor in one assignment.
+        let pre_sweep = marks.clone();
+        for service in services.iter_mut() {
+            match self.crawl_tick(service.as_mut(), clock, marks) {
+                Ok((delta, report)) => {
+                    sweep.sources += 1;
+                    sweep.crawl.absorb(report);
+                    if !delta.is_empty() {
+                        sweep.fresh_sources += 1;
+                        deltas.push(delta);
+                    }
+                }
+                Err(e) => {
+                    *marks = pre_sweep;
+                    return Err(e);
+                }
+            }
+        }
+        Ok((deltas, sweep))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fault::FaultPlan;
-    use crate::native::blog::BlogApi;
+    use crate::native::blog::{BlogApi, PAGE_SIZE};
+    use crate::rate::TokenBucket;
     use crate::service::{service_for, BlogService};
     use obs_model::SourceKind;
     use obs_synth::{World, WorldConfig};
@@ -483,6 +553,122 @@ mod tests {
         });
         let err = crawler.crawl(&mut service, &mut clock).unwrap_err();
         assert!(matches!(err, WrapperError::Transient(_)));
+    }
+
+    #[test]
+    fn zero_rate_service_fails_fast_instead_of_waiting_forever() {
+        // Regression: `TokenBucket::try_take` used to encode "never
+        // refills" as a u64::MAX wait; the crawler advanced its
+        // clock by that wait, overflowing Timestamp arithmetic. A
+        // zero-rate service must surface a hard error instead.
+        let w = World::generate(WorldConfig {
+            mean_discussions_per_source: 40.0,
+            ..WorldConfig::small(202)
+        });
+        let blog = w
+            .corpus
+            .sources()
+            .iter()
+            .filter(|s| s.kind == SourceKind::Blog)
+            .max_by_key(|s| w.corpus.discussions_of_source(s.id).len())
+            .expect("a blog");
+        assert!(
+            w.corpus.discussions_of_source(blog.id).len() > PAGE_SIZE,
+            "blog must need more fetches than the one-token burst"
+        );
+        let api = BlogApi::open(&w.corpus, blog.id, w.now)
+            .unwrap()
+            .with_rate_limit(TokenBucket::new(1, 0, w.now));
+        let mut service = BlogService::open(&w.corpus, blog.id, w.now)
+            .unwrap()
+            .with_api(api);
+        let mut clock = Clock::starting_at(w.now);
+        let crawler = Crawler::default();
+        let err = crawler.crawl(&mut service, &mut clock).unwrap_err();
+        assert_eq!(err, WrapperError::RateLimitExhausted);
+        assert!(!err.is_retryable());
+        // No simulated time was burned "waiting out" a limit that
+        // never lifts.
+        assert_eq!(clock.now(), w.now);
+    }
+
+    #[test]
+    fn crawl_sweep_ticks_every_service_exactly_once() {
+        let w = world();
+        let crawler = Crawler::default();
+        let mut marks = HighWaterMarks::new();
+        let mut services: Vec<Box<dyn DataService + '_>> = w
+            .corpus
+            .sources()
+            .iter()
+            .map(|s| service_for(&w.corpus, s.id, w.now).unwrap())
+            .collect();
+        let mut clock = Clock::starting_at(w.now);
+        let (deltas, sweep) = crawler
+            .crawl_sweep(&mut services, &mut clock, &mut marks)
+            .unwrap();
+        assert_eq!(sweep.sources, w.corpus.sources().len());
+        assert_eq!(sweep.fresh_sources, deltas.len());
+        assert!(deltas.iter().all(|d| !d.is_empty()));
+        // The burst covers the whole corpus: one added doc per
+        // discussion, across all sources.
+        let total_added: usize = deltas.iter().map(|d| d.added.len()).sum();
+        let expected: usize = w
+            .corpus
+            .sources()
+            .iter()
+            .map(|s| w.corpus.discussions_of_source(s.id).len())
+            .sum();
+        assert_eq!(total_added, expected);
+
+        // A second sweep observes nothing new anywhere.
+        let (again, sweep2) = crawler
+            .crawl_sweep(&mut services, &mut clock, &mut marks)
+            .unwrap();
+        assert!(again.is_empty());
+        assert_eq!(sweep2.fresh_sources, 0);
+        assert_eq!(sweep2.sources, w.corpus.sources().len());
+    }
+
+    #[test]
+    fn failed_sweep_rolls_back_every_advanced_mark() {
+        let w = world();
+        let blogs: Vec<_> = w
+            .corpus
+            .sources()
+            .iter()
+            .filter(|s| {
+                s.kind == SourceKind::Blog && !w.corpus.discussions_of_source(s.id).is_empty()
+            })
+            .collect();
+        assert!(blogs.len() >= 2, "world needs two content-bearing blogs");
+        let (good, bad) = (blogs[0].id, blogs[1].id);
+
+        let bad_api = BlogApi::open(&w.corpus, bad, w.now)
+            .unwrap()
+            .with_faults(FaultPlan::every(1)); // always fail
+        let mut services: Vec<Box<dyn DataService + '_>> = vec![
+            service_for(&w.corpus, good, w.now).unwrap(),
+            Box::new(
+                BlogService::open(&w.corpus, bad, w.now)
+                    .unwrap()
+                    .with_api(bad_api),
+            ),
+        ];
+        let crawler = Crawler::new(CrawlerConfig {
+            max_retries: 2,
+            ..CrawlerConfig::default()
+        });
+        let mut marks = HighWaterMarks::new();
+        let mut clock = Clock::starting_at(w.now);
+        let err = crawler
+            .crawl_sweep(&mut services, &mut clock, &mut marks)
+            .unwrap_err();
+        assert!(matches!(err, WrapperError::Transient(_)));
+        // The good service's tick advanced its mark before the bad
+        // one failed; nothing of the sweep was persisted, so the
+        // whole burst must stay observable for a retry.
+        assert!(marks.is_empty(), "marks survived a failed sweep: {marks:?}");
     }
 
     #[test]

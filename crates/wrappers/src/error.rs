@@ -1,5 +1,6 @@
 //! Wrapper-layer errors.
 
+use crate::rate::RateDenied;
 use obs_model::SourceId;
 
 /// Errors surfaced by native APIs and wrappers.
@@ -11,6 +12,10 @@ pub enum WrapperError {
         /// Seconds until the bucket refills enough for one call.
         retry_after_secs: u64,
     },
+    /// The API's rate budget is exhausted and never refills (a
+    /// zero-rate service): no wait will help, so this is fatal for
+    /// the crawl rather than a pacing hint.
+    RateLimitExhausted,
     /// A transient failure (injected or simulated network flake);
     /// safe to retry.
     Transient(&'static str),
@@ -37,11 +42,25 @@ impl WrapperError {
     }
 }
 
+impl From<RateDenied> for WrapperError {
+    fn from(denied: RateDenied) -> Self {
+        match denied {
+            RateDenied::RetryAfter(retry_after_secs) => {
+                WrapperError::RateLimited { retry_after_secs }
+            }
+            RateDenied::Exhausted => WrapperError::RateLimitExhausted,
+        }
+    }
+}
+
 impl std::fmt::Display for WrapperError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WrapperError::RateLimited { retry_after_secs } => {
                 write!(f, "rate limited; retry after {retry_after_secs}s")
+            }
+            WrapperError::RateLimitExhausted => {
+                write!(f, "rate budget exhausted; the limit never refills")
             }
             WrapperError::Transient(what) => write!(f, "transient failure: {what}"),
             WrapperError::UnknownSource(id) => write!(f, "unknown source {id}"),
@@ -66,6 +85,7 @@ mod tests {
         }
         .is_retryable());
         assert!(WrapperError::Transient("flake").is_retryable());
+        assert!(!WrapperError::RateLimitExhausted.is_retryable());
         assert!(!WrapperError::UnknownSource(SourceId::new(1)).is_retryable());
         assert!(!WrapperError::BadCursor("x".into()).is_retryable());
         assert!(!WrapperError::MappingFailed {
@@ -73,6 +93,20 @@ mod tests {
             raw: "??".into()
         }
         .is_retryable());
+    }
+
+    #[test]
+    fn rate_denials_map_to_the_right_errors() {
+        assert_eq!(
+            WrapperError::from(RateDenied::RetryAfter(7)),
+            WrapperError::RateLimited {
+                retry_after_secs: 7
+            }
+        );
+        assert_eq!(
+            WrapperError::from(RateDenied::Exhausted),
+            WrapperError::RateLimitExhausted
+        );
     }
 
     #[test]

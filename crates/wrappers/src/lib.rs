@@ -33,9 +33,9 @@ pub mod observation;
 pub mod rate;
 pub mod service;
 
-pub use crawler::{CrawlReport, Crawler, CrawlerConfig, HighWaterMarks};
+pub use crawler::{CrawlReport, Crawler, CrawlerConfig, HighWaterMarks, SweepReport};
 pub use error::WrapperError;
 pub use fault::FaultPlan;
 pub use observation::{ContentItem, InteractionCounts, ItemKind, SourceObservation};
-pub use rate::TokenBucket;
+pub use rate::{RateDenied, TokenBucket};
 pub use service::{service_for, Cursor, DataService, Page, ServiceDescriptor};

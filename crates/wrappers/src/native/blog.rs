@@ -127,11 +127,16 @@ impl<'a> BlogApi<'a> {
         self
     }
 
+    /// Replaces the rate-limit bucket (quota-exhaustion hook for
+    /// tests — e.g. a zero-rate bucket that never refills).
+    pub fn with_rate_limit(mut self, bucket: TokenBucket) -> Self {
+        self.bucket = bucket;
+        self
+    }
+
     /// Fetches one page of posts (oldest first).
     pub fn posts_page(&mut self, now: Timestamp, page: usize) -> Result<BlogPage, WrapperError> {
-        self.bucket
-            .try_take(now)
-            .map_err(|retry_after_secs| WrapperError::RateLimited { retry_after_secs })?;
+        self.bucket.try_take(now).map_err(WrapperError::from)?;
         if self.faults.should_fail() {
             return Err(WrapperError::Transient("blog: 502 bad gateway"));
         }

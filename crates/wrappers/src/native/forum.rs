@@ -78,9 +78,7 @@ impl<'a> ForumApi<'a> {
     }
 
     fn meter(&mut self, now: Timestamp) -> Result<(), WrapperError> {
-        self.bucket
-            .try_take(now)
-            .map_err(|retry_after_secs| WrapperError::RateLimited { retry_after_secs })?;
+        self.bucket.try_take(now).map_err(WrapperError::from)?;
         if self.faults.should_fail() {
             return Err(WrapperError::Transient("forum: database timeout"));
         }

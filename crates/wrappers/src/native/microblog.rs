@@ -122,9 +122,7 @@ impl<'a> MicroblogApi<'a> {
         now: Timestamp,
         max_id: Option<u64>,
     ) -> Result<(Vec<StatusRecord>, Option<u64>), WrapperError> {
-        self.bucket
-            .try_take(now)
-            .map_err(|retry_after_secs| WrapperError::RateLimited { retry_after_secs })?;
+        self.bucket.try_take(now).map_err(WrapperError::from)?;
         if self.faults.should_fail() {
             return Err(WrapperError::Transient("microblog: over capacity"));
         }

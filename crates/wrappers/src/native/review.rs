@@ -75,9 +75,7 @@ impl<'a> ReviewApi<'a> {
     }
 
     fn meter(&mut self, now: Timestamp) -> Result<(), WrapperError> {
-        self.bucket
-            .try_take(now)
-            .map_err(|retry_after_secs| WrapperError::RateLimited { retry_after_secs })?;
+        self.bucket.try_take(now).map_err(WrapperError::from)?;
         if self.faults.should_fail() {
             return Err(WrapperError::Transient("reviews: upstream 503"));
         }

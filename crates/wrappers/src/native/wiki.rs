@@ -76,9 +76,7 @@ impl<'a> WikiApi<'a> {
         offset: usize,
         limit: usize,
     ) -> Result<(Vec<ArticleRecord>, usize), WrapperError> {
-        self.bucket
-            .try_take(now)
-            .map_err(|retry_after_secs| WrapperError::RateLimited { retry_after_secs })?;
+        self.bucket.try_take(now).map_err(WrapperError::from)?;
         if self.faults.should_fail() {
             return Err(WrapperError::Transient("wiki: replication lag"));
         }

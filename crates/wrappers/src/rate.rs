@@ -6,6 +6,19 @@
 
 use obs_model::Timestamp;
 
+/// Why a token could not be taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateDenied {
+    /// The bucket refills: retry after this many simulated seconds.
+    RetryAfter(u64),
+    /// The bucket never refills (zero rate): no finite wait will
+    /// ever produce a token. Callers must surface this as a hard
+    /// error instead of waiting — the previous encoding (a
+    /// `u64::MAX` wait) overflowed `Timestamp` arithmetic in any
+    /// caller that advanced its clock by the returned wait.
+    Exhausted,
+}
+
 /// A token bucket: capacity `burst`, refilled at `per_minute / 60`
 /// tokens per simulated second.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,18 +48,21 @@ impl TokenBucket {
         }
     }
 
-    /// Attempts to take one token at `now`. On failure returns the
-    /// simulated seconds to wait before the next token is available.
-    pub fn try_take(&mut self, now: Timestamp) -> Result<(), u64> {
+    /// Attempts to take one token at `now`. On failure reports how
+    /// long to wait — or that no wait will ever help, for a bucket
+    /// that never refills.
+    pub fn try_take(&mut self, now: Timestamp) -> Result<(), RateDenied> {
         self.refill(now);
         if self.tokens >= 1.0 {
             self.tokens -= 1.0;
             Ok(())
         } else if self.per_second <= 0.0 {
-            Err(u64::MAX)
+            Err(RateDenied::Exhausted)
         } else {
             let missing = 1.0 - self.tokens;
-            Err((missing / self.per_second).ceil() as u64)
+            Err(RateDenied::RetryAfter(
+                (missing / self.per_second).ceil() as u64
+            ))
         }
     }
 
@@ -70,7 +86,7 @@ mod tests {
         assert!(bucket.try_take(now).is_ok());
         assert!(bucket.try_take(now).is_ok());
         let wait = bucket.try_take(now).unwrap_err();
-        assert_eq!(wait, 1);
+        assert_eq!(wait, RateDenied::RetryAfter(1));
     }
 
     #[test]
@@ -92,11 +108,19 @@ mod tests {
     }
 
     #[test]
-    fn zero_rate_bucket_never_refills() {
+    fn zero_rate_bucket_reports_exhaustion_not_a_wait() {
         let now = Timestamp::EPOCH;
         let mut bucket = TokenBucket::new(1, 0, now);
         assert!(bucket.try_take(now).is_ok());
-        assert_eq!(bucket.try_take(now).unwrap_err(), u64::MAX);
+        // A finite wait here would be a lie — the bucket never
+        // refills, and advancing a clock by any encoded "wait
+        // forever" sentinel overflows Timestamp arithmetic.
+        assert_eq!(bucket.try_take(now).unwrap_err(), RateDenied::Exhausted);
+        let much_later = now.plus(obs_model::Duration::from_days(10_000));
+        assert_eq!(
+            bucket.try_take(much_later).unwrap_err(),
+            RateDenied::Exhausted
+        );
     }
 
     #[test]

@@ -4,10 +4,13 @@
 //! The demo winds an engine back to the midpoint of history and
 //! starts a [`LiveService`] over it. Three reader threads then
 //! hammer the snapshot store with queries while the main thread
-//! performs one incremental crawl tick per source — each tick is
-//! journaled (fsync), applied copy-on-write, and published as a new
-//! immutable snapshot. Readers never block on an in-flight apply;
-//! they just keep observing monotonically newer epochs.
+//! sweeps the sources in group-committed bursts
+//! ([`LiveService::tick_sweep`]): each burst crawls a batch of
+//! sources, journals every fresh per-source delta under **one**
+//! fsync, applies them in one amortized copy-on-write pass, and
+//! publishes one immutable snapshot. Readers never block on an
+//! in-flight apply; they just keep observing monotonically newer
+//! epochs — one per burst, never a mid-burst state.
 //!
 //! Finally the service is dropped without ceremony — a crash — and
 //! [`LiveService::recover`] rebuilds it from the checkpoint plus the
@@ -23,7 +26,7 @@ use informing_observers::live::LiveService;
 use informing_observers::model::{Clock, CorpusDelta, PostId, Timestamp};
 use informing_observers::search::{BlendWeights, SearchEngine};
 use informing_observers::synth::{World, WorldConfig};
-use informing_observers::wrappers::{service_for, Crawler, HighWaterMarks};
+use informing_observers::wrappers::{service_for, Crawler, DataService, HighWaterMarks};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -86,28 +89,45 @@ fn main() {
             });
         }
 
-        // The writer: one crawl tick per source, high-water marks
-        // seeded at the midpoint, every non-empty tick journaled,
-        // applied and published.
+        // The writer: the sources swept in group-committed bursts
+        // of 15, high-water marks seeded at the midpoint. Every
+        // burst journals its fresh per-source deltas under one
+        // fsync, applies them in one amortized pass and publishes
+        // one snapshot.
         let crawler = Crawler::default();
         let mut marks = HighWaterMarks::new();
         for source in world.corpus.sources() {
             marks.advance(source.id, midpoint);
         }
-        for source in world.corpus.sources() {
+        let mut sweeps = 0usize;
+        let mut publishes = 0usize;
+        for sources in world.corpus.sources().chunks(15) {
+            let mut services: Vec<Box<dyn DataService + '_>> = sources
+                .iter()
+                .map(|s| service_for(&world.corpus, s.id, world.now).unwrap())
+                .collect();
             let mut clock = Clock::starting_at(world.now);
-            let mut api = service_for(&world.corpus, source.id, world.now).unwrap();
+            let before = service.seq();
             service
-                .tick(&crawler, api.as_mut(), &mut clock, &mut marks)
-                .expect("tick");
+                .tick_sweep(&crawler, &mut services, &mut clock, &mut marks)
+                .expect("sweep");
+            sweeps += 1;
+            // A burst with no fresh content publishes nothing.
+            if service.seq() > before {
+                publishes += 1;
+            }
         }
         stop.store(true, Ordering::Relaxed);
+        println!(
+            "writer group-committed {} journaled deltas across {sweeps} sweeps \
+             ({publishes} published snapshots instead of one per delta)",
+            service.journal_len(),
+        );
     });
     println!(
-        "writer published {} snapshots ({} journaled deltas) while 3 readers \
-         served {} queries and observed {} epoch changes — no reader ever blocked",
+        "final seq {} while 3 readers served {} queries and observed {} epoch \
+         changes — no reader ever blocked, none saw a mid-burst state",
         service.seq(),
-        service.journal_len(),
         queries_served.load(Ordering::Relaxed),
         epochs_seen.load(Ordering::Relaxed),
     );
