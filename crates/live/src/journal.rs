@@ -151,6 +151,25 @@ struct StagedSuffix {
 /// known-clean length), never about a stale buffered tail that could
 /// fuse with a retry's bytes. Throughput is bounded by fsync, not by
 /// write syscalls, so buffering would buy nothing.
+///
+/// ```
+/// use obs_live::DeltaJournal;
+/// use obs_model::CorpusDelta;
+///
+/// let path = std::env::temp_dir()
+///     .join(format!("doc_journal_{}.journal", std::process::id()));
+/// let mut journal = DeltaJournal::create(&path)?;
+/// let seq = journal.append(&CorpusDelta::new())?;
+/// journal.sync()?; // durable — and acknowledged — from here on
+/// assert_eq!(seq, 1);
+///
+/// // Replay sees exactly the acknowledged records.
+/// let replay = DeltaJournal::replay_path(&path)?;
+/// assert_eq!(replay.records.len(), 1);
+/// assert_eq!(replay.records[0].seq, 1);
+/// std::fs::remove_file(&path).ok();
+/// # Ok::<(), obs_live::JournalError>(())
+/// ```
 #[derive(Debug)]
 pub struct DeltaJournal {
     path: PathBuf,

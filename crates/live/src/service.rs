@@ -193,13 +193,23 @@ impl LiveService {
     /// sources had fresh content. Returns the current sequence and
     /// the sweep report.
     ///
+    /// With `CrawlerConfig::workers > 1` the crawl half of the sweep
+    /// fans out across that many worker threads; the burst joins
+    /// back in service order, so the journal, the engine and the
+    /// published snapshot are byte-for-byte what a sequential sweep
+    /// produces (proptest-enforced at the workspace level). The
+    /// journal → fsync → apply → publish ordering is untouched:
+    /// parallelism ends at the join, before the first byte is
+    /// journaled.
+    ///
     /// Failure is all-or-nothing at both layers. A crawl failure
-    /// rolls back the marks the sweep had advanced (inside
-    /// `crawl_sweep`) before anything is journaled. If the journal
+    /// advances no mark (the sequential path rolls back the marks it
+    /// had advanced; the parallel path never advances them before
+    /// the join succeeds) and nothing is journaled. If the journal
     /// refuses the batch, **every participating source's** mark is
-    /// rolled back to its pre-sweep value: content the journal never
-    /// accepted must stay observable, or a retried sweep would skip
-    /// it forever.
+    /// rolled back to its pre-sweep value — including sources whose
+    /// crawls all succeeded: content the journal never accepted must
+    /// stay observable, or a retried sweep would skip it forever.
     pub fn tick_sweep(
         &mut self,
         crawler: &Crawler,
@@ -587,6 +597,104 @@ mod tests {
         assert_eq!(service.journal_len(), 0);
 
         // …and succeeds.
+        let (seq, report) = service
+            .tick_sweep(&crawler, &mut services, &mut clock, &mut marks)
+            .unwrap();
+        assert!(report.fresh_sources > 0);
+        assert_eq!(seq, report.fresh_sources as u64);
+        assert_eq!(service.doc_count(), engine.doc_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parallel_tick_sweep_produces_the_sequential_journal_and_engine() {
+        let (world, engine) = world_and_engine(514);
+        let stale = stale_engine(&world, &engine);
+        let midpoint = Timestamp(world.now.seconds() / 2);
+        let probe: Vec<String> = vec!["duomo".into(), "rooftop".into(), "castle".into()];
+
+        let run = |crawler: Crawler, tag: &str| {
+            let path = temp_path(tag);
+            let mut service = LiveService::start(stale.clone(), &path).unwrap();
+            let mut marks = HighWaterMarks::new();
+            for source in world.corpus.sources() {
+                marks.advance(source.id, midpoint);
+            }
+            let mut services: Vec<Box<dyn DataService + '_>> = world
+                .corpus
+                .sources()
+                .iter()
+                .map(|s| service_for(&world.corpus, s.id, world.now).unwrap())
+                .collect();
+            let mut clock = Clock::starting_at(world.now);
+            let (seq, report) = service
+                .tick_sweep(&crawler, &mut services, &mut clock, &mut marks)
+                .unwrap();
+            let journal = std::fs::read(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            (service, seq, report, journal, marks)
+        };
+
+        let (seq_service, seq_seq, seq_report, seq_journal, seq_marks) =
+            run(Crawler::default(), "seq_sweep");
+        let parallel = Crawler::new(obs_wrappers::CrawlerConfig {
+            workers: 4,
+            ..Default::default()
+        });
+        let (par_service, par_seq, par_report, par_journal, par_marks) = run(parallel, "par_sweep");
+
+        assert_eq!(seq_seq, par_seq);
+        assert_eq!(seq_report, par_report);
+        assert_eq!(seq_marks, par_marks);
+        assert_eq!(seq_journal, par_journal, "journals must be byte-identical");
+        let a = seq_service.reader().snapshot();
+        let b = par_service.reader().snapshot();
+        assert_eq!(a.engine().doc_count(), b.engine().doc_count());
+        assert_eq!(a.engine().query(&probe, 50), b.engine().query(&probe, 50));
+    }
+
+    #[test]
+    fn refused_parallel_sweep_batch_rolls_back_marks_of_succeeded_sources() {
+        // The all-or-nothing contract at the mark layer, under a
+        // *partially-failed* parallel sweep: every source's crawl
+        // succeeds (and would advance its mark), the batch is
+        // refused at fsync — and the marks of those succeeded
+        // sources must roll back with everything else, or a retried
+        // sweep would skip their content forever.
+        let (world, engine) = world_and_engine(515);
+        let stale = stale_engine(&world, &engine);
+        let path = temp_path("par_sweep_refused");
+        let mut service = LiveService::start(stale, &path).unwrap();
+        let crawler = Crawler::new(obs_wrappers::CrawlerConfig {
+            workers: 4,
+            ..Default::default()
+        });
+        let midpoint = Timestamp(world.now.seconds() / 2);
+        let mut marks = HighWaterMarks::new();
+        for source in world.corpus.sources() {
+            marks.advance(source.id, midpoint);
+        }
+        let pre_sweep = marks.clone();
+        let mut services: Vec<Box<dyn DataService + '_>> = world
+            .corpus
+            .sources()
+            .iter()
+            .map(|s| service_for(&world.corpus, s.id, world.now).unwrap())
+            .collect();
+        let mut clock = Clock::starting_at(world.now);
+
+        service.inject_journal_sync_failures(1);
+        let err = service
+            .tick_sweep(&crawler, &mut services, &mut clock, &mut marks)
+            .unwrap_err();
+        assert!(matches!(err, LiveError::Journal(_)), "{err:?}");
+        // Every mark — all of them belonging to sources whose crawls
+        // succeeded — is back at its pre-sweep reading.
+        assert_eq!(marks, pre_sweep);
+        assert_eq!(service.seq(), 0);
+        assert_eq!(service.journal_len(), 0);
+
+        // The retry re-observes the full burst and succeeds.
         let (seq, report) = service
             .tick_sweep(&crawler, &mut services, &mut clock, &mut marks)
             .unwrap();

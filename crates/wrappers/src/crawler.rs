@@ -16,6 +16,27 @@ use std::collections::HashMap;
 /// newest item each source has ever yielded. A tick loop keeps one
 /// of these across ticks so every [`Crawler::crawl_tick`] call only
 /// surfaces content the loop has not seen yet.
+///
+/// The mark is also the unit of crawl-side atomicity: when a tick's
+/// delta fails to persist, the mark is rolled back to its pre-tick
+/// reading so the unpersisted content stays observable for a retry.
+///
+/// ```
+/// use obs_model::{SourceId, Timestamp};
+/// use obs_wrappers::HighWaterMarks;
+///
+/// let mut marks = HighWaterMarks::new();
+/// let source = SourceId::new(7);
+///
+/// // A tick observed content up to day 3…
+/// let before = marks.since(source);
+/// marks.advance(source, Timestamp::from_days(3));
+/// assert_eq!(marks.since(source), Some(Timestamp::from_days(3)));
+///
+/// // …but persisting it failed: roll back so a retry re-observes.
+/// marks.rollback(source, before);
+/// assert_eq!(marks.since(source), None);
+/// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HighWaterMarks {
     marks: HashMap<SourceId, Timestamp>,
@@ -68,6 +89,17 @@ impl HighWaterMarks {
 }
 
 /// Crawl policy.
+///
+/// ```
+/// use obs_wrappers::{Crawler, CrawlerConfig};
+///
+/// // A sweep that fans per-source crawls out across 4 workers.
+/// let crawler = Crawler::new(CrawlerConfig {
+///     workers: 4,
+///     ..CrawlerConfig::default()
+/// });
+/// assert_eq!(crawler.config().workers, 4);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrawlerConfig {
     /// Maximum consecutive retries of a transient failure before
@@ -78,6 +110,13 @@ pub struct CrawlerConfig {
     pub backoff_secs: u64,
     /// Hard cap on fetched pages (runaway-cursor guard).
     pub max_pages: usize,
+    /// Worker threads a [`Crawler::crawl_sweep`] fans per-source
+    /// crawls across. `1` (the default) keeps the sweep sequential;
+    /// higher counts split the service list into contiguous chunks,
+    /// one scoped thread each. The burst a sweep returns is
+    /// byte-for-byte identical either way — see
+    /// [`Crawler::crawl_sweep`] for the determinism contract.
+    pub workers: usize,
 }
 
 impl Default for CrawlerConfig {
@@ -86,6 +125,7 @@ impl Default for CrawlerConfig {
             max_retries: 5,
             backoff_secs: 30,
             max_pages: 100_000,
+            workers: 1,
         }
     }
 }
@@ -138,6 +178,11 @@ impl Crawler {
     /// Creates a driver with the given policy.
     pub fn new(config: CrawlerConfig) -> Self {
         Crawler { config }
+    }
+
+    /// The policy this driver runs under.
+    pub fn config(&self) -> &CrawlerConfig {
+        &self.config
     }
 
     /// Fully crawls a service, advancing `clock` across waits.
@@ -264,11 +309,81 @@ impl Crawler {
     /// shippable delta with
     /// [`CorpusDelta::coalesce`](obs_model::CorpusDelta::coalesce).
     ///
+    /// With [`CrawlerConfig::workers`] > 1 the per-source crawls fan
+    /// out across that many scoped worker threads (each service is
+    /// handed to exactly one worker), and the results are joined
+    /// back **in service order**. Parallel and sequential sweeps are
+    /// equivalent down to the byte: the native APIs serve content
+    /// independently of the polling instant (only rate metering
+    /// reads the clock, and every bucket starts full), so each
+    /// worker crawling on a private clock observes exactly the items
+    /// the sequential sweep would have, and the slot-ordered join
+    /// reassembles the identical burst. The workspace property suite
+    /// pins this down to byte-identical journals and bit-identical
+    /// BM25 maps.
+    ///
     /// All-or-nothing on the crawl side too: if any service's tick
-    /// fails, every high-water mark the sweep already advanced is
-    /// rolled back — none of the burst was persisted, so all of it
-    /// must stay observable for the retry.
+    /// fails, no high-water mark moves — the sequential path rolls
+    /// back every mark it had advanced, and the parallel path only
+    /// advances marks after every worker has succeeded. None of the
+    /// burst was persisted, so all of it must stay observable for
+    /// the retry. A worker that *panics* cannot poison the others:
+    /// workers share no mutable state, every sibling is joined
+    /// before the panic is resumed on the caller's thread, and the
+    /// marks are untouched.
+    ///
+    /// Two caveats on the *failure* path (the success path is
+    /// byte-deterministic regardless): when exactly one service
+    /// fails, the parallel sweep returns precisely the error the
+    /// sequential sweep would have returned; with several failing at
+    /// once, which one is surfaced depends on worker timing (once a
+    /// failure is observed, siblings stop starting new crawls rather
+    /// than finish doomed work). And per-service *internal* state
+    /// after a failed sweep — token-bucket levels, fault-plan
+    /// counters — is unspecified: a parallel sweep may have crawled
+    /// services a sequential sweep would never have reached.
+    /// Equivalence is defined over the sweep's outputs: burst,
+    /// marks, reports, and (single-failure) error.
+    ///
+    /// Clock accounting differs between the two modes in the one way
+    /// parallelism is the point: the sequential sweep advances
+    /// `clock` by the *sum* of every service's simulated waits,
+    /// while the parallel sweep advances it by the *maximum* over
+    /// workers — concurrent waits overlap. (On a failed parallel
+    /// sweep the clock is left at the sweep start.) The per-source
+    /// [`CrawlReport`]s, and therefore the aggregate
+    /// [`SweepReport`], are identical in both modes *when every
+    /// token bucket is full at the sweep start* — a freshly-opened
+    /// service list, or persistent services given enough simulated
+    /// idle time to refill. Across back-to-back sweeps over
+    /// persistent, still-depleted services the two modes enter the
+    /// next sweep at different simulated instants (sum vs max), so
+    /// the *wait accounting* (`rate_limit_waits`, `waited_secs`) may
+    /// diverge; the burst, marks and journal bytes are identical
+    /// regardless, because rate denials never change which items a
+    /// crawl ultimately observes.
     pub fn crawl_sweep(
+        &self,
+        services: &mut [Box<dyn DataService + '_>],
+        clock: &mut Clock,
+        marks: &mut HighWaterMarks,
+    ) -> Result<(Vec<CorpusDelta>, SweepReport), WrapperError> {
+        // A sweep with two services over the same source only works
+        // sequentially (the first tick's mark advance is what makes
+        // the second tick empty; workers pre-read the marks and
+        // would observe the backlog twice). Registries register a
+        // source once, so this is a degenerate input — but byte
+        // equivalence must hold for it too.
+        let mut seen = std::collections::HashSet::new();
+        let distinct = services.iter().all(|s| seen.insert(s.descriptor().source));
+        if self.config.workers <= 1 || services.len() <= 1 || !distinct {
+            self.crawl_sweep_sequential(services, clock, marks)
+        } else {
+            self.crawl_sweep_parallel(services, clock, marks)
+        }
+    }
+
+    fn crawl_sweep_sequential(
         &self,
         services: &mut [Box<dyn DataService + '_>],
         clock: &mut Clock,
@@ -295,6 +410,132 @@ impl Crawler {
                     return Err(e);
                 }
             }
+        }
+        Ok((deltas, sweep))
+    }
+
+    fn crawl_sweep_parallel(
+        &self,
+        services: &mut [Box<dyn DataService + '_>],
+        clock: &mut Clock,
+        marks: &mut HighWaterMarks,
+    ) -> Result<(Vec<CorpusDelta>, SweepReport), WrapperError> {
+        // Pre-read every mark on the caller's thread: the workers
+        // never touch the shared `marks`, so a failure anywhere
+        // leaves them untouched by construction.
+        let sinces: Vec<Option<Timestamp>> = services
+            .iter()
+            .map(|s| marks.since(s.descriptor().source))
+            .collect();
+        let start = clock.now();
+        let workers = self.config.workers.min(services.len());
+        let chunk_len = services.len().div_ceil(workers);
+        let crawler = *self;
+
+        // One worker per contiguous chunk of services. Results come
+        // back through the join handles — workers share no mutable
+        // state, so a panicking or failing worker cannot poison a
+        // sibling. The failure flag is advisory: once any worker
+        // fails, siblings stop *starting* services (the sweep is
+        // doomed, so further crawls are wasted work and — behind a
+        // latency decorator — wasted wall clock). Services a worker
+        // already started or skipped may still end up with different
+        // bucket/fault-counter state than a sequential sweep would
+        // have left, which is why equivalence is defined over the
+        // sweep's *outputs* (burst, marks, error), and why callers
+        // that retry after a failure should treat per-service
+        // internal state as unspecified.
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        type Slot = Result<(SourceId, CorpusDelta, CrawlReport, Option<Timestamp>), WrapperError>;
+        let joined: Vec<std::thread::Result<(Vec<Slot>, Timestamp)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = services
+                    .chunks_mut(chunk_len)
+                    .zip(sinces.chunks(chunk_len))
+                    .map(|(chunk, chunk_sinces)| {
+                        let failed = &failed;
+                        scope.spawn(move || {
+                            let mut local = Clock::starting_at(start);
+                            let mut slots: Vec<Slot> = Vec::with_capacity(chunk.len());
+                            for (service, &since) in chunk.iter_mut().zip(chunk_sinces) {
+                                if failed.load(std::sync::atomic::Ordering::Relaxed) {
+                                    break;
+                                }
+                                let source = service.descriptor().source;
+                                match crawler.crawl_since(service.as_mut(), &mut local, since) {
+                                    Ok((observation, report)) => {
+                                        let newest =
+                                            observation.items.iter().map(|i| i.published).max();
+                                        slots.push(Ok((
+                                            source,
+                                            observation.to_delta(),
+                                            report,
+                                            newest,
+                                        )));
+                                    }
+                                    Err(e) => {
+                                        // The sequential sweep stops at
+                                        // its first failing service;
+                                        // this chunk does too.
+                                        failed.store(true, std::sync::atomic::Ordering::Relaxed);
+                                        slots.push(Err(e));
+                                        break;
+                                    }
+                                }
+                            }
+                            (slots, local.now())
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join()).collect()
+            });
+
+        // Every worker is joined by now; only then is a panic
+        // resumed, so no sibling was abandoned mid-crawl.
+        let mut chunks = Vec::with_capacity(joined.len());
+        for outcome in joined {
+            match outcome {
+                Ok(chunk) => chunks.push(chunk),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+
+        // Slot-ordered join: chunks are contiguous, so draining them
+        // in spawn order reassembles the burst in service order —
+        // exactly the sequential sweep's output. Marks advance only
+        // after the whole scan proves failure-free; the first error
+        // in service order (the one the sequential sweep would have
+        // hit first among the services it reached) is returned with
+        // the marks and the clock untouched.
+        let mut deltas = Vec::new();
+        let mut sweep = SweepReport::default();
+        let mut advances = Vec::new();
+        let mut end = start;
+        for (slots, worker_end) in chunks {
+            if worker_end > end {
+                end = worker_end;
+            }
+            for slot in slots {
+                let (source, delta, report, newest) = slot?;
+                sweep.sources += 1;
+                sweep.crawl.absorb(report);
+                if let Some(newest) = newest {
+                    advances.push((source, newest));
+                }
+                if !delta.is_empty() {
+                    sweep.fresh_sources += 1;
+                    deltas.push(delta);
+                }
+            }
+        }
+        for (source, newest) in advances {
+            marks.advance(source, newest);
+        }
+        // Parallel wall-clock semantics: concurrent simulated waits
+        // overlap, so the sweep costs the slowest worker, not the
+        // sum of all of them.
+        if end > start {
+            clock.advance(end.since(start));
         }
         Ok((deltas, sweep))
     }
@@ -669,6 +910,191 @@ mod tests {
         // one failed; nothing of the sweep was persisted, so the
         // whole burst must stay observable for a retry.
         assert!(marks.is_empty(), "marks survived a failed sweep: {marks:?}");
+    }
+
+    #[test]
+    fn parallel_sweep_burst_is_identical_to_sequential() {
+        let w = world();
+        let sequential = Crawler::default();
+        for workers in [2, 3, 8, 64] {
+            let parallel = Crawler::new(CrawlerConfig {
+                workers,
+                ..CrawlerConfig::default()
+            });
+
+            let mut seq_services: Vec<Box<dyn DataService + '_>> = w
+                .corpus
+                .sources()
+                .iter()
+                .map(|s| service_for(&w.corpus, s.id, w.now).unwrap())
+                .collect();
+            let mut seq_marks = HighWaterMarks::new();
+            let mut seq_clock = Clock::starting_at(w.now);
+            let (seq_deltas, seq_report) = sequential
+                .crawl_sweep(&mut seq_services, &mut seq_clock, &mut seq_marks)
+                .unwrap();
+
+            let mut par_services: Vec<Box<dyn DataService + '_>> = w
+                .corpus
+                .sources()
+                .iter()
+                .map(|s| service_for(&w.corpus, s.id, w.now).unwrap())
+                .collect();
+            let mut par_marks = HighWaterMarks::new();
+            let mut par_clock = Clock::starting_at(w.now);
+            let (par_deltas, par_report) = parallel
+                .crawl_sweep(&mut par_services, &mut par_clock, &mut par_marks)
+                .unwrap();
+
+            // Same burst in the same order, same aggregate report,
+            // same post-sweep marks — worker count is invisible in
+            // everything but wall clock.
+            assert_eq!(seq_deltas, par_deltas, "workers = {workers}");
+            assert_eq!(seq_report, par_report, "workers = {workers}");
+            assert_eq!(seq_marks, par_marks, "workers = {workers}");
+
+            // A second parallel sweep observes nothing new.
+            let (again, report2) = parallel
+                .crawl_sweep(&mut par_services, &mut par_clock, &mut par_marks)
+                .unwrap();
+            assert!(again.is_empty());
+            assert_eq!(report2.fresh_sources, 0);
+        }
+    }
+
+    #[test]
+    fn duplicate_source_services_keep_sequential_semantics_at_any_worker_count() {
+        // Two services over the same source: only the first may
+        // yield content (its tick advances the shared mark). A
+        // parallel sweep pre-reads marks and would observe the
+        // backlog twice, so it must detect the duplicate and fall
+        // back to the sequential path.
+        let w = world();
+        let s = w
+            .corpus
+            .sources()
+            .iter()
+            .find(|s| !w.corpus.discussions_of_source(s.id).is_empty())
+            .unwrap();
+        for workers in [1, 4] {
+            let mut services: Vec<Box<dyn DataService + '_>> = vec![
+                service_for(&w.corpus, s.id, w.now).unwrap(),
+                service_for(&w.corpus, s.id, w.now).unwrap(),
+            ];
+            let crawler = Crawler::new(CrawlerConfig {
+                workers,
+                ..CrawlerConfig::default()
+            });
+            let mut marks = HighWaterMarks::new();
+            let mut clock = Clock::starting_at(w.now);
+            let (deltas, sweep) = crawler
+                .crawl_sweep(&mut services, &mut clock, &mut marks)
+                .unwrap();
+            assert_eq!(
+                deltas.len(),
+                1,
+                "workers = {workers}: the duplicate service re-observed the backlog"
+            );
+            assert_eq!(sweep.sources, 2);
+            assert_eq!(sweep.fresh_sources, 1);
+        }
+    }
+
+    #[test]
+    fn failed_parallel_sweep_advances_no_mark() {
+        let w = world();
+        let blogs: Vec<_> = w
+            .corpus
+            .sources()
+            .iter()
+            .filter(|s| {
+                s.kind == SourceKind::Blog && !w.corpus.discussions_of_source(s.id).is_empty()
+            })
+            .collect();
+        assert!(blogs.len() >= 2, "world needs two content-bearing blogs");
+        let (good, bad) = (blogs[0].id, blogs[1].id);
+
+        let bad_api = BlogApi::open(&w.corpus, bad, w.now)
+            .unwrap()
+            .with_faults(FaultPlan::every(1)); // always fail
+        let mut services: Vec<Box<dyn DataService + '_>> = vec![
+            service_for(&w.corpus, good, w.now).unwrap(),
+            Box::new(
+                BlogService::open(&w.corpus, bad, w.now)
+                    .unwrap()
+                    .with_api(bad_api),
+            ),
+        ];
+        let crawler = Crawler::new(CrawlerConfig {
+            max_retries: 2,
+            workers: 2,
+            ..CrawlerConfig::default()
+        });
+        let mut marks = HighWaterMarks::new();
+        let mut clock = Clock::starting_at(w.now);
+        let err = crawler
+            .crawl_sweep(&mut services, &mut clock, &mut marks)
+            .unwrap_err();
+        assert!(matches!(err, WrapperError::Transient(_)));
+        // The good service's worker crawled to completion, but marks
+        // only advance after every worker succeeds: nothing of the
+        // burst was persisted, so all of it stays observable.
+        assert!(marks.is_empty(), "marks survived a failed sweep: {marks:?}");
+        // The failed sweep leaves the clock at the sweep start.
+        assert_eq!(clock.now(), w.now);
+    }
+
+    /// A service whose fetch panics — a worker crash, not an error.
+    struct PanickingService {
+        descriptor: crate::service::ServiceDescriptor,
+    }
+
+    impl DataService for PanickingService {
+        fn descriptor(&self) -> &crate::service::ServiceDescriptor {
+            &self.descriptor
+        }
+
+        fn fetch(
+            &mut self,
+            _now: Timestamp,
+            _cursor: Option<Cursor>,
+        ) -> Result<crate::service::Page, WrapperError> {
+            panic!("worker crash injected by test");
+        }
+    }
+
+    #[test]
+    fn panicked_worker_is_resumed_after_siblings_join_and_marks_stay_put() {
+        let w = world();
+        let mut services: Vec<Box<dyn DataService + '_>> = w
+            .corpus
+            .sources()
+            .iter()
+            .map(|s| service_for(&w.corpus, s.id, w.now).unwrap())
+            .collect();
+        services.push(Box::new(PanickingService {
+            descriptor: crate::service::ServiceDescriptor {
+                // A source id no real service in the sweep wraps —
+                // a duplicate would route the sweep down the
+                // sequential path.
+                source: SourceId::new(9_999),
+                kind: SourceKind::Blog,
+                name: "doomed".to_owned(),
+            },
+        }));
+        let crawler = Crawler::new(CrawlerConfig {
+            workers: 4,
+            ..CrawlerConfig::default()
+        });
+        let mut marks = HighWaterMarks::new();
+        let mut clock = Clock::starting_at(w.now);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crawler.crawl_sweep(&mut services, &mut clock, &mut marks)
+        }));
+        // The panic propagates to the caller (after every sibling
+        // worker was joined), and no mark moved.
+        assert!(outcome.is_err(), "worker panic must surface");
+        assert!(marks.is_empty(), "marks survived a panicked sweep");
     }
 
     #[test]

@@ -20,14 +20,20 @@
 //!   native API (field mapping, date parsing, id resolution);
 //! * [`rate`] — a token-bucket rate limiter shared by the native APIs;
 //! * [`fault`] — deterministic fault injection for resilience tests;
-//! * [`crawler`] — an incremental crawl driver with retry/backoff and
-//!   per-source cursors.
+//! * [`latency`] — a real-time round-trip decorator modelling the
+//!   network-bound nature of live crawls (what parallel sweeps
+//!   overlap);
+//! * [`crawler`] — an incremental crawl driver with retry/backoff,
+//!   per-source cursors, and a multi-source sweep that optionally
+//!   fans per-source crawls across worker threads
+//!   ([`CrawlerConfig::workers`]).
 
 #![warn(missing_docs)]
 
 pub mod crawler;
 mod error;
 pub mod fault;
+pub mod latency;
 pub mod native;
 pub mod observation;
 pub mod rate;
@@ -36,6 +42,7 @@ pub mod service;
 pub use crawler::{CrawlReport, Crawler, CrawlerConfig, HighWaterMarks, SweepReport};
 pub use error::WrapperError;
 pub use fault::FaultPlan;
+pub use latency::SimulatedLatency;
 pub use observation::{ContentItem, InteractionCounts, ItemKind, SourceObservation};
 pub use rate::{RateDenied, TokenBucket};
 pub use service::{service_for, Cursor, DataService, Page, ServiceDescriptor};

@@ -42,7 +42,17 @@ pub struct ServiceDescriptor {
 
 /// A wrapper exposing one source's contents through the uniform
 /// model — the paper's *data service*.
-pub trait DataService {
+///
+/// `Send` is a supertrait so a parallel sweep
+/// ([`Crawler::crawl_sweep`](crate::Crawler::crawl_sweep)) can hand
+/// each service to its own worker thread. Every adapter in this
+/// crate satisfies it automatically: the only shared state a service
+/// holds is an immutable `&Corpus` borrow (the corpus is plain owned
+/// data, hence `Sync`), and everything mutable — pagination cursors,
+/// [`TokenBucket`](crate::TokenBucket) tokens,
+/// [`FaultPlan`](crate::FaultPlan) counters — is per-service interior
+/// state owned by exactly one worker at a time.
+pub trait DataService: Send {
     /// Identity of the wrapped source.
     fn descriptor(&self) -> &ServiceDescriptor;
 
@@ -279,6 +289,12 @@ impl<'a> ForumService<'a> {
             api: forum::ForumApi::open(corpus, source, now)?,
         })
     }
+
+    /// Replaces the underlying API (fault-injection hook for tests).
+    pub fn with_api(mut self, api: forum::ForumApi<'a>) -> Self {
+        self.api = api;
+        self
+    }
 }
 
 impl DataService for ForumService<'_> {
@@ -370,6 +386,12 @@ impl<'a> MicroblogService<'a> {
             api: microblog::MicroblogApi::open(corpus, source, now)?,
         })
     }
+
+    /// Replaces the underlying API (fault-injection hook for tests).
+    pub fn with_api(mut self, api: microblog::MicroblogApi<'a>) -> Self {
+        self.api = api;
+        self
+    }
 }
 
 impl DataService for MicroblogService<'_> {
@@ -424,6 +446,12 @@ impl<'a> ReviewService<'a> {
             base: AdapterBase::new(corpus, source)?,
             api: review::ReviewApi::open(corpus, source, now)?,
         })
+    }
+
+    /// Replaces the underlying API (fault-injection hook for tests).
+    pub fn with_api(mut self, api: review::ReviewApi<'a>) -> Self {
+        self.api = api;
+        self
     }
 }
 
@@ -514,6 +542,12 @@ impl<'a> WikiService<'a> {
             base: AdapterBase::new(corpus, source)?,
             api: wiki::WikiApi::open(corpus, source, now)?,
         })
+    }
+
+    /// Replaces the underlying API (fault-injection hook for tests).
+    pub fn with_api(mut self, api: wiki::WikiApi<'a>) -> Self {
+        self.api = api;
+        self
     }
 }
 

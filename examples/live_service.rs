@@ -6,11 +6,14 @@
 //! hammer the snapshot store with queries while the main thread
 //! sweeps the sources in group-committed bursts
 //! ([`LiveService::tick_sweep`]): each burst crawls a batch of
-//! sources, journals every fresh per-source delta under **one**
-//! fsync, applies them in one amortized copy-on-write pass, and
-//! publishes one immutable snapshot. Readers never block on an
-//! in-flight apply; they just keep observing monotonically newer
-//! epochs — one per burst, never a mid-burst state.
+//! sources — fanned across **4 worker threads**
+//! (`CrawlerConfig::workers`), joined back in source order so the
+//! burst is byte-identical to a sequential crawl — journals every
+//! fresh per-source delta under **one** fsync, applies them in one
+//! amortized copy-on-write pass, and publishes one immutable
+//! snapshot. Readers never block on an in-flight apply; they just
+//! keep observing monotonically newer epochs — one per burst, never
+//! a mid-burst state.
 //!
 //! Finally the service is dropped without ceremony — a crash — and
 //! [`LiveService::recover`] rebuilds it from the checkpoint plus the
@@ -26,7 +29,9 @@ use informing_observers::live::LiveService;
 use informing_observers::model::{Clock, CorpusDelta, PostId, Timestamp};
 use informing_observers::search::{BlendWeights, SearchEngine};
 use informing_observers::synth::{World, WorldConfig};
-use informing_observers::wrappers::{service_for, Crawler, DataService, HighWaterMarks};
+use informing_observers::wrappers::{
+    service_for, Crawler, CrawlerConfig, DataService, HighWaterMarks,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -90,11 +95,15 @@ fn main() {
         }
 
         // The writer: the sources swept in group-committed bursts
-        // of 15, high-water marks seeded at the midpoint. Every
-        // burst journals its fresh per-source deltas under one
-        // fsync, applies them in one amortized pass and publishes
-        // one snapshot.
-        let crawler = Crawler::default();
+        // of 15, each burst's crawls fanned across 4 worker threads,
+        // high-water marks seeded at the midpoint. Every burst
+        // journals its fresh per-source deltas under one fsync,
+        // applies them in one amortized pass and publishes one
+        // snapshot.
+        let crawler = Crawler::new(CrawlerConfig {
+            workers: 4,
+            ..CrawlerConfig::default()
+        });
         let mut marks = HighWaterMarks::new();
         for source in world.corpus.sources() {
             marks.advance(source.id, midpoint);
@@ -120,7 +129,8 @@ fn main() {
         stop.store(true, Ordering::Relaxed);
         println!(
             "writer group-committed {} journaled deltas across {sweeps} sweeps \
-             ({publishes} published snapshots instead of one per delta)",
+             of 4 crawl workers each ({publishes} published snapshots instead \
+             of one per delta)",
             service.journal_len(),
         );
     });

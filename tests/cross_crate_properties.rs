@@ -273,6 +273,242 @@ proptest! {
     }
 
     #[test]
+    fn parallel_sweep_equals_sequential_sweep(seed in 0u64..10_000, workers in 2usize..6) {
+        // The crawl fan-out must be invisible in everything durable:
+        // a parallel `tick_sweep` and a sequential one, fed the same
+        // world, must produce byte-identical journals, bit-identical
+        // BM25 maps / static scores / rankings, and identical
+        // high-water marks — including when crawls fail transiently
+        // (retried to success), fail fatally, or the journal's fsync
+        // refuses the batch.
+        use informing_observers::wrappers::native::{blog, forum, microblog, review, wiki};
+        use informing_observers::wrappers::service::{
+            BlogService, ForumService, MicroblogService, ReviewService, WikiService,
+        };
+        use informing_observers::wrappers::{
+            CrawlerConfig, DataService, FaultPlan, HighWaterMarks,
+        };
+        use obs_model::SourceKind;
+
+        let world = tiny_world(seed);
+        let panel = AlexaPanel::simulate(&world, seed);
+        let links = LinkGraph::simulate(&world, seed ^ 1);
+        let scratch =
+            SearchEngine::build(&world.corpus, &panel, &links, BlendWeights::default());
+        let midpoint = Timestamp(world.now.seconds() / 2);
+        let recent: Vec<PostId> = world
+            .corpus
+            .posts()
+            .iter()
+            .filter(|p| p.published > midpoint)
+            .map(|p| p.id)
+            .collect();
+        prop_assert!(!recent.is_empty());
+        let mut checkpoint = scratch.clone();
+        checkpoint.apply_delta(&CorpusDelta::for_removals(&world.corpus, &recent).unwrap());
+        // The fault target: the seed-keyed "middle" source, whatever
+        // its kind (kinds are a random mix, so no kind is
+        // guaranteed to exist).
+        let target = world.corpus.sources()[world.corpus.sources().len() / 2].id;
+
+        // Builds the target's service with a fault plan installed on
+        // its native API, for any source kind.
+        let faulted = |plan: FaultPlan| -> Box<dyn DataService + '_> {
+            let (corpus, now) = (&world.corpus, world.now);
+            let kind = corpus.source(target).unwrap().kind;
+            match kind {
+                SourceKind::Blog => Box::new(
+                    BlogService::open(corpus, target, now).unwrap().with_api(
+                        blog::BlogApi::open(corpus, target, now)
+                            .unwrap()
+                            .with_faults(plan),
+                    ),
+                ),
+                SourceKind::Forum => Box::new(
+                    ForumService::open(corpus, target, now).unwrap().with_api(
+                        forum::ForumApi::open(corpus, target, now)
+                            .unwrap()
+                            .with_faults(plan),
+                    ),
+                ),
+                SourceKind::Microblog => Box::new(
+                    MicroblogService::open(corpus, target, now)
+                        .unwrap()
+                        .with_api(
+                            microblog::MicroblogApi::open(corpus, target, now)
+                                .unwrap()
+                                .with_faults(plan),
+                        ),
+                ),
+                SourceKind::ReviewSite => Box::new(
+                    ReviewService::open(corpus, target, now).unwrap().with_api(
+                        review::ReviewApi::open(corpus, target, now)
+                            .unwrap()
+                            .with_faults(plan),
+                    ),
+                ),
+                SourceKind::Wiki => Box::new(
+                    WikiService::open(corpus, target, now).unwrap().with_api(
+                        wiki::WikiApi::open(corpus, target, now)
+                            .unwrap()
+                            .with_faults(plan),
+                    ),
+                ),
+            }
+        };
+
+        // Service lists are rebuilt per variant (fault plans and
+        // token buckets carry per-instance state). `faults` injects
+        // the plan on the target source; with a *transient* plan and
+        // retry budget to spare, both sweep modes retry it to the
+        // same success.
+        let build_services = |faults: Option<FaultPlan>| -> Vec<Box<dyn DataService + '_>> {
+            world
+                .corpus
+                .sources()
+                .iter()
+                .map(|s| -> Box<dyn DataService + '_> {
+                    match &faults {
+                        Some(plan) if s.id == target => faulted(plan.clone()),
+                        _ => service_for(&world.corpus, s.id, world.now).unwrap(),
+                    }
+                })
+                .collect()
+        };
+
+        let tag = std::process::id();
+        let run = |variant: &str, crawler_workers: usize| {
+            let path = std::env::temp_dir().join(format!(
+                "obs_live_par_prop_{variant}_{tag}_{seed}_{crawler_workers}.journal"
+            ));
+            let crawler = Crawler::new(CrawlerConfig {
+                workers: crawler_workers,
+                max_retries: 2,
+                ..CrawlerConfig::default()
+            });
+            let mut service = LiveService::start(checkpoint.clone(), &path).unwrap();
+            let mut marks = HighWaterMarks::new();
+            for source in world.corpus.sources() {
+                marks.advance(source.id, midpoint);
+            }
+            let pre_sweep = marks.clone();
+
+            // Phase 1 — a fatally-failing blog (faults every call,
+            // beyond the retry budget): the sweep errors and no mark
+            // moves, in either mode.
+            let mut services = build_services(Some(FaultPlan::every(1)));
+            let mut clock = Clock::starting_at(world.now);
+            let fatal = service
+                .tick_sweep(&crawler, &mut services, &mut clock, &mut marks)
+                .expect_err("a blog failing every call must fail the sweep");
+            assert_eq!(marks, pre_sweep, "failed sweep moved a mark");
+
+            // Phase 2 — the journal refuses the batch: every crawl
+            // succeeds, fsync fails, every mark rolls back.
+            let mut services = build_services(None);
+            let mut clock = Clock::starting_at(world.now);
+            service.inject_journal_sync_failures(1);
+            let refused = service
+                .tick_sweep(&crawler, &mut services, &mut clock, &mut marks)
+                .expect_err("injected fsync failure must refuse the batch");
+            assert_eq!(marks, pre_sweep, "refused batch left a mark advanced");
+            let journal_after_refusal = std::fs::read(&path).unwrap();
+
+            // Phase 3 — transient faults on the target. Depending on
+            // how many native calls the target's adapter makes per
+            // fetch, the retry budget may or may not absorb them;
+            // either way both sweep modes must land on the same
+            // outcome (and all-or-nothing holds: an error leaves the
+            // marks at pre-sweep, a success lands the full burst).
+            let mut services = build_services(Some(FaultPlan::every(2)));
+            let mut clock = Clock::starting_at(world.now);
+            let transient =
+                service.tick_sweep(&crawler, &mut services, &mut clock, &mut marks);
+            if transient.is_err() {
+                assert_eq!(marks, pre_sweep, "failed transient sweep moved a mark");
+            }
+
+            // Phase 4 — a clean sweep: always succeeds, catching up
+            // whatever phase 3 did not land (possibly nothing).
+            let mut services = build_services(None);
+            let mut clock = Clock::starting_at(world.now);
+            let (seq, report) = service
+                .tick_sweep(&crawler, &mut services, &mut clock, &mut marks)
+                .expect("clean sweep must succeed");
+            (
+                service,
+                path,
+                format!("{fatal:?}"),
+                format!("{refused:?}"),
+                journal_after_refusal,
+                format!("{transient:?}"),
+                seq,
+                report,
+                marks,
+            )
+        };
+
+        let (
+            seq_service,
+            seq_path,
+            seq_fatal,
+            seq_refused,
+            seq_jr,
+            seq_transient,
+            seq_seq,
+            seq_report,
+            seq_marks,
+        ) = run("seq", 1);
+        let (
+            par_service,
+            par_path,
+            par_fatal,
+            par_refused,
+            par_jr,
+            par_transient,
+            par_seq,
+            par_report,
+            par_marks,
+        ) = run("par", workers);
+
+        // Failures are equivalent too: same errors (and the same
+        // transient outcome, whichever way it went), same (lack of)
+        // journal bytes after the refused batch.
+        prop_assert_eq!(seq_fatal, par_fatal);
+        prop_assert_eq!(seq_refused, par_refused);
+        prop_assert_eq!(seq_jr, par_jr);
+        prop_assert_eq!(seq_transient, par_transient);
+
+        // The successful sweep: same sequence, same report, same
+        // marks, byte-identical journals, bit-identical engines.
+        prop_assert_eq!(seq_seq, par_seq);
+        prop_assert_eq!(seq_report, par_report);
+        prop_assert_eq!(seq_marks, par_marks);
+        prop_assert_eq!(
+            std::fs::read(&par_path).unwrap(),
+            std::fs::read(&seq_path).unwrap(),
+            "parallel sweep journal must be byte-identical to the sequential one"
+        );
+        let terms = probe_terms(&world);
+        let a = seq_service.reader().snapshot();
+        let b = par_service.reader().snapshot();
+        prop_assert_eq!(a.engine().doc_count(), b.engine().doc_count());
+        prop_assert_eq!(
+            bm25_scores(a.engine().index(), &terms, Bm25Params::default()),
+            bm25_scores(b.engine().index(), &terms, Bm25Params::default())
+        );
+        for s in world.corpus.sources() {
+            prop_assert_eq!(
+                a.engine().static_score(s.id),
+                b.engine().static_score(s.id)
+            );
+        }
+        prop_assert_eq!(a.engine().query(&terms, 20), b.engine().query(&terms, 20));
+        std::fs::remove_file(&seq_path).ok();
+        std::fs::remove_file(&par_path).ok();
+    }
+
+    #[test]
     fn crawls_always_match_ground_truth(seed in 0u64..10_000) {
         let world = tiny_world(seed);
         let crawler = Crawler::default();
