@@ -20,6 +20,17 @@ pub enum LiveError {
         /// First sequence the journal still holds.
         journal_first_seq: u64,
     },
+    /// One shard of a sharded service refused its slice of a routed
+    /// batch. Shards are independent failure domains: the other
+    /// shards' commits stand, and only the sources routed to the
+    /// failed shard need re-observation (their high-water marks are
+    /// rolled back by the sharded sweep path).
+    ShardCommit {
+        /// Index of the first shard whose commit failed.
+        shard: usize,
+        /// The underlying failure on that shard.
+        cause: Box<LiveError>,
+    },
 }
 
 impl fmt::Display for LiveError {
@@ -36,6 +47,9 @@ impl fmt::Display for LiveError {
                  (first retained record is seq {journal_first_seq}); \
                  deltas in between are lost"
             ),
+            LiveError::ShardCommit { shard, cause } => {
+                write!(f, "shard {shard} refused its slice of the batch: {cause}")
+            }
         }
     }
 }

@@ -32,6 +32,13 @@
 //!   order), and one published snapshot. Readers only ever observe
 //!   batch boundaries; recovery replays the per-delta records and
 //!   lands on the identical engine by construction.
+//! * **Sharding** — [`ShardedLiveService`] partitions the corpus by
+//!   source id ([`ShardRouter`]): every shard owns its own journal +
+//!   writer + snapshot column, routed sub-batches commit in parallel,
+//!   recovery replays each shard's journal independently, and
+//!   [`ShardedReader`] answers queries with a scatter-gather plan
+//!   that is bit-identical to an unsharded engine over the same
+//!   documents (see [`shard`]).
 //!
 //! ```text
 //! crawler ticks ──► DeltaJournal (fsync) ──► LiveWriter.apply ──► publish
@@ -49,9 +56,11 @@
 mod error;
 pub mod journal;
 pub mod service;
+pub mod shard;
 pub mod snapshot;
 
 pub use error::LiveError;
 pub use journal::{DeltaJournal, JournalError, JournalReplay};
 pub use service::{LiveService, RecoveryReport};
+pub use shard::{ShardRouter, ShardedLiveService, ShardedReader};
 pub use snapshot::{EngineSnapshot, LiveWriter, SnapshotReader, SnapshotStore};

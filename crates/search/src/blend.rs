@@ -1,0 +1,186 @@
+//! Query-independent static scoring: raw per-source signals and the
+//! standardized blend derived from them.
+//!
+//! The static half of the ranking is **global by definition**: every
+//! signal is standardized (z-scored) against the *whole* population
+//! of sources before it is weighted, so a source's static score
+//! depends on every other source's signals. That makes the blend the
+//! one piece of engine state that cannot be partitioned — a sharded
+//! serving layer keeps exactly one [`StaticBlend`] beside its
+//! per-shard indexes and feeds [`StaticBlend::score`] to the
+//! scatter-gather merge. Because engagement adjustments touch only
+//! the adjusted source's cells (and per-source application order is
+//! preserved by source-hash routing), applying each shard's routed
+//! engagement to the one global blend reproduces the unsharded
+//! signal vectors bit-for-bit.
+
+use obs_model::{EngagementDelta, SourceId};
+use obs_stats::normalize::z_scores;
+
+/// Signal weights of the blended ranker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlendWeights {
+    /// Weight of the BM25 content score.
+    pub content: f64,
+    /// Weight of the traffic signal (log visitors, positively).
+    pub traffic: f64,
+    /// Weight of PageRank (positively).
+    pub pagerank: f64,
+    /// Weight of the participation penalty (comment density,
+    /// negatively applied).
+    pub participation_penalty: f64,
+    /// Weight of the dwell penalty (time-on-site, negatively
+    /// applied).
+    pub dwell_penalty: f64,
+    /// Weight of the topical-depth bonus: `ln(1 + matching docs)`,
+    /// the site-level aggregation real engines apply (a site with
+    /// many relevant pages outranks a one-hit site).
+    pub depth: f64,
+}
+
+impl Default for BlendWeights {
+    fn default() -> Self {
+        BlendWeights {
+            content: 4.5,
+            traffic: 0.55,
+            pagerank: 0.30,
+            participation_penalty: 0.22,
+            dwell_penalty: 0.12,
+            depth: 3.0,
+        }
+    }
+}
+
+/// Raw (pre-standardization) per-source signal vectors, retained so
+/// incremental updates can refresh one source without re-deriving
+/// the others from a corpus walk.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StaticSignals {
+    /// `ln(1 + daily visitors)` from the traffic panel.
+    pub(crate) visitors: Vec<f64>,
+    /// `ln(1 + avg time on site)` from the traffic panel.
+    pub(crate) dwell: Vec<f64>,
+    /// `ln(pagerank)` over the link graph.
+    pub(crate) pr_log: Vec<f64>,
+    /// Hosted discussion count (participation input).
+    pub(crate) discussions: Vec<f64>,
+    /// Comment count across the source's discussions.
+    pub(crate) comments: Vec<f64>,
+    /// Derived participation signal (see [`StaticSignals::refresh`]).
+    pub(crate) participation: Vec<f64>,
+}
+
+impl StaticSignals {
+    /// Participation density as a crawler would see it: comments per
+    /// discussion plus discussion-opening rate.
+    pub(crate) fn refresh(&mut self, source: usize) {
+        let discussions = self.discussions[source];
+        let density = if discussions == 0.0 {
+            0.0
+        } else {
+            self.comments[source] / discussions
+        };
+        self.participation[source] = (1.0 + density).ln() + (1.0 + discussions).ln() * 0.3;
+    }
+
+    /// Grows every vector so `source` is addressable, with neutral
+    /// (zero) raw signals for the newly appeared sources.
+    pub(crate) fn ensure(&mut self, source: usize) {
+        let n = source + 1;
+        if self.visitors.len() < n {
+            self.visitors.resize(n, 0.0);
+            self.dwell.resize(n, 0.0);
+            self.pr_log.resize(n, 0.0);
+            self.discussions.resize(n, 0.0);
+            self.comments.resize(n, 0.0);
+            self.participation.resize(n, 0.0);
+        }
+    }
+}
+
+/// The query-independent half of the ranking: raw per-source signal
+/// vectors plus the standardized, weighted static scores derived
+/// from them.
+///
+/// A [`SearchEngine`](crate::SearchEngine) owns one blend for its
+/// corpus. A sharded serving layer owns one **global** blend beside
+/// its per-shard engines, routes every engagement adjustment through
+/// [`StaticBlend::apply_engagement`] (the exact code path the
+/// unsharded engine uses) and re-standardizes once per burst with
+/// [`StaticBlend::reblend`] — which is what keeps sharded rankings
+/// bit-identical to the unsharded scorer.
+#[derive(Debug, Clone)]
+pub struct StaticBlend {
+    pub(crate) signals: StaticSignals,
+    /// Static (query-independent) score component per source,
+    /// re-blended from `signals` after every engagement burst.
+    pub(crate) static_score: Vec<f64>,
+    pub(crate) weights: BlendWeights,
+}
+
+impl StaticBlend {
+    /// Blends freshly derived signals under `weights` (standardizing
+    /// immediately, so [`StaticBlend::score`] is valid right away).
+    pub(crate) fn new(signals: StaticSignals, weights: BlendWeights) -> StaticBlend {
+        let mut blend = StaticBlend {
+            signals,
+            static_score: Vec::new(),
+            weights,
+        };
+        blend.reblend();
+        blend
+    }
+
+    /// Applies a burst of engagement adjustments to the raw signal
+    /// cells of the touched sources (with the zero clamp the live
+    /// engine applies per delta), returning whether anything changed.
+    ///
+    /// The standardized scores are **not** refreshed — call
+    /// [`StaticBlend::reblend`] once after the burst. Splitting the
+    /// two is what lets a group-commit path apply many deltas'
+    /// engagement and pay the `O(sources)` re-standardization once.
+    pub fn apply_engagement(&mut self, entries: &[EngagementDelta]) -> bool {
+        let mut touched = false;
+        for e in entries {
+            let i = e.source.index();
+            self.signals.ensure(i);
+            self.signals.discussions[i] =
+                (self.signals.discussions[i] + e.discussions as f64).max(0.0);
+            self.signals.comments[i] = (self.signals.comments[i] + e.comments as f64).max(0.0);
+            self.signals.refresh(i);
+            touched = true;
+        }
+        touched
+    }
+
+    /// Standardizes each raw signal and re-blends the static scores.
+    /// O(sources) vector arithmetic — no corpus or graph walk.
+    pub fn reblend(&mut self) {
+        let zv = z_scores(&self.signals.visitors);
+        let zp = z_scores(&self.signals.pr_log);
+        let zpart = z_scores(&self.signals.participation);
+        let zd = z_scores(&self.signals.dwell);
+        let weights = &self.weights;
+        self.static_score = (0..self.signals.visitors.len())
+            .map(|i| {
+                weights.traffic * zv.get(i).copied().unwrap_or(0.0)
+                    + weights.pagerank * zp.get(i).copied().unwrap_or(0.0)
+                    - weights.participation_penalty * zpart.get(i).copied().unwrap_or(0.0)
+                    - weights.dwell_penalty * zd.get(i).copied().unwrap_or(0.0)
+            })
+            .collect();
+    }
+
+    /// The static score of a source (0.0 for sources never seen).
+    pub fn score(&self, source: SourceId) -> f64 {
+        self.static_score
+            .get(source.index())
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// The weights this blend standardizes under.
+    pub fn weights(&self) -> &BlendWeights {
+        &self.weights
+    }
+}

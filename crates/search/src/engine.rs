@@ -23,49 +23,16 @@
 //! index and refreshes the static signal blend, recomputing raw
 //! participation only for the sources the delta touched.
 
+use crate::blend::{StaticBlend, StaticSignals};
 use crate::index::InvertedIndex;
 use crate::pagerank::pagerank_converged;
-use crate::score::{bm25_scores, Bm25Params};
-use crate::token::{is_normalized_token, tokenize};
+use crate::scatter::{scatter_query, ScatterStats, SourcePartial};
+use crate::score::{bm25_scores_with, Bm25Params};
 use obs_analytics::{AlexaPanel, LinkGraph};
 use obs_model::{Corpus, CorpusDelta, SourceId};
-use obs_stats::normalize::z_scores;
-use std::borrow::Cow;
 use std::sync::Arc;
 
-/// Signal weights of the blended ranker.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct BlendWeights {
-    /// Weight of the BM25 content score.
-    pub content: f64,
-    /// Weight of the traffic signal (log visitors, positively).
-    pub traffic: f64,
-    /// Weight of PageRank (positively).
-    pub pagerank: f64,
-    /// Weight of the participation penalty (comment density,
-    /// negatively applied).
-    pub participation_penalty: f64,
-    /// Weight of the dwell penalty (time-on-site, negatively
-    /// applied).
-    pub dwell_penalty: f64,
-    /// Weight of the topical-depth bonus: `ln(1 + matching docs)`,
-    /// the site-level aggregation real engines apply (a site with
-    /// many relevant pages outranks a one-hit site).
-    pub depth: f64,
-}
-
-impl Default for BlendWeights {
-    fn default() -> Self {
-        BlendWeights {
-            content: 4.5,
-            traffic: 0.55,
-            pagerank: 0.30,
-            participation_penalty: 0.22,
-            dwell_penalty: 0.12,
-            depth: 3.0,
-        }
-    }
-}
+pub use crate::blend::BlendWeights;
 
 /// One ranked source in a result list.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,53 +43,6 @@ pub struct SearchHit {
     pub score: f64,
     /// 1-based result position.
     pub position: usize,
-}
-
-/// Raw (pre-standardization) per-source signal vectors, retained so
-/// incremental updates can refresh one source without re-deriving
-/// the others from a corpus walk.
-#[derive(Debug, Clone, Default)]
-struct StaticSignals {
-    /// `ln(1 + daily visitors)` from the traffic panel.
-    visitors: Vec<f64>,
-    /// `ln(1 + avg time on site)` from the traffic panel.
-    dwell: Vec<f64>,
-    /// `ln(pagerank)` over the link graph.
-    pr_log: Vec<f64>,
-    /// Hosted discussion count (participation input).
-    discussions: Vec<f64>,
-    /// Comment count across the source's discussions.
-    comments: Vec<f64>,
-    /// Derived participation signal (see [`StaticSignals::refresh`]).
-    participation: Vec<f64>,
-}
-
-impl StaticSignals {
-    /// Participation density as a crawler would see it: comments per
-    /// discussion plus discussion-opening rate.
-    fn refresh(&mut self, source: usize) {
-        let discussions = self.discussions[source];
-        let density = if discussions == 0.0 {
-            0.0
-        } else {
-            self.comments[source] / discussions
-        };
-        self.participation[source] = (1.0 + density).ln() + (1.0 + discussions).ln() * 0.3;
-    }
-
-    /// Grows every vector so `source` is addressable, with neutral
-    /// (zero) raw signals for the newly appeared sources.
-    fn ensure(&mut self, source: usize) {
-        let n = source + 1;
-        if self.visitors.len() < n {
-            self.visitors.resize(n, 0.0);
-            self.dwell.resize(n, 0.0);
-            self.pr_log.resize(n, 0.0);
-            self.discussions.resize(n, 0.0);
-            self.comments.resize(n, 0.0);
-            self.participation.resize(n, 0.0);
-        }
-    }
 }
 
 /// The search engine: index + per-source static signals.
@@ -138,11 +58,9 @@ impl StaticSignals {
 #[derive(Debug, Clone)]
 pub struct SearchEngine {
     index: Arc<InvertedIndex>,
-    signals: StaticSignals,
-    /// Static (query-independent) score component per source,
-    /// re-blended from `signals` after every delta.
-    static_score: Vec<f64>,
-    weights: BlendWeights,
+    /// Static signals and their standardized blend, re-blended after
+    /// every engagement-carrying delta.
+    blend: StaticBlend,
     params: Bm25Params,
 }
 
@@ -186,33 +104,11 @@ impl SearchEngine {
             signals.refresh(i);
         }
 
-        let mut engine = SearchEngine {
+        SearchEngine {
             index: Arc::new(index),
-            signals,
-            static_score: Vec::new(),
-            weights,
+            blend: StaticBlend::new(signals, weights),
             params: Bm25Params::default(),
-        };
-        engine.reblend();
-        engine
-    }
-
-    /// Standardizes each raw signal and re-blends the static scores.
-    /// O(sources) vector arithmetic — no corpus or graph walk.
-    fn reblend(&mut self) {
-        let zv = z_scores(&self.signals.visitors);
-        let zp = z_scores(&self.signals.pr_log);
-        let zpart = z_scores(&self.signals.participation);
-        let zd = z_scores(&self.signals.dwell);
-        let weights = &self.weights;
-        self.static_score = (0..self.signals.visitors.len())
-            .map(|i| {
-                weights.traffic * zv.get(i).copied().unwrap_or(0.0)
-                    + weights.pagerank * zp.get(i).copied().unwrap_or(0.0)
-                    - weights.participation_penalty * zpart.get(i).copied().unwrap_or(0.0)
-                    - weights.dwell_penalty * zd.get(i).copied().unwrap_or(0.0)
-            })
-            .collect();
+        }
     }
 
     /// Applies one change-set — typically what a crawl tick observed
@@ -251,24 +147,17 @@ impl SearchEngine {
         let mut engagement_touched = false;
         for delta in deltas {
             Arc::make_mut(&mut self.index).apply_delta(delta);
-            for e in &delta.engagement {
-                let i = e.source.index();
-                self.signals.ensure(i);
-                self.signals.discussions[i] =
-                    (self.signals.discussions[i] + e.discussions as f64).max(0.0);
-                self.signals.comments[i] = (self.signals.comments[i] + e.comments as f64).max(0.0);
-                self.signals.refresh(i);
-                engagement_touched = true;
-            }
+            engagement_touched |= self.blend.apply_engagement(&delta.engagement);
         }
         if engagement_touched {
-            self.reblend();
+            self.blend.reblend();
         }
     }
 
     /// Evaluates a query, returning the top `k` sources.
     ///
-    /// Query terms pass through the same [`tokenize`] pipeline the
+    /// Query terms pass through the same
+    /// [`tokenize`](crate::token::tokenize) pipeline the
     /// index was built with (lowercasing, punctuation splitting,
     /// stopword removal), so `"The Duomo!"` finds what `"duomo"`
     /// finds; duplicate terms are collapsed. Document BM25 scores
@@ -281,19 +170,39 @@ impl SearchEngine {
     /// lowercase alphanumeric, non-stopword) are borrowed as-is;
     /// only messy terms pay for re-tokenization, so a clean query
     /// allocates no per-term strings on the hot path.
+    ///
+    /// Internally this runs the scatter-gather plan over a
+    /// one-element shard list ([`scatter_query`]) — the same gather,
+    /// partial-scoring and merge phases a sharded serving layer
+    /// fans out across N engines — so sharded and unsharded rankings
+    /// agree bit-for-bit by construction.
     pub fn query<S: AsRef<str>>(&self, terms: &[S], k: usize) -> Vec<SearchHit> {
-        // Duplicates left after tokenization are collapsed by the
-        // scorer itself (`distinct_terms` in `score`).
-        let mut normalized: Vec<Cow<'_, str>> = Vec::with_capacity(terms.len());
-        for term in terms {
-            let term = term.as_ref();
-            if is_normalized_token(term) {
-                normalized.push(Cow::Borrowed(term));
-            } else {
-                normalized.extend(tokenize(term).into_iter().map(Cow::Owned));
-            }
-        }
-        let doc_scores = bm25_scores(&self.index, &normalized, self.params);
+        scatter_query(
+            &[self],
+            terms,
+            k,
+            |source| self.blend.score(source),
+            &self.blend.weights,
+        )
+    }
+
+    /// The scatter phase of a query: this engine's per-source partial
+    /// results (best BM25 document score and match count), computed
+    /// against the **explicit** — possibly global — corpus statistics
+    /// in `stats` instead of the engine's own.
+    ///
+    /// `terms` must already be normalized tokens and `stats` must
+    /// have been gathered over the same terms; [`scatter_query`]
+    /// handles both and is the intended entry point. Partials carry
+    /// no static blend and no ordering —
+    /// [`merge_partials`](crate::merge_partials) finishes the
+    /// ranking.
+    pub fn partial_query<S: AsRef<str>>(
+        &self,
+        terms: &[S],
+        stats: &ScatterStats,
+    ) -> Vec<SourcePartial> {
+        let doc_scores = bm25_scores_with(&self.index, terms, self.params, stats);
         let mut best_per_source: std::collections::HashMap<SourceId, (f64, u32)> =
             std::collections::HashMap::new();
         for (doc, score) in doc_scores {
@@ -307,35 +216,37 @@ impl SearchEngine {
                 slot.1 += 1;
             }
         }
-        let mut hits: Vec<SearchHit> = best_per_source
+        best_per_source
             .into_iter()
-            .map(|(source, (content, matches))| SearchHit {
+            .map(|(source, (best, matches))| SourcePartial {
                 source,
-                score: self.weights.content * content
-                    + self.weights.depth * (1.0 + matches as f64).ln()
-                    + self
-                        .static_score
-                        .get(source.index())
-                        .copied()
-                        .unwrap_or(0.0),
-                position: 0,
+                best,
+                matches,
             })
-            .collect();
-        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.source.cmp(&b.source)));
-        hits.truncate(k);
-        for (i, h) in hits.iter_mut().enumerate() {
-            h.position = i + 1;
-        }
-        hits
+            .collect()
     }
 
     /// The query-independent score of a source (inspection hook for
     /// experiments and tests).
     pub fn static_score(&self, source: SourceId) -> f64 {
-        self.static_score
-            .get(source.index())
-            .copied()
-            .unwrap_or(0.0)
+        self.blend.score(source)
+    }
+
+    /// The static blend this engine ranks with. A sharded serving
+    /// layer clones this off its (empty) seed engine to maintain the
+    /// one global blend beside its per-shard engines.
+    pub fn blend(&self) -> &StaticBlend {
+        &self.blend
+    }
+
+    /// The blend weights this engine ranks with.
+    pub fn weights(&self) -> &BlendWeights {
+        &self.blend.weights
+    }
+
+    /// The BM25 parameters this engine scores with.
+    pub fn bm25_params(&self) -> Bm25Params {
+        self.params
     }
 
     /// Number of indexed documents.

@@ -206,6 +206,14 @@ impl InvertedIndex {
         self.doc_len.get(&doc).copied().unwrap_or(0)
     }
 
+    /// Total token length across all live documents — the numerator
+    /// of [`InvertedIndex::avg_doc_length`], exposed as an exact
+    /// integer so scatter-gather scoring can sum shard statistics
+    /// without floating-point drift.
+    pub fn total_token_length(&self) -> u64 {
+        self.total_len
+    }
+
     /// Average document length.
     pub fn avg_doc_length(&self) -> f64 {
         if self.doc_len.is_empty() {

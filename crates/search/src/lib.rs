@@ -18,21 +18,31 @@
 //! * [`score`] — TF-IDF and BM25 document scoring;
 //! * [`pagerank`](mod@pagerank) — PageRank over the inter-source
 //!   link graph, with a convergence-aware early exit;
+//! * [`blend`] — the [`StaticBlend`]: query-independent signal
+//!   standardization and weighting, shared between a single engine
+//!   and a sharded serving layer's one global blend;
+//! * [`scatter`] — scatter-gather query evaluation over partitioned
+//!   indexes ([`ScatterStats`], [`merge_partials`],
+//!   [`scatter_query`]), bit-identical to the single-index scorer;
 //! * [`engine`] — the [`SearchEngine`]: per-source signal blending,
 //!   top-k query evaluation, and incremental refresh via
 //!   [`apply_delta`](engine::SearchEngine::apply_delta).
 
 #![warn(missing_docs)]
 
+pub mod blend;
 pub mod engine;
 pub mod index;
 pub mod pagerank;
+pub mod scatter;
 pub mod score;
 pub mod token;
 pub mod writer;
 
-pub use engine::{BlendWeights, SearchEngine, SearchHit};
+pub use blend::{BlendWeights, StaticBlend};
+pub use engine::{SearchEngine, SearchHit};
 pub use index::InvertedIndex;
 pub use pagerank::{pagerank, pagerank_converged, PagerankRun};
+pub use scatter::{merge_partials, scatter_query, ScatterStats, SourcePartial};
 pub use token::tokenize;
 pub use writer::{CommitStats, IndexWriter};

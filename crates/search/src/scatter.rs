@@ -1,0 +1,309 @@
+//! Scatter-gather query evaluation over partitioned indexes.
+//!
+//! BM25 is built on *global* corpus statistics — total document
+//! count, average document length, per-term document frequencies —
+//! so naively scoring each shard against its own statistics would
+//! drift from the unsharded ranking as soon as shards grow unevenly.
+//! All three statistics are exact integer sums, though, so a query
+//! runs in three phases that reproduce the single-index arithmetic
+//! bit-for-bit:
+//!
+//! 1. **gather** — [`ScatterStats::gather`] sums document counts,
+//!    token totals and per-term document frequencies across every
+//!    shard index;
+//! 2. **scatter** — each shard scores its own postings against those
+//!    global statistics
+//!    ([`SearchEngine::partial_query`](crate::SearchEngine::partial_query)),
+//!    yielding per-source partial results (a source lives wholly in
+//!    one shard, so per-source aggregation is exact);
+//! 3. **merge** — [`merge_partials`] blends every partial with the
+//!    global static score and produces the final top-k ranking.
+//!
+//! [`SearchEngine::query`](crate::SearchEngine::query) itself runs
+//! this plan over a one-element shard list, so "sharded equals
+//! unsharded" holds by construction, not by parallel maintenance of
+//! two scorers — and is additionally pinned by workspace-level
+//! property tests.
+
+use crate::blend::BlendWeights;
+use crate::engine::{SearchEngine, SearchHit};
+use crate::index::InvertedIndex;
+use crate::score::idf_from_counts;
+use crate::token::{is_normalized_token, tokenize};
+use obs_model::SourceId;
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+/// Global corpus statistics gathered across shard indexes — the
+/// inputs BM25 needs beyond a single shard's postings.
+///
+/// All fields are exact integer sums, so gathering over one index
+/// yields that index's own statistics and gathering over N disjoint
+/// shards yields exactly the statistics of their union.
+#[derive(Debug, Clone, Default)]
+pub struct ScatterStats {
+    doc_count: usize,
+    total_tokens: u64,
+    /// Per-term document frequency summed across shards (distinct
+    /// query terms only).
+    df: HashMap<String, usize>,
+}
+
+impl ScatterStats {
+    /// Sums document counts, token totals and the document frequency
+    /// of every distinct query term across `indexes`.
+    pub fn gather<S: AsRef<str>>(indexes: &[&InvertedIndex], terms: &[S]) -> ScatterStats {
+        let mut stats = ScatterStats::default();
+        for index in indexes {
+            stats.doc_count += index.doc_count();
+            stats.total_tokens += index.total_token_length();
+        }
+        for term in terms {
+            let term = term.as_ref();
+            if stats.df.contains_key(term) {
+                continue;
+            }
+            let df = indexes.iter().map(|i| i.doc_frequency(term)).sum();
+            stats.df.insert(term.to_owned(), df);
+        }
+        stats
+    }
+
+    /// Total documents across every gathered index.
+    pub fn doc_count(&self) -> usize {
+        self.doc_count
+    }
+
+    /// Average document length across every gathered index — the
+    /// same value
+    /// [`InvertedIndex::avg_doc_length`](crate::InvertedIndex::avg_doc_length)
+    /// reports for the union (0.0 when empty).
+    pub fn avg_doc_length(&self) -> f64 {
+        if self.doc_count == 0 {
+            0.0
+        } else {
+            self.total_tokens as f64 / self.doc_count as f64
+        }
+    }
+
+    /// Gathered document frequency of a term (0 when the term was
+    /// not part of the gather).
+    pub fn doc_frequency(&self, term: &str) -> usize {
+        self.df.get(term).copied().unwrap_or(0)
+    }
+
+    /// Smoothed global IDF of a term — the same formula as
+    /// [`idf`](crate::score::idf), fed by the gathered counts.
+    pub fn idf(&self, term: &str) -> f64 {
+        idf_from_counts(self.doc_count as f64, self.doc_frequency(term) as f64)
+    }
+}
+
+/// One source's contribution from a single shard: its best BM25
+/// document score for the query and how many of its documents
+/// matched. The blend with static signals happens in
+/// [`merge_partials`], not here — partials carry only what the shard
+/// can compute locally.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourcePartial {
+    /// The source.
+    pub source: SourceId,
+    /// Best BM25 score among the source's matching documents.
+    pub best: f64,
+    /// Number of the source's documents matching the query.
+    pub matches: u32,
+}
+
+/// Merges per-shard partial results into the final top-k ranking:
+/// each partial is blended with its source's static score, sorted by
+/// blended score (ties broken by source id, as the unsharded scorer
+/// breaks them) and truncated to `k` with 1-based positions.
+///
+/// Sources must be disjoint across the merged partials — the shard
+/// router guarantees this by routing each source to exactly one
+/// shard. Under that invariant the merge is *exactly* the final
+/// phase of [`SearchEngine::query`](crate::SearchEngine::query), so
+/// sharded and unsharded rankings are bit-identical.
+///
+/// ```
+/// use obs_model::SourceId;
+/// use obs_search::{merge_partials, BlendWeights, SourcePartial};
+///
+/// // Partials as three shards might report them, in arrival order.
+/// let partials = vec![
+///     SourcePartial { source: SourceId::new(3), best: 1.0, matches: 1 },
+///     SourcePartial { source: SourceId::new(1), best: 2.0, matches: 2 },
+///     SourcePartial { source: SourceId::new(2), best: 2.0, matches: 2 },
+/// ];
+/// let hits = merge_partials(partials, |_| 0.0, &BlendWeights::default(), 2);
+///
+/// // Top-2 by blended score; the exact tie breaks toward the lower
+/// // source id, and positions are 1-based.
+/// assert_eq!(hits.len(), 2);
+/// assert_eq!(hits[0].source, SourceId::new(1));
+/// assert_eq!(hits[1].source, SourceId::new(2));
+/// assert_eq!((hits[0].position, hits[1].position), (1, 2));
+/// assert!(hits[0].score >= hits[1].score);
+/// ```
+pub fn merge_partials(
+    partials: impl IntoIterator<Item = SourcePartial>,
+    static_score: impl Fn(SourceId) -> f64,
+    weights: &BlendWeights,
+    k: usize,
+) -> Vec<SearchHit> {
+    let mut hits: Vec<SearchHit> = partials
+        .into_iter()
+        .map(|p| SearchHit {
+            source: p.source,
+            score: weights.content * p.best
+                + weights.depth * (1.0 + p.matches as f64).ln()
+                + static_score(p.source),
+            position: 0,
+        })
+        .collect();
+    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.source.cmp(&b.source)));
+    hits.truncate(k);
+    for (i, h) in hits.iter_mut().enumerate() {
+        h.position = i + 1;
+    }
+    hits
+}
+
+/// Evaluates a query across shard engines with the full
+/// gather → scatter → merge plan, blending with an externally owned
+/// (global) static score — typically
+/// [`StaticBlend::score`](crate::StaticBlend::score) from the
+/// serving layer's one global blend.
+///
+/// Query terms pass through the same normalization as
+/// [`SearchEngine::query`](crate::SearchEngine::query) (tokenize
+/// messy terms, borrow already-normalized ones). With a single shard
+/// and that shard's own blend this *is* `query`; with N shards
+/// holding disjoint sources it returns the identical ranking. An
+/// empty shard list yields no hits.
+pub fn scatter_query<S: AsRef<str>>(
+    shards: &[&SearchEngine],
+    terms: &[S],
+    k: usize,
+    static_score: impl Fn(SourceId) -> f64,
+    weights: &BlendWeights,
+) -> Vec<SearchHit> {
+    if shards.is_empty() {
+        return Vec::new();
+    }
+    let normalized = normalize_query(terms);
+    let indexes: Vec<&InvertedIndex> = shards.iter().map(|s| s.index()).collect();
+    let stats = ScatterStats::gather(&indexes, &normalized);
+    let mut partials = Vec::new();
+    for shard in shards {
+        partials.extend(shard.partial_query(&normalized, &stats));
+    }
+    merge_partials(partials, static_score, weights, k)
+}
+
+/// Normalizes raw query terms the way the index was tokenized:
+/// terms that are already normalized tokens (lowercase alphanumeric,
+/// non-stopword) are borrowed as-is, everything else is re-tokenized
+/// — so a clean query allocates no per-term strings on the hot path.
+/// Duplicates are left in; the scorer collapses them.
+pub(crate) fn normalize_query<S: AsRef<str>>(terms: &[S]) -> Vec<Cow<'_, str>> {
+    let mut normalized: Vec<Cow<'_, str>> = Vec::with_capacity(terms.len());
+    for term in terms {
+        let term = term.as_ref();
+        if is_normalized_token(term) {
+            normalized.push(Cow::Borrowed(term));
+        } else {
+            normalized.extend(tokenize(term).into_iter().map(Cow::Owned));
+        }
+    }
+    normalized
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs_model::PostId;
+
+    fn index_from(docs: &[(u32, u32, &str)]) -> InvertedIndex {
+        let mut idx = InvertedIndex::default();
+        for &(doc, source, text) in docs {
+            idx.add_document(PostId::new(doc), SourceId::new(source), text);
+        }
+        idx
+    }
+
+    #[test]
+    fn gathered_stats_over_one_index_match_its_own() {
+        let idx = index_from(&[
+            (0, 0, "duomo duomo rooftop"),
+            (1, 1, "castle gardens fountain"),
+        ]);
+        let stats = ScatterStats::gather(&[&idx], &["duomo", "castle", "zzz"]);
+        assert_eq!(stats.doc_count(), idx.doc_count());
+        assert_eq!(stats.avg_doc_length(), idx.avg_doc_length());
+        assert_eq!(stats.doc_frequency("duomo"), idx.doc_frequency("duomo"));
+        assert_eq!(stats.doc_frequency("zzz"), 0);
+        assert_eq!(stats.idf("duomo"), crate::score::idf(&idx, "duomo"));
+        assert_eq!(stats.idf("zzz"), crate::score::idf(&idx, "zzz"));
+    }
+
+    #[test]
+    fn gathered_stats_over_shards_match_the_union() {
+        let union = index_from(&[
+            (0, 0, "duomo duomo rooftop"),
+            (1, 1, "castle gardens fountain gardens"),
+            (2, 2, "duomo castle"),
+        ]);
+        let a = index_from(&[(0, 0, "duomo duomo rooftop"), (2, 2, "duomo castle")]);
+        let b = index_from(&[(1, 1, "castle gardens fountain gardens")]);
+        let terms = ["duomo", "castle", "gardens"];
+        let sharded = ScatterStats::gather(&[&a, &b], &terms);
+        let whole = ScatterStats::gather(&[&union], &terms);
+        assert_eq!(sharded.doc_count(), whole.doc_count());
+        assert_eq!(sharded.avg_doc_length(), whole.avg_doc_length());
+        for t in terms {
+            assert_eq!(sharded.doc_frequency(t), whole.doc_frequency(t));
+            assert_eq!(sharded.idf(t), whole.idf(t));
+        }
+    }
+
+    #[test]
+    fn merge_is_empty_for_no_partials_and_caps_at_k() {
+        let none: Vec<SourcePartial> = Vec::new();
+        assert!(merge_partials(none, |_| 0.0, &BlendWeights::default(), 5).is_empty());
+        let many: Vec<SourcePartial> = (0..10)
+            .map(|i| SourcePartial {
+                source: SourceId::new(i),
+                best: i as f64,
+                matches: 1,
+            })
+            .collect();
+        let hits = merge_partials(many, |_| 0.0, &BlendWeights::default(), 3);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].source, SourceId::new(9));
+    }
+
+    #[test]
+    fn merge_applies_the_static_score() {
+        let partials = vec![
+            SourcePartial {
+                source: SourceId::new(0),
+                best: 1.0,
+                matches: 1,
+            },
+            SourcePartial {
+                source: SourceId::new(1),
+                best: 1.0,
+                matches: 1,
+            },
+        ];
+        // An enormous static boost for source 1 flips the tie.
+        let hits = merge_partials(
+            partials,
+            |s| if s == SourceId::new(1) { 100.0 } else { 0.0 },
+            &BlendWeights::default(),
+            2,
+        );
+        assert_eq!(hits[0].source, SourceId::new(1));
+    }
+}

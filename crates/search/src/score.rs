@@ -1,6 +1,7 @@
 //! Document relevance scoring: TF-IDF and BM25.
 
 use crate::index::InvertedIndex;
+use crate::scatter::ScatterStats;
 use obs_model::PostId;
 use std::collections::{HashMap, HashSet};
 
@@ -19,11 +20,16 @@ impl Default for Bm25Params {
     }
 }
 
+/// The smoothed-IDF formula on raw counts — shared by the
+/// index-local [`idf`] and the gathered cross-shard
+/// [`ScatterStats::idf`], so both compute the identical float.
+pub(crate) fn idf_from_counts(n: f64, df: f64) -> f64 {
+    ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+}
+
 /// Smoothed IDF used by both scorers (never negative).
 pub fn idf(index: &InvertedIndex, term: &str) -> f64 {
-    let n = index.doc_count() as f64;
-    let df = index.doc_frequency(term) as f64;
-    ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+    idf_from_counts(index.doc_count() as f64, index.doc_frequency(term) as f64)
 }
 
 /// Deduplicates query terms preserving first-occurrence order, so a
@@ -60,10 +66,27 @@ pub fn bm25_scores<S: AsRef<str>>(
     terms: &[S],
     params: Bm25Params,
 ) -> HashMap<PostId, f64> {
-    let avg_len = index.avg_doc_length().max(1.0);
+    let stats = ScatterStats::gather(&[index], terms);
+    bm25_scores_with(index, terms, params, &stats)
+}
+
+/// BM25 scores against **externally supplied** corpus statistics —
+/// the scatter-phase scorer. A shard scores its own postings while
+/// the IDF and length normalization come from `stats`, which a
+/// scatter-gather plan sums over *every* shard
+/// ([`ScatterStats::gather`]). With stats gathered from `index`
+/// alone this is exactly [`bm25_scores`] — the single-index scorer
+/// delegates here, so the two can never drift apart.
+pub fn bm25_scores_with<S: AsRef<str>>(
+    index: &InvertedIndex,
+    terms: &[S],
+    params: Bm25Params,
+    stats: &ScatterStats,
+) -> HashMap<PostId, f64> {
+    let avg_len = stats.avg_doc_length().max(1.0);
     let mut scores: HashMap<PostId, f64> = HashMap::new();
     for term in distinct_terms(terms) {
-        let w = idf(index, term);
+        let w = stats.idf(term);
         for p in index.postings(term) {
             let tf = p.tf as f64;
             let len_norm = 1.0 - params.b + params.b * index.doc_length(p.doc) as f64 / avg_len;

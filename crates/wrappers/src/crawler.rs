@@ -77,6 +77,41 @@ impl HighWaterMarks {
         }
     }
 
+    /// Rolls the listed sources back to their readings in `baseline`
+    /// — the batched form of [`HighWaterMarks::rollback`], for
+    /// persistence layers with **per-partition** failure domains. A
+    /// sharded service that commits a sweep's deltas shard by shard
+    /// rolls back only the sources routed to the shards that refused,
+    /// leaving the marks of successfully committed sources advanced.
+    ///
+    /// ```
+    /// use obs_model::{SourceId, Timestamp};
+    /// use obs_wrappers::HighWaterMarks;
+    ///
+    /// let mut marks = HighWaterMarks::new();
+    /// marks.advance(SourceId::new(1), Timestamp::from_days(1));
+    /// let baseline = marks.clone();
+    ///
+    /// // A sweep advances two sources, but source 1 and 2 landed in
+    /// // a shard whose commit failed…
+    /// marks.advance(SourceId::new(1), Timestamp::from_days(5));
+    /// marks.advance(SourceId::new(2), Timestamp::from_days(5));
+    ///
+    /// // …so exactly those roll back to their pre-sweep readings.
+    /// marks.rollback_many([SourceId::new(1), SourceId::new(2)], &baseline);
+    /// assert_eq!(marks.since(SourceId::new(1)), Some(Timestamp::from_days(1)));
+    /// assert_eq!(marks.since(SourceId::new(2)), None);
+    /// ```
+    pub fn rollback_many(
+        &mut self,
+        sources: impl IntoIterator<Item = SourceId>,
+        baseline: &HighWaterMarks,
+    ) {
+        for source in sources {
+            self.rollback(source, baseline.since(source));
+        }
+    }
+
     /// Number of sources with a mark.
     pub fn len(&self) -> usize {
         self.marks.len()

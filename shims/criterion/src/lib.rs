@@ -26,6 +26,10 @@ pub struct Measurement {
     pub min_ns: u128,
     /// Mean per-iteration time across samples, in nanoseconds.
     pub mean_ns: u128,
+    /// 99th-percentile per-iteration time across samples, in
+    /// nanoseconds (nearest-rank over the sorted samples; with few
+    /// samples this degrades gracefully to the slowest observation).
+    pub p99_ns: u128,
     /// Number of timed samples taken.
     pub samples: usize,
 }
@@ -223,6 +227,11 @@ where
     let min = bencher.samples.iter().min().expect("non-empty");
     let total: Duration = bencher.samples.iter().sum();
     let mean = total / bencher.samples.len() as u32;
+    // Nearest-rank p99: the sample at ceil(0.99 * n) in sorted order.
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_unstable();
+    let rank = (sorted.len() * 99).div_ceil(100).max(1);
+    let p99 = sorted[rank - 1];
     MEASUREMENTS
         .lock()
         .expect("measurement store poisoned")
@@ -230,12 +239,14 @@ where
             label: label.to_owned(),
             min_ns: min.as_nanos(),
             mean_ns: mean.as_nanos(),
+            p99_ns: p99.as_nanos(),
             samples: bencher.samples.len(),
         });
     println!(
-        "{label:<50} min {:>12} mean {:>12} ({} samples x {} iters)",
+        "{label:<50} min {:>12} mean {:>12} p99 {:>12} ({} samples x {} iters)",
         fmt_duration(*min),
         fmt_duration(mean),
+        fmt_duration(p99),
         bencher.samples.len(),
         bencher.iters_used,
     );

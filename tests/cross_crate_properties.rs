@@ -2,7 +2,7 @@
 //! any seed, exercised through the public facade.
 
 use informing_observers::analytics::{AlexaPanel, FeedRegistry, LinkGraph};
-use informing_observers::live::LiveService;
+use informing_observers::live::{DeltaJournal, LiveService, ShardRouter, ShardedLiveService};
 use informing_observers::model::{document_text, Clock, CorpusDelta, PostId, Timestamp};
 use informing_observers::quality::{
     assess_source, influence_profiles, Benchmarks, SourceContext, Weights,
@@ -564,6 +564,137 @@ proptest! {
         for w in profiles.windows(2) {
             prop_assert!(w[0].combined_score >= w[1].combined_score);
         }
+    }
+
+    #[test]
+    fn sharded_ingest_and_query_equal_unsharded(seed in 0u64..10_000, shards in 2usize..5) {
+        // Sharding must be invisible in everything observable: the
+        // same delta stream pushed through the unsharded service, a
+        // 1-shard service and an N-shard service must yield
+        // bit-identical rankings and static scores, a byte-identical
+        // journal in the 1-shard case, per-shard journals
+        // byte-identical to a reference router feeding plain
+        // journals — and recovering a killed N-shard service must
+        // land back on the same rankings, shard by shard.
+        let world = tiny_world(seed);
+        let panel = AlexaPanel::simulate(&world, seed);
+        let links = LinkGraph::simulate(&world, seed ^ 1);
+        let scratch =
+            SearchEngine::build(&world.corpus, &panel, &links, BlendWeights::default());
+
+        // The sharded seed: static signals intact, zero documents.
+        let all: Vec<PostId> = world.corpus.posts().iter().map(|p| p.id).collect();
+        let mut seed_engine = scratch.clone();
+        seed_engine.apply_delta(&CorpusDelta::for_removals(&world.corpus, &all).unwrap());
+        prop_assert_eq!(seed_engine.doc_count(), 0);
+
+        // The stream: seed-permuted posts as multi-post deltas,
+        // ingested in bursts of three deltas.
+        let posts = permuted_posts(&world, seed);
+        let deltas: Vec<CorpusDelta> = posts
+            .chunks(posts.len().div_ceil(6).max(1))
+            .map(|chunk| CorpusDelta::for_posts(&world.corpus, chunk).unwrap())
+            .collect();
+
+        let tag = std::process::id();
+        let base = std::env::temp_dir().join(format!("obs_shard_prop_{tag}_{seed}_{shards}"));
+        let path_flat = base.join("flat.journal");
+        std::fs::create_dir_all(&base).unwrap();
+        let dir_one = base.join("one");
+        let dir_many = base.join("many");
+        let dir_ref = base.join("reference");
+        std::fs::create_dir_all(&dir_ref).unwrap();
+
+        let mut flat = LiveService::start(seed_engine.clone(), &path_flat).unwrap();
+        let mut one = ShardedLiveService::start(&seed_engine, 1, &dir_one).unwrap();
+        let mut many = ShardedLiveService::start(&seed_engine, shards, &dir_many).unwrap();
+        // Reference journals fed by a bare router, mirroring the
+        // burst grouping of `ingest_batch`.
+        let mut ref_router = ShardRouter::new(shards);
+        let mut ref_journals: Vec<DeltaJournal> = (0..shards)
+            .map(|i| {
+                DeltaJournal::create(dir_ref.join(format!("shard-{i}.journal"))).unwrap()
+            })
+            .collect();
+
+        for burst in deltas.chunks(3) {
+            flat.ingest_batch(burst).unwrap();
+            one.ingest_batch(burst).unwrap();
+            many.ingest_batch(burst).unwrap();
+            let mut routed: Vec<Vec<CorpusDelta>> = vec![Vec::new(); shards];
+            for delta in burst {
+                for (shard, sub) in ref_router.route(delta).into_iter().enumerate() {
+                    if !sub.is_empty() {
+                        routed[shard].push(sub);
+                    }
+                }
+            }
+            for (journal, batch) in ref_journals.iter_mut().zip(&routed) {
+                let refs: Vec<&CorpusDelta> = batch.iter().collect();
+                journal.append_batch(&refs).unwrap();
+            }
+        }
+        drop(ref_journals);
+
+        // Rankings and static scores: bit-identical across all three
+        // topologies, and identical to the scratch build (the stream
+        // replays the full corpus).
+        let terms = probe_terms(&world);
+        let flat_engine = flat.reader().snapshot();
+        let hits = flat_engine.engine().query(&terms, 20);
+        prop_assert_eq!(&one.reader().query(&terms, 20), &hits);
+        prop_assert_eq!(&many.reader().query(&terms, 20), &hits);
+        prop_assert_eq!(&scratch.query(&terms, 20), &hits);
+        prop_assert_eq!(many.doc_count(), scratch.doc_count());
+        let many_reader = many.reader();
+        for s in world.corpus.sources() {
+            prop_assert_eq!(
+                many_reader.static_score(s.id),
+                flat_engine.engine().static_score(s.id)
+            );
+        }
+
+        // Journal bytes: one shard ≡ unsharded; N shards ≡ the
+        // reference router's journals, shard by shard.
+        prop_assert_eq!(
+            std::fs::read(ShardedLiveService::shard_journal_path(&dir_one, 0)).unwrap(),
+            std::fs::read(&path_flat).unwrap(),
+            "a 1-shard service must journal byte-identically to the unsharded one"
+        );
+        for i in 0..shards {
+            prop_assert_eq!(
+                std::fs::read(ShardedLiveService::shard_journal_path(&dir_many, i)).unwrap(),
+                std::fs::read(dir_ref.join(format!("shard-{i}.journal"))).unwrap(),
+                "shard {} journal must match the reference routing", i
+            );
+        }
+
+        // Kill the N-shard service (no shutdown grace) and recover
+        // every shard from its own journal: same per-shard engines,
+        // same global rankings.
+        let pre_seqs = many.seqs();
+        let pre_shard_docs: Vec<usize> =
+            (0..shards).map(|i| many.shard_engine(i).doc_count()).collect();
+        let pre_shard_scores: Vec<_> = (0..shards)
+            .map(|i| bm25_scores(many.shard_engine(i).index(), &terms, Bm25Params::default()))
+            .collect();
+        drop(many);
+        let (recovered, reports) =
+            ShardedLiveService::recover(&seed_engine, shards, &dir_many).unwrap();
+        prop_assert_eq!(recovered.seqs(), pre_seqs);
+        for (i, report) in reports.iter().enumerate() {
+            prop_assert!(!report.torn_tail_dropped);
+            prop_assert_eq!(report.recovered_seq, recovered.seqs()[i]);
+            prop_assert_eq!(recovered.shard_engine(i).doc_count(), pre_shard_docs[i]);
+            prop_assert_eq!(
+                bm25_scores(recovered.shard_engine(i).index(), &terms, Bm25Params::default()),
+                pre_shard_scores[i].clone(),
+                "shard {} must recover its exact pre-crash index", i
+            );
+        }
+        prop_assert_eq!(recovered.reader().query(&terms, 20), hits);
+
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]
