@@ -1,0 +1,38 @@
+//! `obs_lint`: the in-tree invariant linter for the delta pipeline.
+//!
+//! The workspace's correctness story rests on a handful of
+//! invariants that the type system cannot see — journal→fsync→
+//! apply→publish ordering, panic-free serving paths, deterministic
+//! replay, locks never held across blocking calls, durability errors
+//! never silently dropped. Each is documented in ARCHITECTURE.md and
+//! exercised by tests, but tests only cover the call sites they
+//! know about; a new code path can violate the contract without
+//! failing anything. This crate closes that gap: a hand-rolled Rust
+//! lexer (no `syn` — the image is offline and the linter must gate
+//! every other crate without sitting downstream of one) plus five
+//! repo-specific passes that run over the workspace source and fail
+//! CI with `file:line` findings.
+//!
+//! Suppression is explicit and justified:
+//!
+//! ```text
+//! // lint:allow(<pass>): <reason>
+//! ```
+//!
+//! where `<pass>` is one of `panic`, `ordering`, `guard`,
+//! `determinism`, `discard`. A trailing pragma covers its own line;
+//! a standalone comment covers the next code line. A reasonless or
+//! unknown-pass pragma is itself a (non-suppressible) finding.
+//! Files opting into replay-determinism checks carry a
+//! `// lint:deterministic` comment.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod pass;
+pub mod passes;
+pub mod runner;
+pub mod source;
+
+pub use pass::{Diagnostic, Pass};
+pub use runner::{check, lint_source};

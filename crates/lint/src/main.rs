@@ -1,0 +1,38 @@
+//! CLI: `obs_lint check [ROOT]`.
+//!
+//! Prints every finding as `file:line: [pass] message` and exits
+//! non-zero if there are any — CI runs this as a required gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, root) = match args.as_slice() {
+        [cmd] => (cmd.as_str(), PathBuf::from(".")),
+        [cmd, root] => (cmd.as_str(), PathBuf::from(root)),
+        _ => ("", PathBuf::new()),
+    };
+    if cmd != "check" {
+        eprintln!("usage: obs_lint check [ROOT]");
+        eprintln!();
+        eprintln!("Lints the workspace at ROOT (default: current directory)");
+        eprintln!("with the repo-specific invariant passes:");
+        for key in obs_lint::Pass::KEYS {
+            let pass = obs_lint::Pass::from_key(key).expect("KEYS are valid keys");
+            eprintln!("  {:<14} {}", key, pass.name());
+        }
+        return ExitCode::from(2);
+    }
+    let findings = obs_lint::check(&root);
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        println!("obs_lint: workspace clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("obs_lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,84 @@
+//! Pass identities and diagnostics.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// The analyses the linter runs. Each maps to a named invariant in
+/// ARCHITECTURE.md's invariant→test matrix ("Static analysis"
+/// section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pass {
+    /// No `.unwrap()` / `.expect()` / `panic!`-family macros in
+    /// non-test code of the serving crates. Pragma key: `panic`.
+    PanicFreedom,
+    /// In `obs_live`, a function that `append`s to the journal must
+    /// `sync` before any `apply*` / `publish`. Pragma key: `ordering`.
+    CommitOrdering,
+    /// No lock guard held across a blocking call (fsync, thread
+    /// join, simulated RTT). Pragma key: `guard`.
+    GuardAcrossBlocking,
+    /// No `HashMap`/`HashSet` and no wall-clock reads in modules
+    /// tagged `lint:deterministic`. Pragma key: `determinism`.
+    Determinism,
+    /// `let _ =` on a fallible commit/fsync call needs a pragma.
+    /// Pragma key: `discard`.
+    DiscardedResult,
+    /// A malformed `lint:allow` pragma (reasonless, unknown pass).
+    /// Not suppressible — a typo'd suppression must not hide itself.
+    Pragma,
+}
+
+impl Pass {
+    /// The pragma keys, in pass order (excluding `Pragma` itself).
+    pub const KEYS: [&'static str; 5] = ["panic", "ordering", "guard", "determinism", "discard"];
+
+    /// Parses a pragma key.
+    pub fn from_key(key: &str) -> Option<Pass> {
+        match key {
+            "panic" => Some(Pass::PanicFreedom),
+            "ordering" => Some(Pass::CommitOrdering),
+            "guard" => Some(Pass::GuardAcrossBlocking),
+            "determinism" => Some(Pass::Determinism),
+            "discard" => Some(Pass::DiscardedResult),
+            _ => None,
+        }
+    }
+
+    /// The name diagnostics print.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::PanicFreedom => "panic-freedom",
+            Pass::CommitOrdering => "commit-ordering",
+            Pass::GuardAcrossBlocking => "guard-across-blocking",
+            Pass::Determinism => "determinism",
+            Pass::DiscardedResult => "discarded-result",
+            Pass::Pragma => "pragma",
+        }
+    }
+}
+
+/// One finding: file, line, pass, message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// File the finding is in (relative to the lint root).
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// The pass that fired.
+    pub pass: Pass,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.pass.name(),
+            self.message
+        )
+    }
+}

@@ -1,0 +1,59 @@
+//! The journal→fsync→apply→publish ordering contract (PR 3).
+//!
+//! Invariant: a delta must be durable before it is applied to the
+//! served engine or published to readers — the journal is always a
+//! superset of every published snapshot, which is what makes
+//! recovery ≡ uninterrupted-run provable. In `obs_live`, any
+//! function body that calls `append` must call `sync` before any
+//! `apply*` / `publish` that follows. `append_batch` is self-syncing
+//! (it performs the one group-commit fsync internally and retracts
+//! on failure), so it discharges the obligation itself.
+//!
+//! The check is linear over the body's token stream: source order is
+//! commit order in this codebase (no ordering-relevant control flow
+//! reorders the three steps), and a violation that only *sometimes*
+//! takes the bad path still has its calls in the bad textual order.
+
+use super::{fn_bodies, is_call};
+use crate::pass::{Diagnostic, Pass};
+use crate::source::SourceFile;
+
+/// Runs the pass over one file (scoped to `crates/live` by the
+/// runner).
+pub fn run(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let tokens = &file.tokens;
+    for (fn_name, open, close) in fn_bodies(file) {
+        // Line of the append whose durability is not yet assured.
+        let mut unsynced_append: Option<u32> = None;
+        for i in open + 1..close {
+            if file.test_mask[i] || !is_call(tokens, i) {
+                continue;
+            }
+            match tokens[i].ident().unwrap_or_default() {
+                "append" => {
+                    unsynced_append.get_or_insert(tokens[i].line);
+                }
+                // `sync` acknowledges durability; `append_batch`
+                // carries its own internal fsync (all-or-nothing).
+                "sync" | "append_batch" => unsynced_append = None,
+                name @ ("apply" | "apply_batch" | "apply_deltas" | "publish") => {
+                    if let Some(append_line) = unsynced_append {
+                        file.report(
+                            out,
+                            Pass::CommitOrdering,
+                            tokens[i].line,
+                            format!(
+                                "`{fn_name}` calls `{name}` before `sync`ing the \
+                                 `append` at line {append_line}: the journal→fsync→\
+                                 apply→publish order is the crash-safety contract"
+                            ),
+                        );
+                        // One finding per unsynced append is enough.
+                        unsynced_append = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Replay determinism in tagged modules.
+//!
+//! Invariant: recovery replays the journal and must rebuild a
+//! byte-identical engine; the shard router and scatter merge must
+//! give the same answer on every node. Modules that carry the
+//! `// lint:deterministic` tag (journal, shard router, scatter
+//! merge) therefore must not:
+//!
+//! * name `HashMap` / `HashSet` — their iteration order varies per
+//!   process (randomized SipHash seeds), so any fold over them can
+//!   differ between the run and its replay; `BTreeMap` / `BTreeSet`
+//!   are the drop-in deterministic substitutes;
+//! * read the wall clock (`SystemTime` / `Instant`) — replayed time
+//!   is journal time, not machine time.
+//!
+//! The pass fires on any mention (type position, constructor, use
+//! path): in a deterministic module even a *lookup-only* hash
+//! container is a refactor away from being iterated.
+
+use super::live_indices;
+use crate::pass::{Diagnostic, Pass};
+use crate::source::SourceFile;
+
+const BANNED: [(&str, &str); 4] = [
+    ("HashMap", "iteration order is process-random; use BTreeMap"),
+    ("HashSet", "iteration order is process-random; use BTreeSet"),
+    (
+        "SystemTime",
+        "wall clock diverges under replay; thread time through the journal",
+    ),
+    (
+        "Instant",
+        "wall clock diverges under replay; thread time through the journal",
+    ),
+];
+
+/// Runs the pass over one file (only files tagged
+/// `// lint:deterministic` — the runner checks the tag).
+pub fn run(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !file.deterministic {
+        return;
+    }
+    let tokens = &file.tokens;
+    for i in live_indices(file) {
+        let Some(name) = tokens[i].ident() else {
+            continue;
+        };
+        if let Some((_, why)) = BANNED.iter().find(|(banned, _)| *banned == name) {
+            file.report(
+                out,
+                Pass::Determinism,
+                tokens[i].line,
+                format!("`{name}` in a `lint:deterministic` module: {why}"),
+            );
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Panic-freedom in the serving path.
+//!
+//! Invariant: the query/ingest path "millions of users" hit must not
+//! carry reachable panics. In non-test code of the serving crates
+//! (`obs_live`, `obs_search`, `obs_wrappers`, `obs_model`) this pass
+//! flags `.unwrap()`, `.expect(…)` and the `panic!` / `unreachable!`
+//! / `todo!` / `unimplemented!` macros. A site that is genuinely
+//! infallible (or where propagating a child panic is the designed
+//! behavior) carries a justified `// lint:allow(panic): <reason>`.
+//!
+//! `assert!` and friends are deliberately out of scope: the
+//! workspace uses them as documented preconditions (`# Panics`
+//! sections), which is a contract, not an accident.
+
+use super::{is_method_call, live_indices};
+use crate::pass::{Diagnostic, Pass};
+use crate::source::SourceFile;
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the pass over one file.
+pub fn run(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let tokens = &file.tokens;
+    for i in live_indices(file) {
+        let t = &tokens[i];
+        if (t.is_ident("unwrap") || t.is_ident("expect")) && is_method_call(tokens, i) {
+            file.report(
+                out,
+                Pass::PanicFreedom,
+                t.line,
+                format!(
+                    ".{}() in serving-path code: propagate a Result or justify \
+                     with `// lint:allow(panic): <reason>`",
+                    t.ident().unwrap_or_default()
+                ),
+            );
+        }
+        let is_macro = t.ident().is_some_and(|name| PANIC_MACROS.contains(&name))
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        if is_macro {
+            file.report(
+                out,
+                Pass::PanicFreedom,
+                t.line,
+                format!(
+                    "{}! in serving-path code: return an error or justify \
+                     with `// lint:allow(panic): <reason>`",
+                    t.ident().unwrap_or_default()
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! File discovery, per-pass scoping, and the top-level `check`.
+
+use crate::pass::{Diagnostic, Pass};
+use crate::passes;
+use crate::source::SourceFile;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Serving crates subject to the panic-freedom pass. `obs_obs` (the
+/// root crate, experiments, benches) may still panic: it is driven
+/// by operators, not user queries.
+const SERVING_CRATES: [&str; 4] = ["live", "search", "wrappers", "model"];
+
+/// Directory names never scanned, wherever they appear.
+const EXCLUDED_DIRS: [&str; 5] = ["target", "tests", "benches", "examples", "fixtures"];
+
+/// Runs every pass over the workspace rooted at `root` and returns
+/// the sorted findings. I/O errors (unreadable file) become
+/// diagnostics rather than aborting the run.
+pub fn check(root: &Path) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for path in workspace_sources(root) {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        match fs::read_to_string(&path) {
+            Ok(src) => out.extend(lint_source(&rel, &src)),
+            Err(err) => out.push(read_error(rel, &err)),
+        }
+    }
+    out.sort_by(|a, b| {
+        (&a.file, a.line, a.pass, &a.message).cmp(&(&b.file, b.line, b.pass, &b.message))
+    });
+    out.dedup();
+    out
+}
+
+/// Lints one file's text as if it lived at `rel` (a workspace-
+/// relative path — pass scoping keys off it). This is the whole
+/// per-file pipeline; `check` is a walk over it.
+pub fn lint_source(rel: &Path, src: &str) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(rel.to_path_buf(), src);
+    let mut out = file.pragma_diags.clone();
+    if in_serving_crate(rel) {
+        passes::panic_freedom::run(&file, &mut out);
+    }
+    if rel.starts_with("crates/live") {
+        passes::commit_ordering::run(&file, &mut out);
+    }
+    passes::guard_blocking::run(&file, &mut out);
+    passes::determinism::run(&file, &mut out); // no-op unless tagged
+    passes::discarded_result::run(&file, &mut out);
+    out
+}
+
+/// Whether `rel` is inside one of the serving crates.
+fn in_serving_crate(rel: &Path) -> bool {
+    SERVING_CRATES
+        .iter()
+        .any(|c| rel.starts_with(Path::new("crates").join(c)))
+}
+
+/// All `.rs` files the linter scans: `crates/*/src/**` (excluding
+/// the lint crate itself — its strings and fixtures mention every
+/// flagged token by design) and the root crate's `src/**`.
+fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        let mut crate_dirs: Vec<PathBuf> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "lint"))
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            collect_rs(&dir.join("src"), &mut files);
+        }
+    }
+    collect_rs(&root.join("src"), &mut files);
+    files.sort();
+    files
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping excluded
+/// directory names.
+fn collect_rs(dir: &Path, files: &mut Vec<PathBuf>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return, // absent src/ is fine (virtual workspace root)
+    };
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !EXCLUDED_DIRS.contains(&name) {
+                collect_rs(&path, files);
+            }
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+}
+
+/// An unreadable source file is itself a finding: the linter must
+/// never silently skip part of the surface it gates.
+fn read_error(rel: PathBuf, err: &io::Error) -> Diagnostic {
+    Diagnostic {
+        file: rel,
+        line: 0,
+        pass: Pass::Pragma,
+        message: format!("could not read file: {err}"),
+    }
+}

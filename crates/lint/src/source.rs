@@ -1,0 +1,365 @@
+//! The analyzed view of one source file: token stream, pragma map,
+//! test-region mask, and brace pairing — everything a pass needs,
+//! computed once.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+use crate::pass::{Diagnostic, Pass};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+/// A parsed `lint:allow` pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The pass the pragma suppresses.
+    pub pass: Pass,
+    /// The justification after the colon (never empty — the runner
+    /// rejects a reasonless pragma).
+    pub reason: String,
+    /// The code line the pragma covers.
+    pub target_line: u32,
+}
+
+/// One source file, lexed and pre-analyzed.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path as reported in diagnostics (relative to the lint root).
+    pub path: PathBuf,
+    /// The comment-free code token stream.
+    pub tokens: Vec<Token>,
+    /// `tokens[i]` is inside `#[cfg(test)]` / `#[test]` code.
+    pub test_mask: Vec<bool>,
+    /// For every `{` token index, the index of its matching `}`.
+    pub brace_match: BTreeMap<usize, usize>,
+    /// Whether the file carries the `lint:deterministic` module tag.
+    pub deterministic: bool,
+    /// Accepted `lint:allow` pragmas, keyed by (pass, covered line).
+    allows: BTreeSet<(Pass, u32)>,
+    /// Diagnostics raised while parsing pragmas (malformed pragmas
+    /// are findings themselves: a typo'd suppression that silently
+    /// does nothing is exactly the rule drift the linter exists to
+    /// stop).
+    pub pragma_diags: Vec<Diagnostic>,
+}
+
+impl SourceFile {
+    /// Lexes and pre-analyzes one file's text.
+    pub fn parse(path: PathBuf, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let test_mask = test_mask(&lexed.tokens);
+        let brace_match = brace_match(&lexed.tokens);
+        let mut file = SourceFile {
+            path,
+            tokens: lexed.tokens,
+            test_mask,
+            brace_match,
+            deterministic: false,
+            allows: BTreeSet::new(),
+            pragma_diags: Vec::new(),
+        };
+        file.absorb_comments(&lexed.comments);
+        file
+    }
+
+    /// Whether `pass` is suppressed on `line` by an accepted pragma.
+    pub fn allowed(&self, pass: Pass, line: u32) -> bool {
+        self.allows.contains(&(pass, line))
+    }
+
+    /// Emits a diagnostic unless a pragma covers it.
+    pub fn report(&self, out: &mut Vec<Diagnostic>, pass: Pass, line: u32, message: String) {
+        if !self.allowed(pass, line) {
+            out.push(Diagnostic {
+                file: self.path.clone(),
+                line,
+                pass,
+                message,
+            });
+        }
+    }
+
+    /// Parses pragmas out of the comment stream.
+    ///
+    /// Grammar — the directive must *lead* the comment (so prose
+    /// that merely mentions a pragma never activates one):
+    ///
+    /// * `// lint:allow(<pass>): <reason>` — suppresses `<pass>` on
+    ///   the line the comment trails, or, for a comment on its own
+    ///   line, on the next line holding code. The reason is
+    ///   mandatory.
+    /// * `// lint:deterministic` — tags the whole module (file) for
+    ///   the determinism pass.
+    fn absorb_comments(&mut self, comments: &[Comment]) {
+        let code_lines: BTreeSet<u32> = self.tokens.iter().map(|t| t.line).collect();
+        for comment in comments {
+            let text = comment.text.trim();
+            if text.starts_with("lint:deterministic") {
+                self.deterministic = true;
+                continue;
+            }
+            if !text.starts_with("lint:allow") {
+                continue;
+            }
+            match parse_allow(text) {
+                Ok((pass, _reason)) => {
+                    // Trailing pragma covers its own line; a
+                    // standalone comment covers the next code line.
+                    let target = if code_lines.contains(&comment.line) {
+                        Some(comment.line)
+                    } else {
+                        code_lines.range(comment.line + 1..).next().copied()
+                    };
+                    if let Some(line) = target {
+                        self.allows.insert((pass, line));
+                    }
+                }
+                Err(why) => self.pragma_diags.push(Diagnostic {
+                    file: self.path.clone(),
+                    line: comment.line,
+                    pass: Pass::Pragma,
+                    message: why,
+                }),
+            }
+        }
+    }
+}
+
+/// Parses `lint:allow(<pass>): <reason>` starting at `lint:allow`.
+fn parse_allow(text: &str) -> Result<(Pass, String), String> {
+    let rest = text.strip_prefix("lint:allow").unwrap_or(text).trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or("malformed pragma: expected `lint:allow(<pass>): <reason>`")?;
+    let (key, rest) = rest
+        .split_once(')')
+        .ok_or("malformed pragma: unclosed `(` in `lint:allow(<pass>)`")?;
+    let pass = Pass::from_key(key.trim()).ok_or_else(|| {
+        format!(
+            "unknown pass {:?} in pragma; expected one of {}",
+            key.trim(),
+            Pass::KEYS.join(", ")
+        )
+    })?;
+    let reason = rest
+        .trim_start()
+        .strip_prefix(':')
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return Err(format!(
+            "pragma `lint:allow({})` needs a justification: `lint:allow({}): <reason>`",
+            key.trim(),
+            key.trim()
+        ));
+    }
+    Ok((pass, reason.to_owned()))
+}
+
+/// Marks every token inside test-only code: an item annotated
+/// `#[cfg(test)]` (the conventional `mod tests` block, but also any
+/// single item) or `#[test]`. Inner attributes (`#![…]`) never gate
+/// an item and are skipped wholesale.
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        // `#![…]`: inner attribute — skip it.
+        if tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            i = skip_bracketed(tokens, i + 2);
+            continue;
+        }
+        if !tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let attr_end = skip_bracketed(tokens, i + 1);
+        let is_test_attr = is_test_attribute(&tokens[attr_start + 2..attr_end.saturating_sub(1)]);
+        if !is_test_attr {
+            i = attr_end;
+            continue;
+        }
+        // Mark the attribute, any further attributes, and the item
+        // they gate (through its `{…}` block or terminating `;`).
+        let mut j = attr_end;
+        while tokens.get(j).is_some_and(|t| t.is_punct('#'))
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            j = skip_bracketed(tokens, j + 1);
+        }
+        let item_end = skip_item(tokens, j);
+        for m in mask.iter_mut().take(item_end).skip(attr_start) {
+            *m = true;
+        }
+        i = item_end;
+    }
+    mask
+}
+
+/// Whether attribute body tokens denote test-gated code: `test`, or
+/// `cfg(… test …)` (conservatively including `cfg(any(test, …))`).
+fn is_test_attribute(body: &[Token]) -> bool {
+    match body.first().and_then(Token::ident) {
+        Some("test") => true,
+        Some("cfg") => body.iter().any(|t| t.is_ident("test")),
+        _ => false,
+    }
+}
+
+/// Given `start` at a `[`/`(`/`{`, returns the index one past its
+/// matching closer (or `tokens.len()`).
+fn skip_bracketed(tokens: &[Token], start: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = start;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Punct('[' | '(' | '{') => depth += 1,
+            TokenKind::Punct(']' | ')' | '}') => {
+                depth -= 1;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Consumes one item starting at `start`: runs to the first `;` at
+/// bracket depth 0, or through the matching `}` of the first `{` at
+/// depth 0 (fn/mod/impl/struct bodies).
+fn skip_item(tokens: &[Token], start: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = start;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Punct(';') if depth == 0 => return i + 1,
+            TokenKind::Punct('{') if depth == 0 => return skip_bracketed(tokens, i),
+            TokenKind::Punct('[' | '(' | '{') => depth += 1,
+            TokenKind::Punct(']' | ')' | '}') => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Pairs every `{` token index with its matching `}` index.
+fn brace_match(tokens: &[Token]) -> BTreeMap<usize, usize> {
+    let mut pairs = BTreeMap::new();
+    let mut stack = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokenKind::Punct('{') => stack.push(i),
+            TokenKind::Punct('}') => {
+                if let Some(open) = stack.pop() {
+                    pairs.insert(open, i);
+                }
+            }
+            _ => {}
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("test.rs"), src)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_fully_masked() {
+        let f = parse(
+            "fn live() { work(); }\n\
+             #[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { x.unwrap(); }\n}\n\
+             fn also_live() {}",
+        );
+        for (i, t) in f.tokens.iter().enumerate() {
+            let in_tests = t.is_ident("unwrap") || t.is_ident("t") || t.is_ident("tests");
+            if in_tests {
+                assert!(f.test_mask[i], "{:?} should be masked", t.kind);
+            }
+            if t.is_ident("live") || t.is_ident("also_live") || t.is_ident("work") {
+                assert!(!f.test_mask[i], "{:?} should be live", t.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn test_attribute_masks_single_fn() {
+        let f = parse("#[test]\nfn t() { boom(); }\nfn live() {}");
+        let boom = f.tokens.iter().position(|t| t.is_ident("boom")).unwrap();
+        let live = f.tokens.iter().position(|t| t.is_ident("live")).unwrap();
+        assert!(f.test_mask[boom]);
+        assert!(!f.test_mask[live]);
+    }
+
+    #[test]
+    fn inner_attributes_do_not_mask_anything() {
+        let f = parse("#![warn(missing_docs)]\nfn live() {}");
+        assert!(f.test_mask.iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn trailing_pragma_covers_its_own_line() {
+        let f = parse("fn f() { x.unwrap(); } // lint:allow(panic): infallible by construction");
+        assert!(f.allowed(Pass::PanicFreedom, 1));
+        assert!(!f.allowed(Pass::PanicFreedom, 2));
+        assert!(f.pragma_diags.is_empty());
+    }
+
+    #[test]
+    fn standalone_pragma_covers_next_code_line() {
+        let f = parse(
+            "fn f() {\n\
+             // lint:allow(discard): best effort, error already surfaced\n\
+             // (more prose)\n\
+             let _ = file.sync_data();\n}",
+        );
+        assert!(f.allowed(Pass::DiscardedResult, 4));
+    }
+
+    #[test]
+    fn reasonless_or_unknown_pragmas_are_diagnostics() {
+        let f = parse("// lint:allow(panic)\nfn f() {}\n// lint:allow(bogus): why\nfn g() {}");
+        assert_eq!(f.pragma_diags.len(), 2);
+        assert!(f.pragma_diags[0].message.contains("justification"));
+        assert!(f.pragma_diags[1].message.contains("unknown pass"));
+        assert!(!f.allowed(Pass::PanicFreedom, 2));
+    }
+
+    #[test]
+    fn deterministic_tag_is_detected() {
+        assert!(parse("// lint:deterministic\nfn f() {}").deterministic);
+        assert!(!parse("fn f() {}").deterministic);
+    }
+
+    #[test]
+    fn prose_mentioning_directives_is_inert() {
+        let f = parse(
+            "// docs: write lint:allow(panic) or tag with lint:deterministic\n\
+             fn f() { x.unwrap(); }",
+        );
+        assert!(!f.deterministic);
+        assert!(f.pragma_diags.is_empty());
+        assert!(!f.allowed(Pass::PanicFreedom, 2));
+    }
+
+    #[test]
+    fn brace_match_pairs_nested_blocks() {
+        let f = parse("fn f() { if x { y(); } }");
+        let opens: Vec<usize> = f.brace_match.keys().copied().collect();
+        assert_eq!(opens.len(), 2);
+        let outer = f.brace_match[&opens[0]];
+        let inner = f.brace_match[&opens[1]];
+        assert!(outer > inner);
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: an *untagged* module may use hash containers freely —
+// the determinism pass only covers files whose leading comment
+// carries the deterministic tag, and this one does not.
+
+use std::collections::HashMap;
+
+pub fn counts(xs: &[String]) -> HashMap<String, usize> {
+    let mut out = HashMap::new();
+    for x in xs {
+        *out.entry(x.clone()).or_insert(0) += 1;
+    }
+    out
+}

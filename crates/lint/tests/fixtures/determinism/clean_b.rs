@@ -1,0 +1,12 @@
+// lint:deterministic — fixture: ordered containers and logical
+// (journal) time are the clean substitutes.
+
+use std::collections::BTreeMap;
+
+pub struct Router {
+    homes: BTreeMap<u32, usize>,
+}
+
+pub fn elapsed(now: Timestamp, start: Timestamp) -> u64 {
+    now.seconds().saturating_sub(start.seconds())
+}

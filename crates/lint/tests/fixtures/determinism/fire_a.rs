@@ -1,0 +1,13 @@
+// lint:deterministic — fixture: hash containers must fire in a
+// tagged module.
+
+use std::collections::HashMap; //~ determinism
+
+pub struct Router {
+    homes: HashMap<u32, usize>, //~ determinism
+}
+
+pub fn elapsed(start: u64) -> u64 {
+    let now = std::time::Instant::now(); //~ determinism
+    discretize(now, start)
+}

@@ -1,0 +1,14 @@
+// lint:deterministic — fixture: HashSet and the wall clock must
+// fire in a tagged module.
+
+pub fn dedupe(xs: &[u32]) -> usize {
+    let seen: std::collections::HashSet<u32> = xs.iter().copied().collect(); //~ determinism
+    seen.len()
+}
+
+pub fn now_secs() -> u64 {
+    match std::time::SystemTime::now().duration_since(epoch()) { //~ determinism
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

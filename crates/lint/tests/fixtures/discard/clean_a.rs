@@ -1,0 +1,6 @@
+// Fixture: a justified pragma waives the discard visibly.
+
+pub fn heal(file: &mut File, clean_len: u64) {
+    let _ = file.set_len(clean_len); // lint:allow(discard): best-effort heal; caller surfaces the original error
+    let _ = file.sync_data(); // lint:allow(discard): best-effort heal; caller surfaces the original error
+}

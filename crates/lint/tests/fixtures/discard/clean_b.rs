@@ -1,0 +1,11 @@
+// Fixture: propagating the error is clean, and `let _ =` on a
+// non-commit expression is out of scope.
+
+pub fn persist(file: &mut File) -> Result<(), Error> {
+    file.sync_data()?;
+    Ok(())
+}
+
+pub fn observe(value: u64) {
+    let _ = render(value);
+}

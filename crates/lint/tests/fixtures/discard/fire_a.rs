@@ -1,0 +1,9 @@
+// Fixture: silently discarding a fallible fsync/flush must fire.
+
+pub fn persist(file: &mut File) {
+    let _ = file.sync_data(); //~ discard
+}
+
+pub fn drain(w: &mut Writer) {
+    let _ = w.flush(); //~ discard
+}

@@ -1,0 +1,10 @@
+// Fixture: discarded journal-commit results must fire even when the
+// call sits deep inside the initializer expression.
+
+pub fn retract(j: &mut Journal) {
+    let _ = j.retract_staged(); //~ discard
+}
+
+pub fn truncate(f: &mut File, len: u64) {
+    let _ = wrap(f.set_len(len)); //~ discard
+}

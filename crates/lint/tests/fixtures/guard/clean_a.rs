@@ -1,0 +1,12 @@
+// Fixture: dropping the guard before the blocking call is clean.
+
+pub fn commit(lock: &RwLock<State>, file: &File) -> Result<(), Error> {
+    let Ok(guard) = lock.read() else {
+        return Ok(());
+    };
+    let copy = clone_state(&guard);
+    drop(guard);
+    file.sync_data()?;
+    store(copy);
+    Ok(())
+}

@@ -1,0 +1,12 @@
+// Fixture: the snapshot.rs idiom — the guard is confined to the
+// match block and cloned out; the fsync after the match is clean.
+
+pub fn snapshot_then_sync(lock: &RwLock<State>, file: &File) -> Result<(), Error> {
+    let copy = match lock.read() {
+        Ok(guard) => clone_state(&guard),
+        Err(poisoned) => clone_state(&poisoned.into_inner()),
+    };
+    file.sync_data()?;
+    store(copy);
+    Ok(())
+}

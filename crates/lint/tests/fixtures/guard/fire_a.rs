@@ -1,0 +1,10 @@
+// Fixture: a let-bound write guard held across an fsync must fire.
+
+pub fn flush(lock: &RwLock<State>, file: &File) -> Result<(), Error> {
+    let Ok(state) = lock.write() else {
+        return Ok(());
+    };
+    serialize(&state, file)?;
+    file.sync_all()?; //~ guard
+    Ok(())
+}

@@ -1,0 +1,12 @@
+// Fixture: a guard bound in a match arm lives to the end of the
+// match block; a thread join inside it must fire.
+
+pub fn commit(lock: &RwLock<State>, handle: JoinHandle<()>) {
+    match lock.read() {
+        Ok(state) => {
+            report(&state);
+            let _ = handle.join(); //~ guard
+        }
+        Err(_) => {}
+    }
+}

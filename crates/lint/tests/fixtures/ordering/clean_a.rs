@@ -1,0 +1,10 @@
+// Fixture: the contract order journal -> fsync -> apply -> publish
+// is clean.
+
+pub fn ingest(j: &mut Journal, w: &mut Writer, d: &Delta) -> Result<u64, Error> {
+    let seq = j.append(d)?;
+    j.sync()?;
+    w.apply(seq, d);
+    w.publish();
+    Ok(seq)
+}

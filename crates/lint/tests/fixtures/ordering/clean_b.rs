@@ -1,0 +1,11 @@
+// Fixture: append_batch performs its own internal group-commit
+// fsync (all-or-nothing), so applying after it is clean.
+
+pub fn ingest_batch(j: &mut Journal, w: &mut Writer, ds: &[&Delta]) -> Result<(), Error> {
+    let Some((first, last)) = j.append_batch(ds)? else {
+        return Ok(());
+    };
+    w.apply_batch(first..=last, ds);
+    w.publish();
+    Ok(())
+}

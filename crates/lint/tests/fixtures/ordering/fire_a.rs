@@ -1,0 +1,9 @@
+// Fixture: apply before the append is synced must fire.
+
+pub fn ingest(j: &mut Journal, w: &mut Writer, d: &Delta) -> Result<u64, Error> {
+    let seq = j.append(d)?;
+    w.apply(seq, d); //~ ordering
+    j.sync()?;
+    w.publish();
+    Ok(seq)
+}

@@ -1,0 +1,11 @@
+// Fixture: publishing with an append still unsynced must fire, even
+// when the append happened earlier in a loop.
+
+pub fn ingest_burst(j: &mut Journal, w: &mut Writer, ds: &[Delta]) -> Result<(), Error> {
+    for d in ds {
+        j.append(d)?;
+    }
+    w.publish(); //~ ordering
+    j.sync()?;
+    Ok(())
+}

@@ -1,0 +1,14 @@
+// Fixture: unwraps inside #[cfg(test)] / #[test] code never fire.
+
+pub fn live(x: Option<u32>) -> Option<u32> {
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_here() {
+        assert_eq!(super::live(Some(1)).unwrap(), 1);
+        super::live(None).expect_err_is_fine();
+    }
+}

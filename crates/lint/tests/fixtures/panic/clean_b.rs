@@ -1,0 +1,11 @@
+// Fixture: a justified pragma suppresses the finding, whether it
+// trails the line or stands on the line above.
+
+pub fn first_digit() -> char {
+    // lint:allow(panic): "0123456789" is non-empty by construction
+    "0123456789".chars().next().unwrap()
+}
+
+pub fn always(pairs: &[(u32, u32)]) -> u32 {
+    pairs.iter().map(|&(a, _)| a).max().expect("checked non-empty by caller") // lint:allow(panic): caller contract documented in the rustdoc
+}

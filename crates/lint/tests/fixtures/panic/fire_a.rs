@@ -1,0 +1,9 @@
+// Fixture: unwrap/expect in serving-path code must fire.
+
+pub fn lookup(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() //~ panic
+}
+
+pub fn pick(xs: &[u32]) -> u32 {
+    *xs.last().expect("non-empty") //~ panic
+}

@@ -1,0 +1,16 @@
+// Fixture: the panic!-family macros must fire in serving-path code.
+
+pub fn decide(flag: bool) -> u32 {
+    if flag {
+        todo!() //~ panic
+    } else {
+        unreachable!("bad flag") //~ panic
+    }
+}
+
+pub fn cap(x: u32) -> u32 {
+    if x > 10 {
+        panic!("too big") //~ panic
+    }
+    x
+}

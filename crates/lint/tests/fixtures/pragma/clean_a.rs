@@ -1,0 +1,7 @@
+// Fixture: a well-formed pragma with a reason parses clean, even
+// when nothing on the covered line would have fired.
+
+pub fn f() -> u32 {
+    // lint:allow(guard): demonstrates the full pragma grammar
+    0
+}

@@ -1,0 +1,5 @@
+// Fixture: block-comment pragmas parse the same as line comments.
+
+pub fn g(file: &mut File) {
+    let _ = file.sync_data(); /* lint:allow(discard): shutdown path; error already logged */
+}

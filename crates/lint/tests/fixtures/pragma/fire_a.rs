@@ -1,0 +1,7 @@
+// Fixture: a reasonless pragma is itself a finding — a typo'd
+// suppression must not silently do nothing.
+
+pub fn f(x: Option<u32>) -> u32 {
+    // lint:allow(panic) //~ pragma
+    x.unwrap() //~ panic
+}

@@ -1,0 +1,7 @@
+// Fixture: an unknown pass key in a pragma is a finding, and the
+// suppression it intended does not happen.
+
+pub fn f(x: Option<u32>) -> u32 {
+    // lint:allow(panics): off-by-one in the pass key //~ pragma
+    x.unwrap() //~ panic
+}

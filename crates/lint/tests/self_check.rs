@@ -1,0 +1,41 @@
+//! The linter must run clean on the workspace at HEAD: every real
+//! finding it surfaced in this tree has been fixed or carries a
+//! justified pragma. This is the same invocation CI runs
+//! (`obs_lint check` from the workspace root).
+
+use std::path::Path;
+
+#[test]
+fn workspace_at_head_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = obs_lint::check(&root);
+    assert!(
+        findings.is_empty(),
+        "lint findings at HEAD:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn the_workspace_scan_actually_scans() {
+    // Guard against the walker silently matching nothing (e.g. a
+    // future directory rename): verify a known serving-crate file is
+    // in scope by planting a finding in a sibling temp tree instead —
+    // cheap proxy: the real tree must contain the tagged modules.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for tagged in [
+        "crates/live/src/journal.rs",
+        "crates/live/src/shard.rs",
+        "crates/search/src/scatter.rs",
+    ] {
+        let src = std::fs::read_to_string(root.join(tagged)).unwrap();
+        assert!(
+            src.contains("lint:deterministic"),
+            "{tagged} lost its lint:deterministic tag"
+        );
+    }
+}

@@ -119,7 +119,7 @@ impl LiveService {
             // writer sequences have diverged and only recover() can
             // rebuild a consistent service; surface the original
             // failure either way.
-            let _ = self.journal.retract_staged();
+            let _ = self.journal.retract_staged(); // lint:allow(discard): best effort per the comment above; the sync error wins
             return Err(sync_err.into());
         }
         self.writer.apply(seq, delta);

@@ -43,6 +43,10 @@
 //! marks of exactly the sources routed to the failed shards
 //! ([`HighWaterMarks::rollback_many`]).
 
+// lint:deterministic — routing decides which journal a delta lands
+// in, so the same delta stream must route identically on every node
+// and on every recovery replay.
+
 use crate::error::LiveError;
 use crate::journal::DeltaJournal;
 use crate::service::RecoveryReport;
@@ -50,7 +54,7 @@ use crate::snapshot::{LiveWriter, SnapshotReader};
 use obs_model::{Clock, CorpusDelta, PostId, SourceId};
 use obs_search::{scatter_query, SearchEngine, SearchHit, StaticBlend};
 use obs_wrappers::{Crawler, DataService, HighWaterMarks, SweepReport};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
 
@@ -100,7 +104,9 @@ pub struct ShardRouter {
     /// Which shard each live post's document went to — consulted
     /// (and cleared) by removals, which carry no source id. Grows
     /// O(live posts); rebuilt from the journals on recovery.
-    homes: HashMap<PostId, usize>,
+    /// BTreeMap so iteration (debug dumps, future rebalancing) is
+    /// ordered the same on every node and replay.
+    homes: BTreeMap<PostId, usize>,
 }
 
 impl ShardRouter {
@@ -112,7 +118,7 @@ impl ShardRouter {
         assert!(shards >= 1, "a shard router needs at least one shard");
         ShardRouter {
             shards,
-            homes: HashMap::new(),
+            homes: BTreeMap::new(),
         }
     }
 
@@ -447,6 +453,7 @@ impl ShardedLiveService {
                 .collect();
             handles
                 .into_iter()
+                // lint:allow(panic): join only errs if the commit thread panicked; re-raising that panic is the designed propagation
                 .map(|h| h.map_or(Ok(()), |h| h.join().expect("shard commit thread panicked")))
                 .collect()
         });

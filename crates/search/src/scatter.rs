@@ -25,6 +25,10 @@
 //! two scorers — and is additionally pinned by workspace-level
 //! property tests.
 
+// lint:deterministic — the merge must rank identically on every
+// node that gathers the same shard snapshots, or scatter-gather
+// stops being bit-identical to the unsharded scorer.
+
 use crate::blend::BlendWeights;
 use crate::engine::{SearchEngine, SearchHit};
 use crate::index::InvertedIndex;
@@ -32,7 +36,7 @@ use crate::score::idf_from_counts;
 use crate::token::{is_normalized_token, tokenize};
 use obs_model::SourceId;
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Global corpus statistics gathered across shard indexes — the
 /// inputs BM25 needs beyond a single shard's postings.
@@ -45,8 +49,9 @@ pub struct ScatterStats {
     doc_count: usize,
     total_tokens: u64,
     /// Per-term document frequency summed across shards (distinct
-    /// query terms only).
-    df: HashMap<String, usize>,
+    /// query terms only). BTreeMap keeps any iteration over it
+    /// ordered identically across nodes.
+    df: BTreeMap<String, usize>,
 }
 
 impl ScatterStats {

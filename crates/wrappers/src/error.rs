@@ -1,7 +1,7 @@
 //! Wrapper-layer errors.
 
 use crate::rate::RateDenied;
-use obs_model::SourceId;
+use obs_model::{ModelError, SourceId};
 
 /// Errors surfaced by native APIs and wrappers.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +30,15 @@ pub enum WrapperError {
         /// The offending raw value.
         raw: String,
     },
+    /// The backing corpus contradicts itself (a post id with no
+    /// record, a comment thread referencing a missing root): not
+    /// retryable — the data, not the call, is broken.
+    Inconsistent {
+        /// What was missing or contradictory.
+        what: &'static str,
+        /// The offending identifier, rendered.
+        raw: String,
+    },
 }
 
 impl WrapperError {
@@ -39,6 +48,26 @@ impl WrapperError {
             self,
             WrapperError::RateLimited { .. } | WrapperError::Transient(_)
         )
+    }
+}
+
+/// A failed corpus lookup inside a wrapper is a data-integrity
+/// problem, not a call problem: the native API held an id the model
+/// cannot resolve.
+impl From<ModelError> for WrapperError {
+    fn from(err: ModelError) -> Self {
+        let what = match err {
+            ModelError::UnknownSource(_) => "source id with no record",
+            ModelError::UnknownUser(_) => "user id with no record",
+            ModelError::UnknownDiscussion(_) => "discussion id with no record",
+            ModelError::UnknownPost(_) => "post id with no record",
+            ModelError::UnknownComment(_) => "comment id with no record",
+            ModelError::CrossDiscussionReply { .. } => "reply crossing discussions",
+        };
+        WrapperError::Inconsistent {
+            what,
+            raw: err.to_string(),
+        }
     }
 }
 
@@ -68,6 +97,9 @@ impl std::fmt::Display for WrapperError {
             WrapperError::MappingFailed { what, raw } => {
                 write!(f, "failed to map {what} from {raw:?}")
             }
+            WrapperError::Inconsistent { what, raw } => {
+                write!(f, "corpus inconsistency: {what} ({raw:?})")
+            }
         }
     }
 }
@@ -91,6 +123,11 @@ mod tests {
         assert!(!WrapperError::MappingFailed {
             what: "date",
             raw: "??".into()
+        }
+        .is_retryable());
+        assert!(!WrapperError::Inconsistent {
+            what: "post id with no record",
+            raw: "p42".into()
         }
         .is_retryable());
     }

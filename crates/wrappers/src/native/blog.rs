@@ -150,7 +150,10 @@ impl<'a> BlogApi<'a> {
         }
         let slice =
             &discussions[page * PAGE_SIZE..(page * PAGE_SIZE + PAGE_SIZE).min(discussions.len())];
-        let posts = slice.iter().map(|&d| self.render_post(d)).collect();
+        let posts = slice
+            .iter()
+            .map(|&d| self.render_post(d))
+            .collect::<Result<_, _>>()?;
         Ok(BlogPage {
             posts,
             page,
@@ -158,13 +161,10 @@ impl<'a> BlogApi<'a> {
         })
     }
 
-    fn render_post(&self, id: DiscussionId) -> BlogPostRecord {
-        let d = self
-            .corpus
-            .discussion(id)
-            .expect("discussion of own source");
-        let post = self.corpus.post(d.root_post).expect("root post");
-        let author = self.corpus.user(post.author).expect("author");
+    fn render_post(&self, id: DiscussionId) -> Result<BlogPostRecord, WrapperError> {
+        let d = self.corpus.discussion(id)?;
+        let post = self.corpus.post(d.root_post)?;
+        let author = self.corpus.user(post.author)?;
         let counts = crate::observation::InteractionCounts::tally(
             self.corpus,
             obs_model::ContentRef::Post(post.id),
@@ -174,25 +174,21 @@ impl<'a> BlogApi<'a> {
         let comments = comment_ids
             .iter()
             .map(|&cid| {
-                let c = self.corpus.comment(cid).expect("comment");
-                let commenter = self.corpus.user(c.author).expect("commenter");
-                BlogCommentRecord {
+                let c = self.corpus.comment(cid)?;
+                let commenter = self.corpus.user(c.author)?;
+                Ok(BlogCommentRecord {
                     commenter: commenter.handle.clone(),
                     posted_iso: format_iso(c.published),
                     html_body: format!("<p>{}</p>", c.body),
                     in_reply_to_index: c
                         .reply_to
                         .and_then(|parent| comment_ids.iter().position(|&x| x == parent)),
-                }
+                })
             })
-            .collect();
+            .collect::<Result<_, WrapperError>>()?;
 
-        BlogPostRecord {
-            permalink: format!(
-                "{}/post-{}",
-                self.corpus.source(self.source).unwrap().url,
-                id.raw()
-            ),
+        Ok(BlogPostRecord {
+            permalink: format!("{}/post-{}", self.corpus.source(self.source)?.url, id.raw()),
             title: d.title.clone(),
             html_body: format!("<p>{}</p>", post.body),
             author_name: author.handle.clone(),
@@ -203,7 +199,7 @@ impl<'a> BlogApi<'a> {
             share_count: counts.shares,
             comments_closed: d.closed,
             comments,
-        }
+        })
     }
 }
 

@@ -102,7 +102,10 @@ impl<'a> ForumApi<'a> {
             )));
         }
         let slice = &all[offset..(offset + limit).min(total)];
-        let records = slice.iter().map(|&d| self.render_thread(d)).collect();
+        let records = slice
+            .iter()
+            .map(|&d| self.render_thread(d))
+            .collect::<Result<_, _>>()?;
         Ok((records, total))
     }
 
@@ -138,8 +141,8 @@ impl<'a> ForumApi<'a> {
             .iter()
             .enumerate()
             .map(|(i, &cid)| {
-                let c = self.corpus.comment(cid).expect("comment");
-                let author = self.corpus.user(c.author).expect("author");
+                let c = self.corpus.comment(cid)?;
+                let author = self.corpus.user(c.author)?;
                 let body = match c
                     .reply_to
                     .and_then(|p| comment_ids.iter().position(|&x| x == p))
@@ -147,20 +150,20 @@ impl<'a> ForumApi<'a> {
                     Some(pos) => format!("[quote=#{}]…[/quote] {}", pos + 1, c.body),
                     None => c.body.clone(),
                 };
-                ForumReplyRecord {
+                Ok(ForumReplyRecord {
                     reply_no: (offset + i + 1) as u64,
                     author: author.handle.clone(),
                     body_bbcode: body,
                     posted_epoch: c.published.seconds(),
-                }
+                })
             })
-            .collect();
+            .collect::<Result<_, WrapperError>>()?;
         Ok((records, total))
     }
 
-    fn render_thread(&self, id: DiscussionId) -> ForumThreadRecord {
-        let d = self.corpus.discussion(id).expect("own discussion");
-        let starter = self.corpus.user(d.opened_by).expect("starter");
+    fn render_thread(&self, id: DiscussionId) -> Result<ForumThreadRecord, WrapperError> {
+        let d = self.corpus.discussion(id)?;
+        let starter = self.corpus.user(d.opened_by)?;
         let board = self
             .corpus
             .categories()
@@ -179,7 +182,7 @@ impl<'a> ForumApi<'a> {
                 .active_total()
             })
             .sum();
-        ForumThreadRecord {
+        Ok(ForumThreadRecord {
             thread_no: id.raw() as u64 + THREAD_NO_BASE,
             board,
             subject: d.title.clone(),
@@ -188,7 +191,7 @@ impl<'a> ForumApi<'a> {
             locked: d.closed,
             reply_count: self.corpus.comments_of_discussion(id).len() as u32,
             reaction_total,
-        }
+        })
     }
 }
 

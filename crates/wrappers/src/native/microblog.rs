@@ -84,11 +84,11 @@ impl<'a> MicroblogApi<'a> {
             Ok(s) if s.kind == SourceKind::Microblog => {
                 let mut timeline = Vec::new();
                 for &d in corpus.discussions_of_source(source) {
-                    let disc = corpus.discussion(d).expect("own discussion");
-                    let post = corpus.post(disc.root_post).expect("root post");
+                    let disc = corpus.discussion(d)?;
+                    let post = corpus.post(disc.root_post)?;
                     timeline.push(encode_status_id(post.published, ContentRef::Post(post.id)));
                     for &c in corpus.comments_of_discussion(d) {
-                        let comment = corpus.comment(c).expect("comment");
+                        let comment = corpus.comment(c)?;
                         timeline.push(encode_status_id(
                             comment.published,
                             ContentRef::Comment(comment.id),
@@ -141,18 +141,21 @@ impl<'a> MicroblogApi<'a> {
         } else {
             None
         };
-        let records = page.into_iter().map(|id| self.render(id)).collect();
+        let records = page
+            .into_iter()
+            .map(|id| self.render(id))
+            .collect::<Result<_, _>>()?;
         Ok((records, next))
     }
 
-    fn render(&self, status_id: u64) -> StatusRecord {
+    fn render(&self, status_id: u64) -> Result<StatusRecord, WrapperError> {
         let (published, content) = decode_status_id(status_id);
         let counts = InteractionCounts::tally(self.corpus, content);
         match content {
             ContentRef::Post(p) => {
-                let post = self.corpus.post(p).expect("post");
-                let author = self.corpus.user(post.author).expect("author");
-                StatusRecord {
+                let post = self.corpus.post(p)?;
+                let author = self.corpus.user(post.author)?;
+                Ok(StatusRecord {
                     status_id,
                     handle: author.handle.clone(),
                     text: post.body.clone(),
@@ -163,28 +166,25 @@ impl<'a> MicroblogApi<'a> {
                     replies_at: counts.mentions,
                     favs: counts.likes,
                     hashtags: post.tags.iter().map(|t| t.as_str().to_owned()).collect(),
-                }
+                })
             }
             ContentRef::Comment(c) => {
-                let comment = self.corpus.comment(c).expect("comment");
-                let author = self.corpus.user(comment.author).expect("author");
+                let comment = self.corpus.comment(c)?;
+                let author = self.corpus.user(comment.author)?;
                 // A reply's parent status: the replied comment, or the
                 // discussion's root post.
                 let parent = match comment.reply_to {
                     Some(parent) => {
-                        let pc = self.corpus.comment(parent).expect("parent comment");
+                        let pc = self.corpus.comment(parent)?;
                         encode_status_id(pc.published, ContentRef::Comment(parent))
                     }
                     None => {
-                        let d = self
-                            .corpus
-                            .discussion(comment.discussion)
-                            .expect("discussion");
-                        let root = self.corpus.post(d.root_post).expect("root");
+                        let d = self.corpus.discussion(comment.discussion)?;
+                        let root = self.corpus.post(d.root_post)?;
                         encode_status_id(root.published, ContentRef::Post(root.id))
                     }
                 };
-                StatusRecord {
+                Ok(StatusRecord {
                     status_id,
                     handle: author.handle.clone(),
                     text: comment.body.clone(),
@@ -195,7 +195,7 @@ impl<'a> MicroblogApi<'a> {
                     replies_at: counts.mentions,
                     favs: counts.likes,
                     hashtags: Vec::new(),
-                }
+                })
             }
         }
     }

@@ -100,8 +100,8 @@ impl<'a> ReviewApi<'a> {
         let venues = slice
             .iter()
             .map(|&d| {
-                let disc = self.corpus.discussion(d).expect("own discussion");
-                VenueRecord {
+                let disc = self.corpus.discussion(d)?;
+                Ok(VenueRecord {
                     venue_code: format!("V-{}", d.raw()),
                     name: disc.title.clone(),
                     category: self
@@ -111,9 +111,9 @@ impl<'a> ReviewApi<'a> {
                         .unwrap_or("misc")
                         .to_owned(),
                     review_count: self.corpus.comments_of_discussion(d).len() as u32,
-                }
+                })
             })
-            .collect();
+            .collect::<Result<_, WrapperError>>()?;
         Ok((venues, total_pages))
     }
 
@@ -146,10 +146,10 @@ impl<'a> ReviewApi<'a> {
         let reviews = slice
             .iter()
             .map(|&cid| {
-                let c = self.corpus.comment(cid).expect("comment");
-                let reviewer = self.corpus.user(c.author).expect("reviewer");
+                let c = self.corpus.comment(cid)?;
+                let reviewer = self.corpus.user(c.author)?;
                 let counts = InteractionCounts::tally(self.corpus, ContentRef::Comment(cid));
-                ReviewRecord {
+                Ok(ReviewRecord {
                     reviewer: reviewer.handle.clone(),
                     // The platform's own star widget; deterministic
                     // synthetic rating (not used by the wrapper).
@@ -157,9 +157,9 @@ impl<'a> ReviewApi<'a> {
                     text: c.body.clone(),
                     visited_day: c.published.days() as u32,
                     helpful_votes: counts.feedbacks,
-                }
+                })
             })
-            .collect();
+            .collect::<Result<_, WrapperError>>()?;
         Ok((reviews, total_pages))
     }
 }

@@ -86,29 +86,32 @@ impl<'a> WikiApi<'a> {
             return Err(WrapperError::BadCursor(format!("offset {offset}")));
         }
         let slice = &all[offset..(offset + limit).min(total)];
-        let articles = slice.iter().map(|&d| self.render(d)).collect();
+        let articles = slice
+            .iter()
+            .map(|&d| self.render(d))
+            .collect::<Result<_, _>>()?;
         Ok((articles, total))
     }
 
-    fn render(&self, id: DiscussionId) -> ArticleRecord {
-        let d = self.corpus.discussion(id).expect("own discussion");
-        let post = self.corpus.post(d.root_post).expect("root post");
-        let curator = self.corpus.user(d.opened_by).expect("curator");
+    fn render(&self, id: DiscussionId) -> Result<ArticleRecord, WrapperError> {
+        let d = self.corpus.discussion(id)?;
+        let post = self.corpus.post(d.root_post)?;
+        let curator = self.corpus.user(d.opened_by)?;
         let revisions = self
             .corpus
             .comments_of_discussion(id)
             .iter()
             .map(|&cid| {
-                let c = self.corpus.comment(cid).expect("comment");
-                let editor = self.corpus.user(c.author).expect("editor");
-                RevisionRecord {
+                let c = self.corpus.comment(cid)?;
+                let editor = self.corpus.user(c.author)?;
+                Ok(RevisionRecord {
                     editor: editor.handle.clone(),
                     edited_day: c.published.days() as u32,
                     note: c.body.clone(),
-                }
+                })
             })
-            .collect();
-        ArticleRecord {
+            .collect::<Result<_, WrapperError>>()?;
+        Ok(ArticleRecord {
             slug: slug_for(&d.title, id),
             heading: d.title.clone(),
             wikitext: format!("== {} ==\n{}", d.title, post.body),
@@ -116,7 +119,7 @@ impl<'a> WikiApi<'a> {
             created_day: d.opened_at.days() as u32,
             protected: d.closed,
             revisions,
-        }
+        })
     }
 }
 

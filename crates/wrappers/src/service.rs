@@ -471,7 +471,7 @@ impl DataService for ReviewService<'_> {
                 .corpus
                 .discussion(discussion)
                 .map_err(|_| WrapperError::BadCursor(v.venue_code.clone()))?;
-            let root_post = self.base.corpus.post(d.root_post).expect("root post");
+            let root_post = self.base.corpus.post(d.root_post)?;
             items.push(self.base.item(
                 discussion,
                 ContentRef::Post(d.root_post),
@@ -494,7 +494,7 @@ impl DataService for ReviewService<'_> {
                             raw: (base_idx + i).to_string(),
                         }
                     })?;
-                    let comment = self.base.corpus.comment(cid).expect("comment");
+                    let comment = self.base.corpus.comment(cid)?;
                     items.push(self.base.item(
                         discussion,
                         ContentRef::Comment(cid),
@@ -593,7 +593,7 @@ impl DataService for WikiService<'_> {
                             what: "wiki revision index",
                             raw: idx.to_string(),
                         })?;
-                let comment = self.base.corpus.comment(cid).expect("comment");
+                let comment = self.base.corpus.comment(cid)?;
                 items.push(self.base.item(
                     discussion,
                     ContentRef::Comment(cid),
