@@ -468,9 +468,86 @@ fn bench_shard_smoke(c: &mut Criterion) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The telemetry tax (`telemetry_overhead` group): what a serving
+/// thread pays per recording (`counter_inc`, `histogram_record` —
+/// one Relaxed atomic RMW each, target well under 50 ns), what a
+/// metrics scraper pays to walk a populated registry
+/// (`registry_snapshot`), and what full instrumentation adds to a
+/// scatter-gather query over the ~10k-doc corpus at 2 shards
+/// (`query_instrumented_2shards` vs `query_plain_2shards`, target
+/// <5% apart).
+fn bench_telemetry(c: &mut Criterion, world: &World) {
+    use obs_live::ShardMetrics;
+    use obs_telemetry::{Counter, Histogram, Registry};
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+
+    let counter = Counter::new();
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+
+    // A striding value so every iteration lands in a different
+    // bucket — the worst case for cache-friendly recording.
+    let hist = Histogram::new();
+    let mut v = 1u64;
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            hist.record(black_box(v >> 16));
+        })
+    });
+
+    // A registry populated the way the examples populate it: the
+    // full sharded instrument set at 4 shards, everything recorded
+    // at least once so no series shortcuts to empty.
+    let registry = Registry::new();
+    let metrics = ShardMetrics::new(&registry, 4);
+    for shard in 0..4usize {
+        let _unused: Result<(), obs_live::LiveError> = metrics.time_shard_commit(shard, || Ok(()));
+    }
+    group.bench_function("registry_snapshot", |b| {
+        b.iter(|| black_box(registry.snapshot()))
+    });
+
+    // The same scatter-gather query with and without stage tracing.
+    let panel = AlexaPanel::simulate(world, 1);
+    let links = LinkGraph::simulate(world, 2);
+    let engine = SearchEngine::build(&world.corpus, &panel, &links, BlendWeights::default());
+    let docs = engine.doc_count();
+    let probe = probe_terms(world);
+    let all: Vec<PostId> = world.corpus.posts().iter().map(|p| p.id).collect();
+    let mut seed = engine.clone();
+    seed.apply_delta(&CorpusDelta::for_removals(&world.corpus, &all).expect("posts resolve"));
+    let dir = temp_shard_dir("telemetry");
+    let mut service = ShardedLiveService::start(&seed, 2, &dir).expect("journals in temp dir");
+    for burst in all
+        .chunks(512)
+        .map(|chunk| CorpusDelta::for_posts(&world.corpus, chunk).expect("posts resolve"))
+        .collect::<Vec<_>>()
+        .chunks(64)
+    {
+        service.ingest_batch(burst).expect("load ingest");
+    }
+    assert_eq!(service.doc_count(), docs);
+
+    let plain = service.reader();
+    group.bench_function(format!("query_plain_2shards/{docs}_docs"), |b| {
+        b.iter(|| black_box(plain.query(&probe, 20)))
+    });
+    let service = service.with_metrics(ShardMetrics::new(&registry, 2));
+    let instrumented = service.reader();
+    group.bench_function(format!("query_instrumented_2shards/{docs}_docs"), |b| {
+        b.iter(|| black_box(instrumented.query(&probe, 20)))
+    });
+    group.finish();
+    drop((plain, instrumented, service));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn bench_live_service(c: &mut Criterion) {
     let small = world_with_posts(10_000, 42);
     bench_scale(c, "10k", &small);
+    bench_telemetry(c, &small);
     let large = world_with_posts(100_000, 43);
     bench_scale(c, "100k", &large);
     bench_shard(c, &large);

@@ -9,8 +9,9 @@ use std::path::{Path, PathBuf};
 
 /// Serving crates subject to the panic-freedom pass. `obs_obs` (the
 /// root crate, experiments, benches) may still panic: it is driven
-/// by operators, not user queries.
-const SERVING_CRATES: [&str; 4] = ["live", "search", "wrappers", "model"];
+/// by operators, not user queries. `telemetry` is included because
+/// its recording paths run inline in every serving request.
+const SERVING_CRATES: [&str; 5] = ["live", "search", "wrappers", "model", "telemetry"];
 
 /// Directory names never scanned, wherever they appear.
 const EXCLUDED_DIRS: [&str; 5] = ["target", "tests", "benches", "examples", "fixtures"];

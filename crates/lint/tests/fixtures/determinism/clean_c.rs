@@ -1,0 +1,16 @@
+// lint:deterministic — fixture: the clean instrumentation pattern.
+// The tagged module hands its commit closure to an untagged metrics
+// type that owns the clock, and records only counts it computed
+// itself — no clock vocabulary appears here.
+
+pub fn routed_commit(metrics: Option<&ShardMetrics>, shard: usize) -> CommitOutcome {
+    match metrics {
+        Some(m) => m.time_shard_commit(shard, commit_batch),
+        None => commit_batch(),
+    }
+}
+
+pub fn record_fanout(hist: &Histogram, routed: &[Batch]) {
+    let non_empty = routed.iter().filter(|b| !b.is_empty()).count();
+    hist.record(non_empty as u64);
+}

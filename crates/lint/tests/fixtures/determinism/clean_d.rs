@@ -1,0 +1,24 @@
+// lint:deterministic — fixture: phase-boundary callbacks are the
+// clean way to time a replayed plan. The hooks carry plan facts
+// (shard index, result counts); the trait impl that turns them into
+// durations lives in an untagged module and owns the clock there.
+
+pub trait ScatterTrace {
+    fn gathered(&mut self) {}
+    fn shard_scored(&mut self, _shard: usize, _partials: usize) {}
+    fn merged(&mut self, _hits: usize) {}
+}
+
+pub fn scatter(shards: &[Engine], trace: &mut dyn ScatterTrace) -> Vec<Hit> {
+    let stats = gather(shards);
+    trace.gathered();
+    let mut partials = Vec::new();
+    for (i, shard) in shards.iter().enumerate() {
+        let before = partials.len();
+        partials.extend(shard.partial(&stats));
+        trace.shard_scored(i, partials.len() - before);
+    }
+    let hits = merge(partials);
+    trace.merged(hits.len());
+    hits
+}

@@ -1,0 +1,11 @@
+// lint:deterministic — fixture: wrapping the wall clock in a
+// telemetry-flavored helper does not launder it. The tagged module
+// must hand a closure to an untagged metrics module instead of
+// reading `Instant` itself, even to feed a histogram.
+
+pub fn timed_commit(hist: &Histogram) -> CommitOutcome {
+    let start = std::time::Instant::now(); //~ determinism
+    let outcome = commit_batch();
+    hist.record(elapsed_ns(start));
+    outcome
+}

@@ -1,0 +1,19 @@
+// lint:deterministic — fixture: storing the wall clock inside a
+// local "span" type is still wall-clock time in a replayed module;
+// the span must live in the untagged metrics half.
+
+pub struct CommitSpan {
+    started: std::time::Instant, //~ determinism
+}
+
+impl CommitSpan {
+    pub fn start() -> CommitSpan {
+        CommitSpan {
+            started: std::time::Instant::now(), //~ determinism
+        }
+    }
+
+    pub fn finish(self, hist: &Histogram) {
+        hist.record(self.started.elapsed().as_nanos() as u64);
+    }
+}

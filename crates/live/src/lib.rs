@@ -55,12 +55,14 @@
 
 mod error;
 pub mod journal;
+pub mod metrics;
 pub mod service;
 pub mod shard;
 pub mod snapshot;
 
 pub use error::LiveError;
 pub use journal::{DeltaJournal, JournalError, JournalReplay};
+pub use metrics::{LiveMetrics, ShardMetrics};
 pub use service::{LiveService, RecoveryReport};
 pub use shard::{ShardRouter, ShardedLiveService, ShardedReader};
 pub use snapshot::{EngineSnapshot, LiveWriter, SnapshotReader, SnapshotStore};

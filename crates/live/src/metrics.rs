@@ -1,0 +1,208 @@
+//! Serving-layer metrics: commit pipeline stages and per-shard
+//! health.
+//!
+//! This module is the *untagged* timing half of the serving layer's
+//! observability. [`shard`](crate::shard) is `lint:deterministic`
+//! (the router and commit order must replay identically), so it
+//! never reads a clock itself — it hands closures to
+//! [`ShardMetrics::time_shard_commit`], which lives here and owns
+//! the [`TelemetryClock`](obs_telemetry::TelemetryClock). The
+//! instruments:
+//!
+//! | instrument | type | labels | answers |
+//! |---|---|---|---|
+//! | `live_ingest_stage_ns` | histogram | `stage` | where does a commit spend its time? |
+//! | `live_ingest_batch_deltas` | histogram | — | how big are group commits? |
+//! | `live_commits_total` | counter | — | how many commits landed? |
+//! | `live_journal_retractions_total` | counter | — | how often did durability fail? |
+//! | `live_mark_rollbacks_total` | counter | — | how often were crawl cursors rolled back? |
+//! | `live_shard_commit_ns` | histogram | `shard` | is one shard slow? |
+//! | `live_shard_commits_total` | counter | `shard` | is commit load balanced? |
+//! | `live_shard_failures_total` | counter | `shard` | is one shard failing? |
+//! | `live_commit_fanout_shards` | histogram | — | how wide do routed commits fan out? |
+//!
+//! `stage` is `journal` / `fsync` / `apply` / `publish` for
+//! single-delta ingest; the batch path journals and fsyncs in one
+//! [`DeltaJournal::append_batch`](crate::DeltaJournal::append_batch)
+//! call (that's the group-commit point), so it records that fused
+//! stage as `stage="journal_fsync"` instead of the first two.
+
+use crate::error::LiveError;
+use obs_search::SearchMetrics;
+use obs_telemetry::{Counter, Histogram, Registry, SharedClock, Stopwatch};
+
+/// Instrument handles for one [`LiveService`](crate::LiveService)'s
+/// commit pipeline. Cheap to clone; recording is lock-free.
+#[derive(Debug, Clone)]
+pub struct LiveMetrics {
+    clock: SharedClock,
+    pub(crate) stage_journal: Histogram,
+    pub(crate) stage_fsync: Histogram,
+    pub(crate) stage_journal_fsync: Histogram,
+    pub(crate) stage_apply: Histogram,
+    pub(crate) stage_publish: Histogram,
+    pub(crate) batch_deltas: Histogram,
+    pub(crate) commits: Counter,
+    pub(crate) retractions: Counter,
+    pub(crate) rollbacks: Counter,
+}
+
+impl LiveMetrics {
+    /// Registers the commit-pipeline instruments in `registry`.
+    pub fn new(registry: &Registry) -> LiveMetrics {
+        let stage = |s: &str| registry.histogram_with("live_ingest_stage_ns", &[("stage", s)]);
+        LiveMetrics {
+            clock: registry.clock_handle(),
+            stage_journal: stage("journal"),
+            stage_fsync: stage("fsync"),
+            stage_journal_fsync: stage("journal_fsync"),
+            stage_apply: stage("apply"),
+            stage_publish: stage("publish"),
+            batch_deltas: registry.histogram("live_ingest_batch_deltas"),
+            commits: registry.counter("live_commits_total"),
+            retractions: registry.counter("live_journal_retractions_total"),
+            rollbacks: registry.counter("live_mark_rollbacks_total"),
+        }
+    }
+
+    /// A stopwatch on the metrics clock, for staging one commit.
+    pub(crate) fn stopwatch(&self) -> Stopwatch {
+        Stopwatch::start(self.clock.clone())
+    }
+}
+
+/// Instrument handles for a
+/// [`ShardedLiveService`](crate::ShardedLiveService): per-shard
+/// commit latency and outcome counters, commit fan-out width, the
+/// shared mark-rollback counter, and the query path's
+/// [`SearchMetrics`] for its [`ShardedReader`](crate::ShardedReader).
+#[derive(Debug, Clone)]
+pub struct ShardMetrics {
+    clock: SharedClock,
+    commit_ns: Vec<Histogram>,
+    commits: Vec<Counter>,
+    failures: Vec<Counter>,
+    pub(crate) fanout: Histogram,
+    pub(crate) rollbacks: Counter,
+    search: SearchMetrics,
+}
+
+impl ShardMetrics {
+    /// Registers per-shard instruments for `shards` shards in
+    /// `registry`.
+    pub fn new(registry: &Registry, shards: usize) -> ShardMetrics {
+        let per_shard = |name: &str| -> Vec<Counter> {
+            (0..shards)
+                .map(|i| registry.counter_with(name, &[("shard", &i.to_string())]))
+                .collect()
+        };
+        ShardMetrics {
+            clock: registry.clock_handle(),
+            commit_ns: (0..shards)
+                .map(|i| {
+                    registry.histogram_with("live_shard_commit_ns", &[("shard", &i.to_string())])
+                })
+                .collect(),
+            commits: per_shard("live_shard_commits_total"),
+            failures: per_shard("live_shard_failures_total"),
+            fanout: registry.histogram("live_commit_fanout_shards"),
+            rollbacks: registry.counter("live_mark_rollbacks_total"),
+            search: SearchMetrics::new(registry, shards),
+        }
+    }
+
+    /// The query-path metrics a [`ShardedReader`](crate::ShardedReader)
+    /// built from the instrumented service records into.
+    pub fn search(&self) -> &SearchMetrics {
+        &self.search
+    }
+
+    /// Runs one shard's commit closure under the latency/outcome
+    /// instruments — the clock boundary the `lint:deterministic`
+    /// shard module calls instead of reading time itself. A shard
+    /// index beyond the registered range still runs the closure; it
+    /// just records nothing.
+    pub fn time_shard_commit<T>(
+        &self,
+        shard: usize,
+        commit: impl FnOnce() -> Result<T, LiveError>,
+    ) -> Result<T, LiveError> {
+        let start = self.clock.now_ns();
+        let outcome = commit();
+        let elapsed = self.clock.now_ns().saturating_sub(start);
+        if let Some(hist) = self.commit_ns.get(shard) {
+            hist.record(elapsed);
+        }
+        let column = match &outcome {
+            Ok(_) => &self.commits,
+            Err(_) => &self.failures,
+        };
+        if let Some(counter) = column.get(shard) {
+            counter.inc();
+        }
+        outcome
+    }
+
+    /// Per-shard commit counts `(shard, commits, failures)` — the
+    /// balance view the examples print.
+    pub fn commit_counts(&self) -> Vec<(usize, u64, u64)> {
+        self.commits
+            .iter()
+            .zip(&self.failures)
+            .enumerate()
+            .map(|(i, (c, f))| (i, c.get(), f.get()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs_telemetry::ManualClock;
+    use std::sync::Arc;
+
+    #[test]
+    fn shard_commit_timer_splits_outcomes_per_shard() {
+        let clock = Arc::new(ManualClock::new());
+        let registry = Registry::with_clock(clock.clone());
+        let metrics = ShardMetrics::new(&registry, 2);
+
+        let ok: Result<u32, LiveError> = metrics.time_shard_commit(0, || {
+            clock.advance(500);
+            Ok(7)
+        });
+        assert_eq!(ok.ok(), Some(7));
+        let err: Result<(), LiveError> = metrics.time_shard_commit(1, || {
+            clock.advance(900);
+            Err(LiveError::CheckpointGap {
+                checkpoint_seq: 0,
+                journal_first_seq: 2,
+            })
+        });
+        assert!(err.is_err());
+
+        assert_eq!(metrics.commit_counts(), vec![(0, 1, 0), (1, 0, 1)]);
+        assert_eq!(metrics.commit_ns[0].snapshot().sum(), 500);
+        assert_eq!(metrics.commit_ns[1].snapshot().sum(), 900);
+    }
+
+    #[test]
+    fn out_of_range_shard_still_commits() {
+        let registry = Registry::new();
+        let metrics = ShardMetrics::new(&registry, 1);
+        let ok: Result<u32, LiveError> = metrics.time_shard_commit(9, || Ok(1));
+        assert_eq!(ok.ok(), Some(1));
+        assert_eq!(metrics.commit_counts(), vec![(0, 0, 0)]);
+    }
+
+    #[test]
+    fn live_metrics_register_the_stage_series() {
+        let registry = Registry::new();
+        let metrics = LiveMetrics::new(&registry);
+        metrics.stage_apply.record(10);
+        metrics.commits.inc();
+        let text = registry.render_text();
+        assert!(text.contains("live_ingest_stage_ns_count{stage=\"apply\"} 1"));
+        assert!(text.contains("live_commits_total 1"));
+    }
+}

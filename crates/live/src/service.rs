@@ -9,6 +9,7 @@
 
 use crate::error::LiveError;
 use crate::journal::DeltaJournal;
+use crate::metrics::LiveMetrics;
 use crate::snapshot::{LiveWriter, SnapshotReader};
 use obs_model::{Clock, CorpusDelta};
 use obs_search::SearchEngine;
@@ -33,6 +34,7 @@ pub struct RecoveryReport {
 pub struct LiveService {
     writer: LiveWriter,
     journal: DeltaJournal,
+    metrics: Option<LiveMetrics>,
 }
 
 impl LiveService {
@@ -46,7 +48,19 @@ impl LiveService {
         Ok(LiveService {
             writer: LiveWriter::new(engine, 0),
             journal: DeltaJournal::create(journal_path)?,
+            metrics: None,
         })
+    }
+
+    /// Attaches commit-pipeline metrics: every subsequent ingest
+    /// records per-stage durations (journal/fsync/apply/publish, or
+    /// the fused `journal_fsync` on the batch path), batch sizes,
+    /// and the commit/retraction/rollback counters. Attach after
+    /// [`LiveService::start`] or [`LiveService::recover`]; the
+    /// uninstrumented service records nothing and pays nothing.
+    pub fn with_metrics(mut self, metrics: LiveMetrics) -> LiveService {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Rebuilds the exact pre-crash service: opens the journal at
@@ -93,7 +107,14 @@ impl LiveService {
         // this, the first post-recovery ingest would be stamped seq 1
         // and rejected by the writer.
         journal.resume_at(report.recovered_seq + 1);
-        Ok((LiveService { writer, journal }, report))
+        Ok((
+            LiveService {
+                writer,
+                journal,
+                metrics: None,
+            },
+            report,
+        ))
     }
 
     /// Ingests one delta: journals it durably (append + fsync),
@@ -113,8 +134,15 @@ impl LiveService {
         if delta.is_empty() {
             return Ok(self.seq());
         }
+        let mut watch = self.metrics.as_ref().map(LiveMetrics::stopwatch);
         let seq = self.journal.append(delta)?;
+        if let (Some(m), Some(w)) = (&self.metrics, watch.as_mut()) {
+            w.lap_into(&m.stage_journal);
+        }
         if let Err(sync_err) = self.journal.sync() {
+            if let Some(m) = &self.metrics {
+                m.retractions.inc();
+            }
             // Best effort: if the retract also fails the journal and
             // writer sequences have diverged and only recover() can
             // rebuild a consistent service; surface the original
@@ -122,8 +150,18 @@ impl LiveService {
             let _ = self.journal.retract_staged(); // lint:allow(discard): best effort per the comment above; the sync error wins
             return Err(sync_err.into());
         }
+        if let (Some(m), Some(w)) = (&self.metrics, watch.as_mut()) {
+            w.lap_into(&m.stage_fsync);
+        }
         self.writer.apply(seq, delta);
+        if let (Some(m), Some(w)) = (&self.metrics, watch.as_mut()) {
+            w.lap_into(&m.stage_apply);
+        }
         self.writer.publish();
+        if let (Some(m), Some(w)) = (&self.metrics, watch.as_mut()) {
+            w.lap_into(&m.stage_publish);
+            m.commits.inc();
+        }
         Ok(seq)
     }
 
@@ -149,11 +187,37 @@ impl LiveService {
     /// level down to BM25 score maps).
     pub fn ingest_batch(&mut self, deltas: &[CorpusDelta]) -> Result<u64, LiveError> {
         let fresh: Vec<&CorpusDelta> = deltas.iter().filter(|d| !d.is_empty()).collect();
-        let Some((first, _)) = self.journal.append_batch(&fresh)? else {
+        let mut watch = self.metrics.as_ref().map(LiveMetrics::stopwatch);
+        let appended = match self.journal.append_batch(&fresh) {
+            Ok(appended) => appended,
+            Err(e) => {
+                // `append_batch` already retracted the staged batch
+                // (all-or-nothing); account for it.
+                if let Some(m) = &self.metrics {
+                    m.retractions.inc();
+                }
+                return Err(e.into());
+            }
+        };
+        let Some((first, _)) = appended else {
             return Ok(self.seq());
         };
+        // The batch path journals and fsyncs inside one
+        // `append_batch` call — that fusion *is* the group commit —
+        // so the stage label is the fused `journal_fsync`.
+        if let (Some(m), Some(w)) = (&self.metrics, watch.as_mut()) {
+            w.lap_into(&m.stage_journal_fsync);
+            m.batch_deltas.record(fresh.len() as u64);
+        }
         self.writer.apply_batch(first, &fresh);
+        if let (Some(m), Some(w)) = (&self.metrics, watch.as_mut()) {
+            w.lap_into(&m.stage_apply);
+        }
         self.writer.publish();
+        if let (Some(m), Some(w)) = (&self.metrics, watch.as_mut()) {
+            w.lap_into(&m.stage_publish);
+            m.commits.inc();
+        }
         Ok(self.seq())
     }
 
@@ -180,6 +244,9 @@ impl LiveService {
         // journaled, nothing published.
         if let Err(e) = self.ingest(&delta) {
             marks.rollback(source, pre_tick_mark);
+            if let Some(m) = &self.metrics {
+                m.rollbacks.inc();
+            }
             return Err(e);
         }
         Ok((self.seq(), crawl_report))
@@ -226,6 +293,9 @@ impl LiveService {
         let (deltas, report) = crawler.crawl_sweep(services, clock, marks)?;
         if let Err(e) = self.ingest_batch(&deltas) {
             *marks = pre_sweep;
+            if let Some(m) = &self.metrics {
+                m.rollbacks.inc();
+            }
             return Err(e);
         }
         Ok((self.seq(), report))

@@ -49,10 +49,13 @@
 
 use crate::error::LiveError;
 use crate::journal::DeltaJournal;
+use crate::metrics::ShardMetrics;
 use crate::service::RecoveryReport;
 use crate::snapshot::{LiveWriter, SnapshotReader};
 use obs_model::{Clock, CorpusDelta, PostId, SourceId};
-use obs_search::{scatter_query, SearchEngine, SearchHit, StaticBlend};
+use obs_search::{
+    scatter_query, scatter_query_traced, SearchEngine, SearchHit, SearchMetrics, StaticBlend,
+};
 use obs_wrappers::{Crawler, DataService, HighWaterMarks, SweepReport};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -276,6 +279,11 @@ pub struct ShardedLiveService {
     blend: StaticBlend,
     /// Published copy of `blend` for readers.
     blend_cell: Arc<BlendCell>,
+    /// Per-shard commit instruments. This module is
+    /// `lint:deterministic`, so all timing happens inside
+    /// [`ShardMetrics`] (untagged `metrics` module) — the shard path
+    /// only hands it closures and plan facts, never reads a clock.
+    metrics: Option<ShardMetrics>,
 }
 
 impl ShardedLiveService {
@@ -315,7 +323,18 @@ impl ShardedLiveService {
             shards: handles,
             blend_cell: Arc::new(BlendCell::new(blend.clone())),
             blend,
+            metrics: None,
         })
+    }
+
+    /// Attaches per-shard commit and query instruments (see
+    /// [`ShardMetrics`]): subsequent routed commits record per-shard
+    /// latency, outcome counters and fan-out width, and readers
+    /// built by [`ShardedLiveService::reader`] record scatter-gather
+    /// stage timings. The uninstrumented service records nothing.
+    pub fn with_metrics(mut self, metrics: ShardMetrics) -> ShardedLiveService {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Rebuilds the pre-crash service by replaying **each shard's own
@@ -382,6 +401,7 @@ impl ShardedLiveService {
                 shards: handles,
                 blend_cell: Arc::new(BlendCell::new(blend.clone())),
                 blend,
+                metrics: None,
             },
             reports,
         ))
@@ -438,16 +458,25 @@ impl ShardedLiveService {
                 }
             }
         }
+        let metrics = self.metrics.as_ref();
+        if let Some(m) = metrics {
+            m.fanout
+                .record(routed.iter().filter(|b| !b.is_empty()).count() as u64);
+        }
         let outcomes: Vec<Result<(), LiveError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter_mut()
                 .zip(&routed)
-                .map(|(shard, batch)| {
+                .enumerate()
+                .map(|(i, (shard, batch))| {
                     if batch.is_empty() {
                         None
                     } else {
-                        Some(scope.spawn(move || shard.commit(batch)))
+                        Some(scope.spawn(move || match metrics {
+                            Some(m) => m.time_shard_commit(i, || shard.commit(batch)),
+                            None => shard.commit(batch),
+                        }))
                     }
                 })
                 .collect();
@@ -523,6 +552,9 @@ impl ShardedLiveService {
             Ok(()) => Ok(report),
             Err(failure) => {
                 marks.rollback_many(failure.refused_sources.iter().copied(), &pre_sweep);
+                if let Some(m) = &self.metrics {
+                    m.rollbacks.inc();
+                }
                 Err(failure.into_error())
             }
         }
@@ -535,6 +567,7 @@ impl ShardedLiveService {
         ShardedReader {
             readers: self.shards.iter().map(|s| s.writer.reader()).collect(),
             blend: Arc::clone(&self.blend_cell),
+            metrics: self.metrics.as_ref().map(|m| m.search().clone()),
         }
     }
 
@@ -595,6 +628,11 @@ impl ShardedLiveService {
 pub struct ShardedReader {
     readers: Vec<SnapshotReader>,
     blend: Arc<BlendCell>,
+    /// Query-path instruments inherited from the service's
+    /// [`ShardMetrics`]; the timing itself lives behind
+    /// [`SearchMetrics`] so this `lint:deterministic` module stays
+    /// clock-free.
+    metrics: Option<SearchMetrics>,
 }
 
 impl ShardedReader {
@@ -606,7 +644,20 @@ impl ShardedReader {
         let snapshots: Vec<_> = self.readers.iter().map(|r| r.snapshot()).collect();
         let engines: Vec<&SearchEngine> = snapshots.iter().map(|s| s.engine()).collect();
         let blend = self.blend.load();
-        scatter_query(&engines, terms, k, |s| blend.score(s), blend.weights())
+        match &self.metrics {
+            Some(m) => {
+                let mut timer = m.trace();
+                scatter_query_traced(
+                    &engines,
+                    terms,
+                    k,
+                    |s| blend.score(s),
+                    blend.weights(),
+                    &mut timer,
+                )
+            }
+            None => scatter_query(&engines, terms, k, |s| blend.score(s), blend.weights()),
+        }
     }
 
     /// Per-shard snapshot sequences, in shard order.
@@ -766,6 +817,63 @@ mod tests {
             );
         }
         cleanup(path.parent().unwrap());
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn instrumented_service_records_shard_commits_fanout_and_queries() {
+        use obs_telemetry::Registry;
+
+        let (world, engine) = world_and_engine(608);
+        let seed = empty_seed(&world, &engine);
+        let stream = delta_stream(&world, 7);
+        let dir = temp_dir("metrics");
+        let registry = Registry::new();
+        let metrics = ShardMetrics::new(&registry, 3);
+        let mut service = ShardedLiveService::start(&seed, 3, &dir)
+            .unwrap()
+            .with_metrics(metrics.clone());
+
+        let mut bursts = 0u64;
+        for batch in stream.chunks(4) {
+            service.ingest_batch(batch).unwrap();
+            bursts += 1;
+        }
+        // Every routed commit recorded an outcome: commit totals
+        // across shards equal the fan-out histogram's running sum.
+        let counts = metrics.commit_counts();
+        let committed: u64 = counts.iter().map(|(_, c, _)| c).sum();
+        assert!(committed > 0, "no shard commits recorded");
+        assert_eq!(counts.iter().map(|(_, _, f)| f).sum::<u64>(), 0);
+        let fanout = metrics.fanout.snapshot();
+        assert_eq!(fanout.count(), bursts);
+        assert_eq!(fanout.sum(), committed);
+
+        // The instrumented reader answers identically and records
+        // query-path timings.
+        let reader = service.reader();
+        let probe: Vec<String> = vec!["duomo".into(), "castle".into()];
+        let hits = reader.query(&probe, 20);
+        assert_eq!(hits, service.reader().query(&probe, 20));
+        assert_eq!(metrics.search().query_snapshot().count(), 2);
+
+        let text = registry.render_text();
+        assert!(text.contains("live_shard_commit_ns_count{shard=\"0\"}"));
+        assert!(text.contains("live_commit_fanout_shards_count"));
+        assert!(text.contains("search_query_ns_count 2"));
+
+        // A per-shard fsync failure lands in that shard's failure
+        // column; the probe delta targets a source homed on shard 0.
+        let source = (0..100)
+            .map(SourceId::new)
+            .find(|s| service.router().shard_of(*s) == 0)
+            .unwrap();
+        let mut probe_delta = CorpusDelta::new();
+        probe_delta.add_doc(PostId::new(999_999), source, "metrics probe");
+        service.inject_journal_sync_failures(0, 1);
+        assert!(service.ingest_batch(&[probe_delta]).is_err());
+        let counts = metrics.commit_counts();
+        assert_eq!(counts[0].2, 1, "shard 0 failure not recorded: {counts:?}");
         cleanup(&dir);
     }
 

@@ -24,6 +24,9 @@
 //! * [`scatter`] — scatter-gather query evaluation over partitioned
 //!   indexes ([`ScatterStats`], [`merge_partials`],
 //!   [`scatter_query`]), bit-identical to the single-index scorer;
+//! * [`trace`](mod@trace) — query-path metrics: [`SearchMetrics`]
+//!   turns the plan's [`ScatterTrace`] phase hooks into latency
+//!   histograms on an injectable clock;
 //! * [`engine`] — the [`SearchEngine`]: per-source signal blending,
 //!   top-k query evaluation, and incremental refresh via
 //!   [`apply_delta`](engine::SearchEngine::apply_delta).
@@ -37,12 +40,17 @@ pub mod pagerank;
 pub mod scatter;
 pub mod score;
 pub mod token;
+pub mod trace;
 pub mod writer;
 
 pub use blend::{BlendWeights, StaticBlend};
 pub use engine::{SearchEngine, SearchHit};
 pub use index::InvertedIndex;
 pub use pagerank::{pagerank, pagerank_converged, PagerankRun};
-pub use scatter::{merge_partials, scatter_query, ScatterStats, SourcePartial};
+pub use scatter::{
+    merge_partials, scatter_query, scatter_query_traced, NopTrace, ScatterStats, ScatterTrace,
+    SourcePartial,
+};
 pub use token::tokenize;
+pub use trace::{QueryTimer, SearchMetrics};
 pub use writer::{CommitStats, IndexWriter};

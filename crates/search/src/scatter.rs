@@ -174,6 +174,33 @@ pub fn merge_partials(
     hits
 }
 
+/// Observer hooks for the phases of one scatter-gather evaluation.
+///
+/// This module is `lint:deterministic`, so the query plan cannot
+/// read a wall clock itself; instead it announces each phase
+/// boundary through these callbacks and an *untagged* implementation
+/// (see [`SearchMetrics`](crate::trace::SearchMetrics)) turns the
+/// boundaries into latency histograms. The hooks carry only plan
+/// facts (shard index, result counts) — never time — and every
+/// method defaults to a no-op, so tracing is strictly additive: the
+/// plan's arithmetic and ranking are byte-identical with or without
+/// a trace attached.
+pub trait ScatterTrace {
+    /// Global statistics gathered across every shard.
+    fn gathered(&mut self) {}
+    /// Shard `shard` finished scoring, contributing `partials`
+    /// per-source partial results.
+    fn shard_scored(&mut self, _shard: usize, _partials: usize) {}
+    /// The merge produced the final `hits`-element ranking.
+    fn merged(&mut self, _hits: usize) {}
+}
+
+/// The do-nothing trace behind the untraced [`scatter_query`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NopTrace;
+
+impl ScatterTrace for NopTrace {}
+
 /// Evaluates a query across shard engines with the full
 /// gather → scatter → merge plan, blending with an externally owned
 /// (global) static score — typically
@@ -193,17 +220,38 @@ pub fn scatter_query<S: AsRef<str>>(
     static_score: impl Fn(SourceId) -> f64,
     weights: &BlendWeights,
 ) -> Vec<SearchHit> {
+    scatter_query_traced(shards, terms, k, static_score, weights, &mut NopTrace)
+}
+
+/// [`scatter_query`] with a [`ScatterTrace`] observing each phase
+/// boundary. Results are identical to the untraced call — the trace
+/// only *watches* (shards are scored sequentially, so between-hook
+/// intervals attribute cleanly to one shard). The empty-shard early
+/// return fires no hooks: there is no plan to observe.
+pub fn scatter_query_traced<S: AsRef<str>>(
+    shards: &[&SearchEngine],
+    terms: &[S],
+    k: usize,
+    static_score: impl Fn(SourceId) -> f64,
+    weights: &BlendWeights,
+    trace: &mut dyn ScatterTrace,
+) -> Vec<SearchHit> {
     if shards.is_empty() {
         return Vec::new();
     }
     let normalized = normalize_query(terms);
     let indexes: Vec<&InvertedIndex> = shards.iter().map(|s| s.index()).collect();
     let stats = ScatterStats::gather(&indexes, &normalized);
+    trace.gathered();
     let mut partials = Vec::new();
-    for shard in shards {
+    for (i, shard) in shards.iter().enumerate() {
+        let before = partials.len();
         partials.extend(shard.partial_query(&normalized, &stats));
+        trace.shard_scored(i, partials.len() - before);
     }
-    merge_partials(partials, static_score, weights, k)
+    let hits = merge_partials(partials, static_score, weights, k);
+    trace.merged(hits.len());
+    hits
 }
 
 /// Normalizes raw query terms the way the index was tokenized:

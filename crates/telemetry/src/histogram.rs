@@ -1,0 +1,285 @@
+//! Log-bucketed latency/size histogram (HDR-style).
+//!
+//! Layout: values below 16 land in exact unit buckets; above that,
+//! each power of two is split into 16 linear sub-buckets, so bucket
+//! width is always `floor / 16` rounded down. Quantiles are
+//! nearest-rank over bucket floors, which gives the documented
+//! error bound used by the proptest oracle:
+//!
+//! > `reported <= exact <= reported + reported / 16`
+//!
+//! (integer division; values below 16 are exact). Relative error is
+//! thus at most 1/16 = 6.25%. The observed maximum is tracked
+//! exactly, outside the bucket grid.
+//!
+//! Recording is three relaxed atomic RMWs — no locks, no allocation
+//! after construction — so writers on the serving path never
+//! contend. Snapshots load each bucket atomically; a snapshot taken
+//! during concurrent recording is a valid state *between* two
+//! recordings per instrument (counts monotone across successive
+//! snapshots), which is exactly what a scraper needs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// 16 exact unit buckets, then 16 sub-buckets for each power of two
+/// from 2^4 through 2^63: 16 + 16 * 60 = 976.
+const NUM_BUCKETS: usize = 976;
+
+/// Index of the bucket holding `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as usize;
+        let sub = ((v >> (msb - 4)) & 0xF) as usize;
+        16 * (msb - 3) + sub
+    }
+}
+
+/// Smallest value that lands in bucket `i` (what quantiles report).
+fn bucket_floor(i: usize) -> u64 {
+    if i < 16 {
+        i as u64
+    } else {
+        let msb = i / 16 + 3;
+        let sub = i % 16;
+        ((16 + sub) as u64) << (msb - 4)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A concurrent log-bucketed histogram. Cloning shares the
+/// underlying buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(NUM_BUCKETS);
+        buckets.resize_with(NUM_BUCKETS, AtomicU64::default);
+        Self {
+            core: Arc::new(HistogramCore {
+                buckets,
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation. Lock-free: three relaxed RMWs.
+    pub fn record(&self, v: u64) {
+        let core = &self.core;
+        if let Some(bucket) = core.buckets.get(bucket_index(v)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+        core.sum.fetch_add(v, Ordering::Relaxed);
+        core.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Captures the current distribution. See the module docs for
+    /// the consistency contract under concurrent recording.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = &self.core;
+        HistogramSnapshot {
+            buckets: core
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: core.sum.load(Ordering::Relaxed),
+            max: core.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable, mergeable point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no observations (identity for [`merge`]).
+    ///
+    /// [`merge`]: HistogramSnapshot::merge
+    pub fn empty() -> Self {
+        Self {
+            buckets: vec![0; NUM_BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum observed value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Nearest-rank quantile for `q` in `[0, 1]`, reported as the
+    /// floor of the bucket holding that rank (0 when empty). The
+    /// true value is at most `reported + reported / 16`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_floor(i);
+            }
+        }
+        self.max
+    }
+
+    /// Median (nearest-rank, bucketed).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (nearest-rank, bucketed).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (nearest-rank, bucketed).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Folds another snapshot into this one: bucket-wise sums, so
+    /// quantiles over the merge carry the same error bound. Used to
+    /// aggregate per-shard distributions into a fleet view.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_floor(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_grid_is_continuous_and_monotone() {
+        // floor(index(v)) <= v for all v, and floors strictly
+        // increase with the index.
+        let mut prev = None;
+        for i in 0..NUM_BUCKETS {
+            let f = bucket_floor(i);
+            assert_eq!(bucket_index(f), i, "floor of bucket {i} maps back");
+            if let Some(p) = prev {
+                assert!(f > p);
+            }
+            prev = Some(f);
+        }
+        // Spot-check the seam where exact buckets end.
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(31), 31);
+        assert_eq!(bucket_index(32), 32);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_error_bound_holds() {
+        for v in [0, 1, 15, 16, 17, 100, 1_000, 123_456, u64::MAX / 3] {
+            let f = bucket_floor(bucket_index(v));
+            assert!(f <= v, "floor {f} > value {v}");
+            assert!(v <= f + f / 16, "value {v} above bound for floor {f}");
+        }
+    }
+
+    #[test]
+    fn quantiles_on_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 100);
+        assert_eq!(snap.sum(), 5050);
+        assert_eq!(snap.max(), 100);
+        // Exact p50 is 50; bucketed report must be within the bound.
+        let p50 = snap.p50();
+        assert!(p50 <= 50 && 50 <= p50 + p50 / 16);
+        let p99 = snap.p99();
+        assert!(p99 <= 99 && 99 <= p99 + p99 / 16);
+    }
+
+    #[test]
+    fn empty_snapshot_reports_zeros() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.p99(), 0);
+        assert_eq!(snap.max(), 0);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_sum() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 1..=50u64 {
+            a.record(v);
+        }
+        for v in 51..=100u64 {
+            b.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+
+        let whole = Histogram::new();
+        for v in 1..=100u64 {
+            whole.record(v);
+        }
+        assert_eq!(merged, whole.snapshot());
+    }
+}

@@ -1,0 +1,51 @@
+//! # obs-telemetry — lock-free metrics for the live serving stack
+//!
+//! The serving layer answers queries while content streams in; this
+//! crate is how it *sees itself doing it*: counters, gauges and
+//! latency histograms that are safe to update from the hottest path
+//! — every recording operation is a handful of relaxed atomic
+//! operations, no locks, no allocation, no panics — plus a registry
+//! that names them and an exposition layer that renders them.
+//!
+//! * [`Counter`] / [`Gauge`] — one atomic cell behind a cloneable
+//!   handle. Incrementing is a relaxed `fetch_add`.
+//! * [`Histogram`] — a log-bucketed (HDR-style) latency/size
+//!   distribution: 16 linear sub-buckets per power of two, values
+//!   below 16 exact, relative quantile error bounded by 1/16
+//!   (6.25%). Snapshots are mergeable and report nearest-rank
+//!   p50/p90/p99 plus the exact observed max.
+//! * [`Registry`] — names instruments (`name{label="value"}`),
+//!   deduplicates registration, and snapshots every instrument for
+//!   the dual exposition layer: Prometheus-style text
+//!   ([`Registry::render_text`]) and a `serde_json` value dump
+//!   ([`Registry::to_json`]).
+//! * [`TelemetryClock`] — the injectable time source behind every
+//!   [`Span`] / [`Stopwatch`]. Production uses [`RealClock`]
+//!   (monotonic `Instant`); tests use [`ManualClock`]. Modules under
+//!   a `lint:deterministic` tag never read a wall clock themselves:
+//!   they call closure-timing helpers (or record pre-measured
+//!   durations) owned by untagged code, so replay determinism and
+//!   observability coexist — the `obs_lint` determinism pass keeps
+//!   it that way.
+//!
+//! Recording never panics and never blocks: the registry's interior
+//! mutex is touched only at *registration* time (and by snapshots),
+//! and even there a poisoned lock is recovered, not propagated —
+//! instruments hold plain atomics, so there is no broken invariant
+//! to inherit.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod counter;
+pub mod expose;
+pub mod histogram;
+pub mod registry;
+pub mod span;
+
+pub use clock::{ManualClock, RealClock, SharedClock, TelemetryClock};
+pub use counter::{Counter, Gauge};
+pub use expose::{render_text, to_json, MetricSnapshot, MetricValue};
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::Registry;
+pub use span::{Span, Stopwatch};

@@ -1,0 +1,263 @@
+//! Named instrument registry.
+//!
+//! The registry is the *directory*, not the hot path: callers
+//! register once at wiring time (`registry.histogram("query_ns")`),
+//! keep the cloned lock-free handle, and record through the handle
+//! forever after. The interior mutex is taken only at registration
+//! and snapshot time. Registering the same `(name, labels)` pair
+//! twice returns a handle to the same underlying instrument, so
+//! independent components can share a series safely.
+//!
+//! Two deliberate non-panics (this crate sits under the same
+//! panic-freedom lint as the serving crates):
+//!
+//! * a poisoned mutex is recovered with `into_inner` — instruments
+//!   hold plain atomics, so there is no invariant a panicking peer
+//!   could have broken half-way;
+//! * re-registering a name under a *different* instrument kind
+//!   returns a fresh detached instrument (recordable, but never
+//!   exported) instead of panicking. That misuse is a wiring bug the
+//!   exposition makes visible — the series goes missing — without
+//!   ever taking down the serving path.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::clock::{RealClock, SharedClock};
+use crate::counter::{Counter, Gauge};
+use crate::expose::{MetricSnapshot, MetricValue};
+use crate::histogram::Histogram;
+use crate::span::Stopwatch;
+
+/// One series key: instrument name plus sorted `(label, value)`
+/// pairs.
+type SeriesKey = (String, Vec<(String, String)>);
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A directory of named instruments sharing one injectable clock.
+#[derive(Debug)]
+pub struct Registry {
+    clock: SharedClock,
+    instruments: Mutex<BTreeMap<SeriesKey, Instrument>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates a registry on the production [`RealClock`].
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(RealClock::new()))
+    }
+
+    /// Creates a registry on an injected clock (tests use
+    /// [`ManualClock`](crate::ManualClock)).
+    pub fn with_clock(clock: SharedClock) -> Self {
+        Self {
+            clock,
+            instruments: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The shared clock every span/stopwatch built from this
+    /// registry reads.
+    pub fn clock_handle(&self) -> SharedClock {
+        Arc::clone(&self.clock)
+    }
+
+    /// Current reading of the registry clock, in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// A stopwatch started now on the registry clock.
+    pub fn stopwatch(&self) -> Stopwatch {
+        Stopwatch::start(self.clock_handle())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<SeriesKey, Instrument>> {
+        match self.instruments.lock() {
+            Ok(guard) => guard,
+            // Instruments are plain atomics; a panicking registrant
+            // cannot leave the map in a half-written state we care
+            // about. Recover rather than propagate.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn series_key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+        let mut owned: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        owned.sort();
+        (name.to_string(), owned)
+    }
+
+    /// Registers (or retrieves) an unlabeled counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Registers (or retrieves) a counter with labels such as
+    /// `[("shard", "3")]`.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = Self::series_key(name, labels);
+        let mut map = self.lock();
+        match map
+            .entry(key)
+            .or_insert_with(|| Instrument::Counter(Counter::new()))
+        {
+            Instrument::Counter(c) => c.clone(),
+            // Kind mismatch: see the module docs — detached, never
+            // exported, never a panic.
+            _ => Counter::new(),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Registers (or retrieves) a labeled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = Self::series_key(name, labels);
+        let mut map = self.lock();
+        match map
+            .entry(key)
+            .or_insert_with(|| Instrument::Gauge(Gauge::new()))
+        {
+            Instrument::Gauge(g) => g.clone(),
+            _ => Gauge::new(),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// Registers (or retrieves) a labeled histogram.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = Self::series_key(name, labels);
+        let mut map = self.lock();
+        match map
+            .entry(key)
+            .or_insert_with(|| Instrument::Histogram(Histogram::new()))
+        {
+            Instrument::Histogram(h) => h.clone(),
+            _ => Histogram::new(),
+        }
+    }
+
+    /// Snapshots every registered series, sorted by name then
+    /// labels (the map is a `BTreeMap`, so output order is stable).
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let map = self.lock();
+        map.iter()
+            .map(|((name, labels), instrument)| MetricSnapshot {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: match instrument {
+                    Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect()
+    }
+
+    /// Renders every series in the Prometheus-style text format.
+    pub fn render_text(&self) -> String {
+        crate::expose::render_text(&self.snapshot())
+    }
+
+    /// Renders every series as a `serde_json` value.
+    pub fn to_json(&self) -> serde_json::Value {
+        crate::expose::to_json(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn same_key_shares_the_instrument() {
+        let registry = Registry::new();
+        let a = registry.counter_with("hits", &[("shard", "0")]);
+        let b = registry.counter_with("hits", &[("shard", "0")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let registry = Registry::new();
+        let a = registry.counter_with("hits", &[("a", "1"), ("b", "2")]);
+        let b = registry.counter_with("hits", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn different_labels_are_different_series() {
+        let registry = Registry::new();
+        let a = registry.counter_with("hits", &[("shard", "0")]);
+        let b = registry.counter_with("hits", &[("shard", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 0);
+        assert_eq!(registry.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn kind_mismatch_detaches_instead_of_panicking() {
+        let registry = Registry::new();
+        let c = registry.counter("mixed");
+        c.add(7);
+        let h = registry.histogram("mixed");
+        h.record(1); // goes nowhere visible, but must not panic
+        let snaps = registry.snapshot();
+        assert_eq!(snaps.len(), 1);
+        assert!(matches!(snaps[0].value, MetricValue::Counter(7)));
+    }
+
+    #[test]
+    fn injected_clock_drives_now_ns() {
+        let clock = Arc::new(ManualClock::new());
+        let registry = Registry::with_clock(clock.clone());
+        assert_eq!(registry.now_ns(), 0);
+        clock.advance(42);
+        assert_eq!(registry.now_ns(), 42);
+    }
+
+    #[test]
+    fn snapshot_order_is_stable() {
+        let registry = Registry::new();
+        registry.counter("zeta");
+        registry.counter("alpha");
+        registry.counter_with("alpha", &[("shard", "1")]);
+        let names: Vec<String> = registry
+            .snapshot()
+            .into_iter()
+            .map(|s| {
+                let labels: Vec<String> =
+                    s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!("{}[{}]", s.name, labels.join(","))
+            })
+            .collect();
+        assert_eq!(names, ["alpha[]", "alpha[shard=1]", "zeta[]"]);
+    }
+}

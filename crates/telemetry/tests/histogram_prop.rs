@@ -1,0 +1,104 @@
+//! Property test: bucketed quantiles against an exact sorted-vector
+//! oracle.
+//!
+//! The histogram documents `reported <= exact <= reported +
+//! reported / 16` for every nearest-rank quantile (integer
+//! division; values below 16 are exact). The oracle computes the
+//! true nearest-rank value from a sorted copy of the raw
+//! observations and checks the bound at p50/p90/p99 for arbitrary
+//! value distributions — small exact-bucket values, large
+//! log-bucketed values, and mixes.
+
+use obs_telemetry::Histogram;
+use proptest::prelude::*;
+
+/// True nearest-rank quantile over raw observations.
+fn exact_nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+fn check_bound(values: &[u64]) -> Result<(), String> {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+
+    prop_assert_eq!(snap.count(), sorted.len() as u64);
+    prop_assert_eq!(snap.max(), *sorted.last().unwrap());
+    prop_assert_eq!(snap.sum(), sorted.iter().sum::<u64>());
+
+    for q in [0.5, 0.9, 0.99] {
+        let exact = exact_nearest_rank(&sorted, q);
+        let reported = snap.quantile(q);
+        prop_assert!(
+            reported <= exact,
+            "q={q}: reported {reported} above exact {exact}"
+        );
+        prop_assert!(
+            exact <= reported + reported / 16,
+            "q={q}: exact {exact} outside bound for reported {reported}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Wide-range values exercise the log buckets.
+    #[test]
+    fn quantiles_within_bound_wide(
+        values in proptest::collection::vec(0u64..4_000_000_000, 1..200),
+    ) {
+        check_bound(&values)?;
+    }
+
+    /// Small values exercise the exact unit buckets (error must be
+    /// zero there, which the shared bound also implies).
+    #[test]
+    fn quantiles_within_bound_small(
+        values in proptest::collection::vec(0u64..16, 1..200),
+    ) {
+        check_bound(&values)?;
+        // Below 16 every bucket is exact: reported == exact.
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(snap.quantile(q), exact_nearest_rank(&sorted, q));
+        }
+    }
+
+    /// Merged snapshots obey the same bound as recording everything
+    /// into one histogram.
+    #[test]
+    fn merged_snapshots_match_single_histogram(
+        left in proptest::collection::vec(0u64..1_000_000, 1..100),
+        right in proptest::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let a = Histogram::new();
+        for &v in &left {
+            a.record(v);
+        }
+        let b = Histogram::new();
+        for &v in &right {
+            b.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+
+        let whole = Histogram::new();
+        for &v in left.iter().chain(&right) {
+            whole.record(v);
+        }
+        prop_assert_eq!(merged, whole.snapshot());
+    }
+}

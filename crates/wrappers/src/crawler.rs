@@ -7,10 +7,12 @@
 //! its source snapshots fresh without re-reading history.
 
 use crate::error::WrapperError;
+use crate::metrics::CrawlMetrics;
 use crate::observation::SourceObservation;
 use crate::service::{Cursor, DataService};
 use obs_model::{Clock, CorpusDelta, Duration, SourceId, Timestamp};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Per-source incremental-crawl cursors: the publish instant of the
 /// newest item each source has ever yielded. A tick loop keeps one
@@ -204,15 +206,29 @@ pub struct SweepReport {
 }
 
 /// The crawl driver.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Crawler {
     config: CrawlerConfig,
+    metrics: Option<Arc<CrawlMetrics>>,
 }
 
 impl Crawler {
     /// Creates a driver with the given policy.
     pub fn new(config: CrawlerConfig) -> Self {
-        Crawler { config }
+        Crawler {
+            config,
+            metrics: None,
+        }
+    }
+
+    /// Attaches crawl metrics: every subsequent crawl records
+    /// per-fetch latency (aggregate + per source), page/item
+    /// counts, rate denials, retries and sweep wall clock into the
+    /// metrics' registry. Parallel sweep workers share the same
+    /// handles — recording is lock-free.
+    pub fn with_metrics(mut self, metrics: Arc<CrawlMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The policy this driver runs under.
@@ -244,12 +260,32 @@ impl Crawler {
         let mut items = Vec::new();
         let mut cursor: Option<Cursor> = None;
         let mut consecutive_retries = 0u32;
+        // Register the per-source fetch histogram once per crawl,
+        // not per fetch — only this line can take the registry lock.
+        let timing = self
+            .metrics
+            .as_deref()
+            .map(|m| (m, m.fetch_hist(service.descriptor().source)));
 
         while report.pages < self.config.max_pages {
-            match service.fetch(clock.now(), cursor) {
+            // Every fetch outcome is timed — a rate denial or a
+            // transient failure costs a round-trip too.
+            let fetched = match &timing {
+                Some((m, per_source)) => {
+                    let mut watch = m.stopwatch();
+                    let fetched = service.fetch(clock.now(), cursor);
+                    m.record_fetch(per_source, watch.lap_ns());
+                    fetched
+                }
+                None => service.fetch(clock.now(), cursor),
+            };
+            match fetched {
                 Ok(page) => {
                     consecutive_retries = 0;
                     report.pages += 1;
+                    if let Some((m, _)) = &timing {
+                        m.page_fetched();
+                    }
                     for item in page.items {
                         if since.is_none_or(|s| item.published > s) {
                             items.push(item);
@@ -263,6 +299,9 @@ impl Crawler {
                 Err(WrapperError::RateLimited { retry_after_secs }) => {
                     report.rate_limit_waits += 1;
                     report.waited_secs += retry_after_secs;
+                    if let Some((m, _)) = &timing {
+                        m.rate_denied();
+                    }
                     clock.advance(Duration(retry_after_secs.max(1)));
                 }
                 Err(e @ WrapperError::Transient(_)) => {
@@ -273,6 +312,9 @@ impl Crawler {
                     consecutive_retries += 1;
                     report.retries += 1;
                     report.waited_secs += backoff;
+                    if let Some((m, _)) = &timing {
+                        m.retried();
+                    }
                     clock.advance(Duration(backoff));
                 }
                 Err(fatal) => return Err(fatal),
@@ -280,6 +322,9 @@ impl Crawler {
         }
 
         report.items = items.len();
+        if let Some((m, _)) = &timing {
+            m.items_observed(items.len() as u64);
+        }
         Ok((
             SourceObservation {
                 source: service.descriptor().source,
@@ -411,11 +456,19 @@ impl Crawler {
         // equivalence must hold for it too.
         let mut seen = std::collections::HashSet::new();
         let distinct = services.iter().all(|s| seen.insert(s.descriptor().source));
-        if self.config.workers <= 1 || services.len() <= 1 || !distinct {
+        // Sweep wall clock is recorded for failed sweeps too: an
+        // operator watching `crawl_sweep_ns` p99 wants to see the
+        // cost of retried sweeps, not just the ones that landed.
+        let mut watch = self.metrics.as_deref().map(CrawlMetrics::stopwatch);
+        let outcome = if self.config.workers <= 1 || services.len() <= 1 || !distinct {
             self.crawl_sweep_sequential(services, clock, marks)
         } else {
             self.crawl_sweep_parallel(services, clock, marks)
+        };
+        if let (Some(m), Some(w)) = (self.metrics.as_deref(), watch.as_mut()) {
+            m.sweep_finished(w.lap_ns());
         }
+        outcome
     }
 
     fn crawl_sweep_sequential(
@@ -465,7 +518,11 @@ impl Crawler {
         let start = clock.now();
         let workers = self.config.workers.min(services.len());
         let chunk_len = services.len().div_ceil(workers);
-        let crawler = *self;
+        // Workers share this one clone by reference (`&Crawler` is
+        // `Copy` into the move closures), so an attached
+        // `CrawlMetrics` is shared too, not duplicated per worker.
+        let crawler = self.clone();
+        let crawler = &crawler;
 
         // One worker per contiguous chunk of services. Results come
         // back through the join handles — workers share no mutable
@@ -1130,6 +1187,55 @@ mod tests {
         // worker was joined), and no mark moved.
         assert!(outcome.is_err(), "worker panic must surface");
         assert!(marks.is_empty(), "marks survived a panicked sweep");
+    }
+
+    #[test]
+    fn metrics_record_fetches_items_and_sweeps() {
+        let w = world();
+        let registry = Arc::new(obs_telemetry::Registry::new());
+        let metrics = Arc::new(crate::metrics::CrawlMetrics::new(&registry));
+        let crawler = Crawler::new(CrawlerConfig {
+            workers: 3,
+            ..CrawlerConfig::default()
+        })
+        .with_metrics(Arc::clone(&metrics));
+
+        let mut services: Vec<Box<dyn DataService + '_>> = w
+            .corpus
+            .sources()
+            .iter()
+            .map(|s| service_for(&w.corpus, s.id, w.now).unwrap())
+            .collect();
+        let mut marks = HighWaterMarks::new();
+        let mut clock = Clock::starting_at(w.now);
+        let (_, sweep) = crawler
+            .crawl_sweep(&mut services, &mut clock, &mut marks)
+            .unwrap();
+
+        let text = registry.render_text();
+        assert!(
+            text.contains(&format!("crawl_pages_total {}", sweep.crawl.pages)),
+            "page counter mismatch in:\n{text}"
+        );
+        assert!(
+            text.contains(&format!("crawl_items_total {}", sweep.crawl.items)),
+            "item counter mismatch in:\n{text}"
+        );
+        // Every fetch was timed: at least one round-trip per page,
+        // in the aggregate and split per source.
+        let json = registry.to_json();
+        let fetches = json
+            .get("crawl_fetch_ns")
+            .and_then(|h| h.get("count"))
+            .and_then(|c| c.as_u64())
+            .unwrap();
+        assert!(fetches >= sweep.crawl.pages as u64);
+        assert!(text.contains("crawl_fetch_ns{source="));
+        assert!(text.contains("crawl_sweep_ns_count 1"));
+
+        // An uninstrumented crawler leaves a fresh registry silent.
+        let silent = Arc::new(obs_telemetry::Registry::new());
+        assert_eq!(silent.render_text(), "");
     }
 
     #[test]

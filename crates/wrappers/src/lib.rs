@@ -26,7 +26,10 @@
 //! * [`crawler`] — an incremental crawl driver with retry/backoff,
 //!   per-source cursors, and a multi-source sweep that optionally
 //!   fans per-source crawls across worker threads
-//!   ([`CrawlerConfig::workers`]).
+//!   ([`CrawlerConfig::workers`]);
+//! * [`metrics`] — crawl-side instruments ([`CrawlMetrics`]):
+//!   per-source fetch latency, items/pages/denial/retry counters,
+//!   sweep wall clock.
 
 #![warn(missing_docs)]
 
@@ -34,6 +37,7 @@ pub mod crawler;
 mod error;
 pub mod fault;
 pub mod latency;
+pub mod metrics;
 pub mod native;
 pub mod observation;
 pub mod rate;
@@ -43,6 +47,7 @@ pub use crawler::{CrawlReport, Crawler, CrawlerConfig, HighWaterMarks, SweepRepo
 pub use error::WrapperError;
 pub use fault::FaultPlan;
 pub use latency::SimulatedLatency;
+pub use metrics::CrawlMetrics;
 pub use observation::{ContentItem, InteractionCounts, ItemKind, SourceObservation};
 pub use rate::{RateDenied, TokenBucket};
 pub use service::{service_for, Cursor, DataService, Page, ServiceDescriptor};

@@ -9,4 +9,5 @@ pub use obs_search as search;
 pub use obs_sentiment as sentiment;
 pub use obs_stats as stats;
 pub use obs_synth as synth;
+pub use obs_telemetry as telemetry;
 pub use obs_wrappers as wrappers;
