@@ -19,8 +19,10 @@ pub enum TokenKind {
     Ident(String),
     /// A lifetime (`'a`, `'_`, `'static`).
     Lifetime,
-    /// Any string-like literal (`"…"`, `r#"…"#`, `b"…"`).
-    Str,
+    /// Any string-like literal (`"…"`, `r#"…"#`, `b"…"`), carrying
+    /// its raw inner text (delimiters stripped, escapes untouched —
+    /// the instrument-drift pass only reads plain snake_case names).
+    Str(String),
     /// A char or byte-char literal (`'x'`, `b'\n'`).
     Char,
     /// A numeric literal (`42`, `0xEDB8_8320u32`, `1.5e-3`).
@@ -56,6 +58,14 @@ impl Token {
     /// Whether this token is the given identifier/keyword.
     pub fn is_ident(&self, name: &str) -> bool {
         self.ident() == Some(name)
+    }
+
+    /// The raw inner text, if this token is a string literal.
+    pub fn str_text(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Str(text) => Some(text),
+            _ => None,
+        }
     }
 }
 
@@ -184,10 +194,13 @@ impl Lexer<'_> {
     fn string(&mut self) {
         let line = self.line;
         self.pos += 1;
+        let start = self.pos;
+        let mut end = self.src.len();
         while self.pos < self.src.len() {
             match self.src[self.pos] {
                 b'\\' => self.pos += 2,
                 b'"' => {
+                    end = self.pos;
                     self.pos += 1;
                     break;
                 }
@@ -198,7 +211,8 @@ impl Lexer<'_> {
                 _ => self.pos += 1,
             }
         }
-        self.push(TokenKind::Str, line);
+        let text = String::from_utf8_lossy(&self.src[start..end.min(self.src.len())]).into_owned();
+        self.push(TokenKind::Str(text), line);
     }
 
     /// `'` begins either a lifetime (`'a`, `'_`) or a char literal
@@ -274,6 +288,8 @@ impl Lexer<'_> {
             return false; // r#foo — a raw identifier, not a string
         }
         self.pos += hash_start + hashes + 1;
+        let start = self.pos;
+        let mut end = self.src.len();
         let closer: Vec<u8> = std::iter::once(b'"')
             .chain(std::iter::repeat_n(b'#', hashes))
             .collect();
@@ -284,12 +300,14 @@ impl Lexer<'_> {
                 continue;
             }
             if self.src[self.pos..].starts_with(&closer) {
+                end = self.pos;
                 self.pos += closer.len();
                 break;
             }
             self.pos += 1;
         }
-        self.push(TokenKind::Str, line);
+        let text = String::from_utf8_lossy(&self.src[start..end.min(self.src.len())]).into_owned();
+        self.push(TokenKind::Str(text), line);
         true
     }
 
@@ -386,16 +404,25 @@ mod tests {
 
     #[test]
     fn raw_and_byte_strings_are_single_tokens() {
-        for src in [
-            "r\"panic!\"",
-            "r#\"has \" quote and panic!\"#",
-            "b\"panic!\"",
-            "br#\"panic!\"#",
+        for (src, inner) in [
+            ("r\"panic!\"", "panic!"),
+            ("r#\"has \" quote and panic!\"#", "has \" quote and panic!"),
+            ("b\"panic!\"", "panic!"),
+            ("br#\"panic!\"#", "panic!"),
         ] {
             let lexed = lex(src);
             assert_eq!(lexed.tokens.len(), 1, "{src}");
-            assert_eq!(lexed.tokens[0].kind, TokenKind::Str, "{src}");
+            assert_eq!(lexed.tokens[0].str_text(), Some(inner), "{src}");
         }
+    }
+
+    #[test]
+    fn string_tokens_carry_their_inner_text() {
+        let lexed = lex("registry.histogram(\"live_ingest_stage_ns\");");
+        let texts: Vec<&str> = lexed.tokens.iter().filter_map(Token::str_text).collect();
+        assert_eq!(texts, vec!["live_ingest_stage_ns"]);
+        // Escapes are preserved raw, not interpreted.
+        assert_eq!(lex(r#""a\"b""#).tokens[0].str_text(), Some("a\\\"b"));
     }
 
     #[test]

@@ -9,9 +9,21 @@
 //! know about; a new code path can violate the contract without
 //! failing anything. This crate closes that gap: a hand-rolled Rust
 //! lexer (no `syn` — the image is offline and the linter must gate
-//! every other crate without sitting downstream of one) plus five
-//! repo-specific passes that run over the workspace source and fail
-//! CI with `file:line` findings.
+//! every other crate without sitting downstream of one) feeding two
+//! analysis phases that fail CI with `file:line` findings.
+//!
+//! **Phase 1** indexes the whole workspace: every `fn` with its
+//! crate, impl type and body span ([`symbols`]), and an
+//! import-gated, over-approximate call graph over those symbols
+//! ([`callgraph`]). **Phase 2** runs the passes. Five are per-file
+//! (panic-freedom on serving crates, commit ordering, guard across
+//! blocking, determinism, discarded results) and three are
+//! interprocedural over the phase-1 graph: `reach` walks panic
+//! sites in *non*-serving crates backwards to serving entry points
+//! and prints the call chain; `ordering` composes append/sync/apply
+//! summaries across `obs_live` helper functions; `drift` diffs the
+//! instrument names registered in code against the ARCHITECTURE.md
+//! catalog table and the ci.yml grep lists.
 //!
 //! Suppression is explicit and justified:
 //!
@@ -20,19 +32,33 @@
 //! ```
 //!
 //! where `<pass>` is one of `panic`, `ordering`, `guard`,
-//! `determinism`, `discard`. A trailing pragma covers its own line;
-//! a standalone comment covers the next code line. A reasonless or
-//! unknown-pass pragma is itself a (non-suppressible) finding.
-//! Files opting into replay-determinism checks carry a
+//! `determinism`, `discard`, `reach`, `drift`. A trailing pragma
+//! covers its own line; a standalone comment covers the next code
+//! line. For `reach`, the pragma can also sit on a call-edge line
+//! to vouch for that edge (cutting every chain through it). A
+//! reasonless or unknown-pass pragma is itself a (non-suppressible)
+//! finding. Files opting into replay-determinism checks carry a
 //! `// lint:deterministic` comment.
+//!
+//! The CLI (`obs_lint check`) emits text, `--format json`, or
+//! `--format github` annotations, and gates against the committed
+//! ratchet file `LINT_BASELINE.tsv` ([`baseline`]): only findings
+//! not in the baseline fail the build, so the gate can be adopted
+//! before every legacy finding is burned down.
 
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod callgraph;
+pub mod emit;
 pub mod lexer;
 pub mod pass;
 pub mod passes;
 pub mod runner;
 pub mod source;
+pub mod symbols;
+pub mod workspace;
 
 pub use pass::{Diagnostic, Pass};
-pub use runner::{check, lint_source};
+pub use runner::{check, lint_source, workspace_sources};
+pub use workspace::{Surfaces, Workspace};

@@ -1,38 +1,111 @@
-//! CLI: `obs_lint check [ROOT]`.
+//! CLI: `obs_lint check [ROOT] [--format text|json|github]
+//! [--baseline PATH] [--write-baseline]`.
 //!
-//! Prints every finding as `file:line: [pass] message` and exits
-//! non-zero if there are any — CI runs this as a required gate.
+//! Exits non-zero only on findings *not* covered by the ratchet
+//! baseline (`LINT_BASELINE.tsv` at ROOT by default) — CI runs this
+//! as a required gate, so new violations fail while accepted
+//! pre-existing ones burn down at their own pace.
 
+use obs_lint::baseline::{self, Baseline};
+use obs_lint::emit::{self, Format};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cmd, root) = match args.as_slice() {
-        [cmd] => (cmd.as_str(), PathBuf::from(".")),
-        [cmd, root] => (cmd.as_str(), PathBuf::from(root)),
-        _ => ("", PathBuf::new()),
-    };
-    if cmd != "check" {
-        eprintln!("usage: obs_lint check [ROOT]");
-        eprintln!();
-        eprintln!("Lints the workspace at ROOT (default: current directory)");
-        eprintln!("with the repo-specific invariant passes:");
-        for key in obs_lint::Pass::KEYS {
-            let pass = obs_lint::Pass::from_key(key).expect("KEYS are valid keys");
-            eprintln!("  {:<14} {}", key, pass.name());
+struct Args {
+    root: PathBuf,
+    format: Format,
+    baseline_path: PathBuf,
+    write_baseline: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: obs_lint check [ROOT] [--format text|json|github]");
+    eprintln!("                      [--baseline PATH] [--write-baseline]");
+    eprintln!();
+    eprintln!("Lints the workspace at ROOT (default: current directory)");
+    eprintln!("with the repo-specific invariant passes:");
+    for key in obs_lint::Pass::KEYS {
+        let pass = obs_lint::Pass::from_key(key).expect("KEYS are valid keys");
+        eprintln!("  {:<14} {}", key, pass.name());
+    }
+    eprintln!();
+    eprintln!("Findings listed in the ratchet baseline (default:");
+    eprintln!(
+        "ROOT/{}) are reported but do not fail the gate;",
+        baseline::DEFAULT_FILE
+    );
+    eprintln!("--write-baseline regenerates it from the current findings.");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Option<Args> {
+    let mut args = std::env::args().skip(1);
+    if args.next().as_deref() != Some("check") {
+        return None;
+    }
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Text;
+    let mut baseline_path = None;
+    let mut write_baseline = false;
+    let mut saw_root = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => format = Format::parse(&args.next()?)?,
+            "--baseline" => baseline_path = Some(PathBuf::from(args.next()?)),
+            "--write-baseline" => write_baseline = true,
+            flag if flag.starts_with('-') => return None,
+            path if !saw_root => {
+                root = PathBuf::from(path);
+                saw_root = true;
+            }
+            _ => return None,
         }
-        return ExitCode::from(2);
     }
-    let findings = obs_lint::check(&root);
-    for finding in &findings {
-        println!("{finding}");
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join(baseline::DEFAULT_FILE));
+    Some(Args {
+        root,
+        format,
+        baseline_path,
+        write_baseline,
+    })
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        return usage();
+    };
+    let findings = obs_lint::check(&args.root);
+    if args.write_baseline {
+        let text = Baseline::render(&findings);
+        if let Err(err) = std::fs::write(&args.baseline_path, text) {
+            eprintln!(
+                "obs_lint: cannot write baseline {}: {err}",
+                args.baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "obs_lint: wrote {} finding(s) to {}",
+            findings.len(),
+            args.baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
     }
-    if findings.is_empty() {
-        println!("obs_lint: workspace clean");
+    let baseline = match Baseline::load(&args.baseline_path) {
+        Ok(baseline) => baseline,
+        Err(err) => {
+            eprintln!(
+                "obs_lint: cannot read baseline {}: {err}",
+                args.baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let (new, baselined) = baseline.partition(&findings);
+    print!("{}", emit::render(args.format, &new, &baselined));
+    if new.is_empty() {
         ExitCode::SUCCESS
     } else {
-        println!("obs_lint: {} finding(s)", findings.len());
         ExitCode::FAILURE
     }
 }

@@ -23,14 +23,40 @@ pub enum Pass {
     /// `let _ =` on a fallible commit/fsync call needs a pragma.
     /// Pragma key: `discard`.
     DiscardedResult,
+    /// A direct panic site (`unwrap`, `expect`, `panic!`-family,
+    /// slice/array indexing) in a *non*-serving crate that the
+    /// workspace call graph proves reachable from a function defined
+    /// in a serving crate. Pragma key: `reach` — a pragma on a call
+    /// edge (the call-site line) or on the panic site itself cuts
+    /// every chain through it.
+    PanicReachability,
+    /// An instrument name present on one observability surface
+    /// (code registration, the ARCHITECTURE.md catalog, the ci.yml
+    /// grep lists) but missing from another, or a registration whose
+    /// name the drift detector cannot see (non-literal first
+    /// argument). Pragma key: `drift`.
+    InstrumentDrift,
     /// A malformed `lint:allow` pragma (reasonless, unknown pass).
     /// Not suppressible — a typo'd suppression must not hide itself.
     Pragma,
+    /// A file or observability surface the linter must gate but
+    /// could not read. Not suppressible — the linter never silently
+    /// skips part of its surface.
+    Io,
 }
 
 impl Pass {
-    /// The pragma keys, in pass order (excluding `Pragma` itself).
-    pub const KEYS: [&'static str; 5] = ["panic", "ordering", "guard", "determinism", "discard"];
+    /// The pragma keys, in pass order (excluding the
+    /// non-suppressible `Pragma` and `Io`).
+    pub const KEYS: [&'static str; 7] = [
+        "panic",
+        "ordering",
+        "guard",
+        "determinism",
+        "discard",
+        "reach",
+        "drift",
+    ];
 
     /// Parses a pragma key.
     pub fn from_key(key: &str) -> Option<Pass> {
@@ -40,6 +66,8 @@ impl Pass {
             "guard" => Some(Pass::GuardAcrossBlocking),
             "determinism" => Some(Pass::Determinism),
             "discard" => Some(Pass::DiscardedResult),
+            "reach" => Some(Pass::PanicReachability),
+            "drift" => Some(Pass::InstrumentDrift),
             _ => None,
         }
     }
@@ -52,7 +80,26 @@ impl Pass {
             Pass::GuardAcrossBlocking => "guard-across-blocking",
             Pass::Determinism => "determinism",
             Pass::DiscardedResult => "discarded-result",
+            Pass::PanicReachability => "panic-reachability",
+            Pass::InstrumentDrift => "instrument-drift",
             Pass::Pragma => "pragma",
+            Pass::Io => "io",
+        }
+    }
+
+    /// The stable key used in machine-readable output and the
+    /// ratchet baseline (pragma key where one exists).
+    pub fn key(self) -> &'static str {
+        match self {
+            Pass::PanicFreedom => "panic",
+            Pass::CommitOrdering => "ordering",
+            Pass::GuardAcrossBlocking => "guard",
+            Pass::Determinism => "determinism",
+            Pass::DiscardedResult => "discard",
+            Pass::PanicReachability => "reach",
+            Pass::InstrumentDrift => "drift",
+            Pass::Pragma => "pragma",
+            Pass::Io => "io",
         }
     }
 }

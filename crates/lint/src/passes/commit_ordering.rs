@@ -17,6 +17,9 @@
 use super::{fn_bodies, is_call};
 use crate::pass::{Diagnostic, Pass};
 use crate::source::SourceFile;
+use crate::symbols::FnId;
+use crate::workspace::Workspace;
+use std::collections::BTreeMap;
 
 /// Runs the pass over one file (scoped to `crates/live` by the
 /// runner).
@@ -56,4 +59,189 @@ pub fn run(file: &SourceFile, out: &mut Vec<Diagnostic>) {
             }
         }
     }
+}
+
+/// The append/sync/apply behavior of one `obs_live` fn as seen by
+/// its callers, composed through the call graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Summary {
+    /// The fn performs an apply/publish-effect before its first
+    /// sync-effect — so a caller must not enter it with an unsynced
+    /// append pending. Holds a description of the offending effect.
+    leading_apply: Option<String>,
+    /// The fn performs a sync-effect somewhere, which (fsync covers
+    /// the whole journal) also discharges the caller's pending
+    /// appends.
+    syncs: bool,
+    /// The fn exits with an append of its own still unsynced.
+    /// Holds a description of that append.
+    tail_append: Option<String>,
+}
+
+/// What a call token means for the ordering state machine.
+enum Event {
+    Append,
+    Sync,
+    Apply(&'static str),
+    Other,
+}
+
+fn classify(name: &str) -> Event {
+    match name {
+        "append" => Event::Append,
+        "sync" | "append_batch" => Event::Sync,
+        "apply" => Event::Apply("apply"),
+        "apply_batch" => Event::Apply("apply_batch"),
+        "apply_deltas" => Event::Apply("apply_deltas"),
+        "publish" => Event::Apply("publish"),
+        _ => Event::Other,
+    }
+}
+
+/// Extends the per-file check through `obs_live` helper functions:
+/// an `append` staged inside a callee, or an `apply`/`publish`
+/// buried inside one, participates in the caller's ordering just
+/// like a direct call would. Only violations that actually involve
+/// a call edge are reported — same-body violations are the per-file
+/// pass's findings and must not double up.
+pub fn run_interprocedural(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let live_fns: Vec<FnId> = (0..ws.index.fns.len())
+        .filter(|&id| ws.index.fns[id].krate == "obs_live")
+        .collect();
+    // Call edges to other obs_live fns, keyed by caller, then by
+    // (line, callee-name) so the token scan can match them in place.
+    let mut callees: BTreeMap<FnId, BTreeMap<(u32, String), Vec<FnId>>> = BTreeMap::new();
+    for edge in &ws.graph.edges {
+        if ws.index.fns[edge.to].krate == "obs_live" {
+            callees
+                .entry(edge.from)
+                .or_default()
+                .entry((edge.line, ws.index.fns[edge.to].name.clone()))
+                .or_default()
+                .push(edge.to);
+        }
+    }
+    // Fixpoint over summaries: a helper's summary depends on its own
+    // callees', so iterate until stable (bounded by the fn count).
+    let mut summaries: BTreeMap<FnId, Summary> = live_fns
+        .iter()
+        .map(|&id| (id, Summary::default()))
+        .collect();
+    for _ in 0..=live_fns.len() {
+        let mut changed = false;
+        for &id in &live_fns {
+            let (summary, _) = scan(ws, id, &callees, &summaries);
+            if summaries[&id] != summary {
+                summaries.insert(id, summary);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Reporting pass with the converged summaries.
+    for &id in &live_fns {
+        let (_, findings) = scan(ws, id, &callees, &summaries);
+        for (line, message) in findings {
+            ws.files[ws.index.fns[id].file_idx].report(out, Pass::CommitOrdering, line, message);
+        }
+    }
+}
+
+/// Runs the ordering state machine over one fn body, composing
+/// callee summaries at call sites. Returns the fn's own summary and
+/// the call-edge-involving violations found inside it.
+fn scan(
+    ws: &Workspace,
+    id: FnId,
+    callees: &BTreeMap<FnId, BTreeMap<(u32, String), Vec<FnId>>>,
+    summaries: &BTreeMap<FnId, Summary>,
+) -> (Summary, Vec<(u32, String)>) {
+    let symbol = &ws.index.fns[id];
+    let file = &ws.files[symbol.file_idx];
+    let tokens = &file.tokens;
+    let fn_name = &symbol.name;
+    let own_edges = callees.get(&id);
+    let mut summary = Summary::default();
+    // Pending unsynced append: (description, came-through-a-call).
+    let mut pending: Option<(String, bool)> = None;
+    let mut findings = Vec::new();
+    for i in symbol.body.0 + 1..symbol.body.1 {
+        if file.test_mask[i] || !is_call(tokens, i) {
+            continue;
+        }
+        let name = tokens[i].ident().unwrap_or_default();
+        let line = tokens[i].line;
+        match classify(name) {
+            Event::Append => {
+                if pending.is_none() {
+                    pending = Some((format!("the `append` at line {line}"), false));
+                }
+            }
+            Event::Sync => {
+                summary.syncs = true;
+                pending = None;
+            }
+            Event::Apply(what) => {
+                if summary.leading_apply.is_none() && !summary.syncs {
+                    summary.leading_apply = Some(format!("`{what}` (line {line})"));
+                }
+                if let Some((desc, composed)) = pending.take() {
+                    if composed {
+                        findings.push((
+                            line,
+                            format!(
+                                "`{fn_name}` calls `{what}` before {desc} is synced: the \
+                                 journal→fsync→apply→publish order is the crash-safety \
+                                 contract"
+                            ),
+                        ));
+                    }
+                }
+            }
+            Event::Other => {
+                let Some(targets) = own_edges.and_then(|m| m.get(&(line, name.to_owned()))) else {
+                    continue;
+                };
+                let leading = targets
+                    .iter()
+                    .find_map(|t| summaries[t].leading_apply.clone().map(|la| (*t, la)));
+                if let Some((callee, la)) = leading {
+                    let callee_name = ws.index.fns[callee].display(&ws.files);
+                    if let Some((desc, _)) = pending.take() {
+                        findings.push((
+                            line,
+                            format!(
+                                "`{fn_name}` calls `{callee_name}`, which reaches {la}, \
+                                 before {desc} is synced: the journal→fsync→apply→publish \
+                                 order is the crash-safety contract"
+                            ),
+                        ));
+                    }
+                    if summary.leading_apply.is_none() && !summary.syncs {
+                        summary.leading_apply = Some(format!("{la} inside `{callee_name}`"));
+                    }
+                }
+                if !targets.is_empty() && targets.iter().all(|t| summaries[t].syncs) {
+                    summary.syncs = true;
+                    pending = None;
+                }
+                if let Some(tail) = targets
+                    .iter()
+                    .find_map(|t| summaries[t].tail_append.clone().map(|ta| (*t, ta)))
+                {
+                    if pending.is_none() {
+                        let callee_name = ws.index.fns[tail.0].display(&ws.files);
+                        pending = Some((
+                            format!("{} (staged via `{callee_name}` at line {line})", tail.1),
+                            true,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    summary.tail_append = pending.map(|(desc, _)| desc);
+    (summary, findings)
 }

@@ -1,0 +1,179 @@
+//! Interprocedural panic-reachability.
+//!
+//! The per-file panic-freedom pass gates *direct* panic sites in the
+//! serving crates — but a panicking helper in `obs_quality` or
+//! `obs_stats` called from `crates/live` sails straight through it.
+//! This pass closes that hole: it collects every direct panic site
+//! in the *non*-serving crates (`.unwrap()` / `.expect(…)`, the
+//! `panic!` family, and slice/array indexing, which panics out of
+//! bounds), then walks the call graph in reverse from the site's
+//! enclosing fn. If any chain of calls reaches a function defined in
+//! a serving crate, the site is a finding, and the diagnostic prints
+//! the shortest offending chain.
+//!
+//! Suppression is per-edge: a `// lint:allow(reach): <reason>` on a
+//! call-site line cuts every chain through that edge (the callee is
+//! vouched for *at that call site*), and one on the panic site
+//! itself clears the site entirely.
+
+use crate::lexer::TokenKind;
+use crate::pass::{Diagnostic, Pass};
+use crate::passes::is_method_call;
+use crate::workspace::{is_serving_krate, Workspace};
+use std::collections::BTreeMap;
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// One direct panic site in a non-serving crate.
+struct Site {
+    file_idx: usize,
+    line: u32,
+    /// What panics there (`\`.unwrap()\``, `\`panic!\``, `indexing`).
+    what: &'static str,
+    /// Token index, for enclosing-fn lookup.
+    tok: usize,
+}
+
+/// Runs the pass over the workspace.
+pub fn run(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for site in collect_sites(ws) {
+        let file = &ws.files[site.file_idx];
+        if file.allowed(Pass::PanicReachability, site.line) {
+            continue;
+        }
+        let Some(origin) = ws.index.enclosing_fn(site.file_idx, site.tok) else {
+            continue;
+        };
+        if let Some(chain) = serving_chain(ws, origin) {
+            let path = chain
+                .iter()
+                .map(|&id| format!("`{}`", ws.index.fns[id].display(&ws.files)))
+                .collect::<Vec<_>>()
+                .join(" → ");
+            file.report(
+                out,
+                Pass::PanicReachability,
+                site.line,
+                format!(
+                    "{} here can take down the serving path: reachable via {path}; \
+                     propagate a Result or justify an edge with \
+                     `// lint:allow(reach): <reason>`",
+                    site.what
+                ),
+            );
+        }
+    }
+}
+
+/// Collects direct panic sites in non-serving crates. Serving-crate
+/// sites are the per-file panic-freedom pass's jurisdiction (where
+/// `assert!`-style documented preconditions stay legal); `examples/`
+/// are operator-driven binaries and out of scope.
+fn collect_sites(ws: &Workspace) -> Vec<Site> {
+    let mut sites = Vec::new();
+    for (file_idx, file) in ws.files.iter().enumerate() {
+        let krate = &ws.krates[file_idx];
+        if is_serving_krate(krate) || krate == "examples" {
+            continue;
+        }
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            if file.test_mask[i] {
+                continue;
+            }
+            let t = &tokens[i];
+            if (t.is_ident("unwrap") || t.is_ident("expect")) && is_method_call(tokens, i) {
+                sites.push(Site {
+                    file_idx,
+                    line: t.line,
+                    what: if t.is_ident("unwrap") {
+                        "`.unwrap()`"
+                    } else {
+                        "`.expect(…)`"
+                    },
+                    tok: i,
+                });
+            }
+            if t.ident().is_some_and(|n| PANIC_MACROS.contains(&n))
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                && !(i > 0 && tokens[i - 1].is_punct('.'))
+            {
+                sites.push(Site {
+                    file_idx,
+                    line: t.line,
+                    what: "a `panic!`-family macro",
+                    tok: i,
+                });
+            }
+            if is_indexing(file, i) {
+                sites.push(Site {
+                    file_idx,
+                    line: t.line,
+                    what: "slice/array indexing",
+                    tok: i,
+                });
+            }
+        }
+    }
+    sites
+}
+
+/// Whether token `i` opens an index expression `expr[…]`: a `[`
+/// directly after an identifier (not a keyword), `)`, or `]`. The
+/// full-range form `expr[..]` cannot panic and is skipped.
+fn is_indexing(file: &crate::source::SourceFile, i: usize) -> bool {
+    let tokens = &file.tokens;
+    if !tokens[i].is_punct('[') || i == 0 {
+        return false;
+    }
+    let indexable = match &tokens[i - 1].kind {
+        TokenKind::Ident(name) => ![
+            "mut", "in", "as", "return", "break", "else", "match", "if", "while", "move", "ref",
+            "box", "dyn", "where", "static", "const", "let", "impl", "fn", "use",
+        ]
+        .contains(&name.as_str()),
+        TokenKind::Punct(')' | ']') => true,
+        _ => false,
+    };
+    if !indexable {
+        return false;
+    }
+    // `expr[..]` — full-range slice, infallible.
+    !(tokens.get(i + 1).is_some_and(|t| t.is_punct('.'))
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct('.'))
+        && tokens.get(i + 3).is_some_and(|t| t.is_punct(']')))
+}
+
+/// BFS over the reverse call graph from `origin`. Returns the
+/// shortest chain `[serving_fn, …, origin]` if any serving-crate fn
+/// reaches `origin`, skipping edges whose call-site line carries a
+/// `reach` pragma in the caller's file.
+fn serving_chain(ws: &Workspace, origin: usize) -> Option<Vec<usize>> {
+    let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::from([origin]);
+    parent.insert(origin, origin);
+    while let Some(fnid) = queue.pop_front() {
+        if is_serving_krate(&ws.index.fns[fnid].krate) {
+            let mut chain = vec![fnid];
+            let mut cur = fnid;
+            while parent[&cur] != cur {
+                cur = parent[&cur];
+                chain.push(cur);
+            }
+            return Some(chain);
+        }
+        for &edge_idx in ws.graph.callers_of.get(&fnid).into_iter().flatten() {
+            let edge = &ws.graph.edges[edge_idx];
+            let caller = &ws.index.fns[edge.from];
+            let caller_file = &ws.files[caller.file_idx];
+            if caller_file.allowed(Pass::PanicReachability, edge.line) {
+                continue;
+            }
+            if let std::collections::btree_map::Entry::Vacant(v) = parent.entry(edge.from) {
+                v.insert(fnid);
+                queue.push_back(edge.from);
+            }
+        }
+    }
+    None
+}

@@ -1,69 +1,77 @@
-//! File discovery, per-pass scoping, and the top-level `check`.
+//! File discovery and the top-level `check` entry point.
+//!
+//! `check` walks the workspace, reads every scanned file, loads the
+//! observability surfaces (ARCHITECTURE.md, ci.yml), and hands the
+//! lot to [`Workspace::analyze`] — the whole analysis is a pure
+//! function over the gathered texts; this module is the only part
+//! that touches the filesystem.
 
 use crate::pass::{Diagnostic, Pass};
-use crate::passes;
-use crate::source::SourceFile;
+use crate::workspace::{sort_findings, Surfaces, Workspace};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Serving crates subject to the panic-freedom pass. `obs_obs` (the
-/// root crate, experiments, benches) may still panic: it is driven
-/// by operators, not user queries. `telemetry` is included because
-/// its recording paths run inline in every serving request.
-const SERVING_CRATES: [&str; 5] = ["live", "search", "wrappers", "model", "telemetry"];
+/// Directory names never scanned, wherever they appear. `examples/`
+/// is *not* here: the examples drive the real serving API and are
+/// scanned (with the guard-blocking and discarded-result passes).
+const EXCLUDED_DIRS: [&str; 4] = ["target", "tests", "benches", "fixtures"];
 
-/// Directory names never scanned, wherever they appear.
-const EXCLUDED_DIRS: [&str; 5] = ["target", "tests", "benches", "examples", "fixtures"];
+/// The observability surfaces `check` loads for the
+/// instrument-drift pass, as workspace-relative paths.
+const SURFACE_ARCHITECTURE: &str = "ARCHITECTURE.md";
+const SURFACE_CI: &str = ".github/workflows/ci.yml";
 
 /// Runs every pass over the workspace rooted at `root` and returns
-/// the sorted findings. I/O errors (unreadable file) become
-/// diagnostics rather than aborting the run.
+/// the sorted findings. I/O errors (unreadable file or surface)
+/// become diagnostics rather than aborting the run.
 pub fn check(root: &Path) -> Vec<Diagnostic> {
     let mut out = Vec::new();
+    let mut inputs = Vec::new();
     for path in workspace_sources(root) {
         let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
         match fs::read_to_string(&path) {
-            Ok(src) => out.extend(lint_source(&rel, &src)),
+            Ok(src) => inputs.push((rel, src)),
             Err(err) => out.push(read_error(rel, &err)),
         }
     }
-    out.sort_by(|a, b| {
-        (&a.file, a.line, a.pass, &a.message).cmp(&(&b.file, b.line, b.pass, &b.message))
-    });
-    out.dedup();
+    let surfaces = load_surfaces(root, &mut out);
+    out.extend(Workspace::analyze(inputs, &surfaces));
+    sort_findings(&mut out);
     out
 }
 
 /// Lints one file's text as if it lived at `rel` (a workspace-
-/// relative path — pass scoping keys off it). This is the whole
-/// per-file pipeline; `check` is a walk over it.
+/// relative path — pass scoping keys off it). Single-file mode: no
+/// observability surfaces, so the instrument-drift pass is skipped,
+/// and cross-file call edges cannot exist — but the interprocedural
+/// passes still run (helper-fn chains *within* the file resolve).
 pub fn lint_source(rel: &Path, src: &str) -> Vec<Diagnostic> {
-    let file = SourceFile::parse(rel.to_path_buf(), src);
-    let mut out = file.pragma_diags.clone();
-    if in_serving_crate(rel) {
-        passes::panic_freedom::run(&file, &mut out);
-    }
-    if rel.starts_with("crates/live") {
-        passes::commit_ordering::run(&file, &mut out);
-    }
-    passes::guard_blocking::run(&file, &mut out);
-    passes::determinism::run(&file, &mut out); // no-op unless tagged
-    passes::discarded_result::run(&file, &mut out);
-    out
+    Workspace::analyze(vec![(rel.to_path_buf(), src.to_owned())], &Surfaces::none())
 }
 
-/// Whether `rel` is inside one of the serving crates.
-fn in_serving_crate(rel: &Path) -> bool {
-    SERVING_CRATES
-        .iter()
-        .any(|c| rel.starts_with(Path::new("crates").join(c)))
+/// Reads the observability surfaces; an unreadable surface is an
+/// [`Pass::Io`] finding (the drift gate must never pass vacuously
+/// because its inputs went missing).
+fn load_surfaces(root: &Path, out: &mut Vec<Diagnostic>) -> Surfaces {
+    let mut surfaces = Surfaces::none();
+    for (rel, slot) in [
+        (SURFACE_ARCHITECTURE, &mut surfaces.architecture),
+        (SURFACE_CI, &mut surfaces.ci),
+    ] {
+        match fs::read_to_string(root.join(rel)) {
+            Ok(text) => *slot = Some((PathBuf::from(rel), text)),
+            Err(err) => out.push(read_error(PathBuf::from(rel), &err)),
+        }
+    }
+    surfaces
 }
 
-/// All `.rs` files the linter scans: `crates/*/src/**` (excluding
-/// the lint crate itself — its strings and fixtures mention every
-/// flagged token by design) and the root crate's `src/**`.
-fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+/// All `.rs` files the linter scans, sorted: `crates/*/src/**`
+/// (excluding the lint crate itself — its strings and fixtures
+/// mention every flagged token by design), the root crate's
+/// `src/**`, and the root `examples/`.
+pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     if let Ok(entries) = fs::read_dir(&crates_dir) {
@@ -78,6 +86,7 @@ fn workspace_sources(root: &Path) -> Vec<PathBuf> {
         }
     }
     collect_rs(&root.join("src"), &mut files);
+    collect_rs(&root.join("examples"), &mut files);
     files.sort();
     files
 }
@@ -108,7 +117,7 @@ fn read_error(rel: PathBuf, err: &io::Error) -> Diagnostic {
     Diagnostic {
         file: rel,
         line: 0,
-        pass: Pass::Pragma,
+        pass: Pass::Io,
         message: format!("could not read file: {err}"),
     }
 }

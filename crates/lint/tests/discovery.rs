@@ -1,0 +1,104 @@
+//! Pins `workspace_sources` discovery: which directories are
+//! scanned, which are excluded, the lint-crate self-skip, and the
+//! deterministic sort order — built against a synthetic tree so the
+//! contract survives refactors of the real workspace layout.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A scratch directory removed on drop (the image has no tempfile
+/// crate; uniqueness comes from the test binary's process id).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir =
+            std::env::temp_dir().join(format!("obs_lint_discovery_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn touch(&self, rel: &str) {
+        let path = self.0.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, "// scratch\n").unwrap();
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn relative(root: &Path, files: Vec<PathBuf>) -> Vec<String> {
+    files
+        .into_iter()
+        .map(|p| {
+            p.strip_prefix(root)
+                .unwrap()
+                .to_string_lossy()
+                .replace('\\', "/")
+        })
+        .collect()
+}
+
+#[test]
+fn discovery_pins_inclusions_exclusions_and_order() {
+    let scratch = Scratch::new("tree");
+    // Scanned: crate sources, root sources, examples.
+    scratch.touch("crates/alpha/src/lib.rs");
+    scratch.touch("crates/alpha/src/nested/deep.rs");
+    scratch.touch("crates/beta/src/lib.rs");
+    scratch.touch("src/main.rs");
+    scratch.touch("examples/demo.rs");
+    scratch.touch("examples/sub/tour.rs");
+    // Excluded directory names, wherever they appear.
+    scratch.touch("crates/alpha/src/tests/t.rs");
+    scratch.touch("crates/alpha/src/benches/b.rs");
+    scratch.touch("crates/alpha/src/fixtures/f.rs");
+    scratch.touch("crates/alpha/src/target/out.rs");
+    scratch.touch("examples/tests/et.rs");
+    // The lint crate never lints itself (its strings and fixtures
+    // mention every flagged token by design).
+    scratch.touch("crates/lint/src/lib.rs");
+    // Only src/ is scanned inside a crate; non-.rs files never are.
+    scratch.touch("crates/alpha/build.rs");
+    scratch.touch("crates/alpha/src/README.md");
+
+    let found = relative(&scratch.0, obs_lint::workspace_sources(&scratch.0));
+    assert_eq!(
+        found,
+        [
+            "crates/alpha/src/lib.rs",
+            "crates/alpha/src/nested/deep.rs",
+            "crates/beta/src/lib.rs",
+            "examples/demo.rs",
+            "examples/sub/tour.rs",
+            "src/main.rs",
+        ]
+    );
+}
+
+#[test]
+fn discovery_is_deterministic_and_sorted() {
+    let scratch = Scratch::new("order");
+    // Created in shuffled order; discovery must sort.
+    for rel in [
+        "crates/zeta/src/z.rs",
+        "crates/alpha/src/m.rs",
+        "examples/b.rs",
+        "crates/alpha/src/a.rs",
+        "src/lib.rs",
+        "examples/a.rs",
+    ] {
+        scratch.touch(rel);
+    }
+    let first = obs_lint::workspace_sources(&scratch.0);
+    let second = obs_lint::workspace_sources(&scratch.0);
+    assert_eq!(first, second);
+    let mut sorted = first.clone();
+    sorted.sort();
+    assert_eq!(first, sorted);
+}

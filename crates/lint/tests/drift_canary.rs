@@ -1,0 +1,118 @@
+//! The instrument-drift canary: proves the gate actually trips.
+//!
+//! For every instrument name on each documentation surface of the
+//! *real* repository, delete it from a scratch copy of that surface
+//! and assert the drift pass fires mentioning the name. This is the
+//! acceptance contract — "deleting any instrument grep from ci.yml
+//! or any catalog row from ARCHITECTURE.md makes the linter fire" —
+//! kept true against the live surfaces, so a future surface-format
+//! change that silently blinds the parser fails here, not in
+//! production drift.
+
+use obs_lint::passes::instrument_drift::{parse_catalog, parse_ci_lists};
+use obs_lint::{Surfaces, Workspace};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// The real workspace inputs, read once per call.
+fn real_inputs(root: &Path) -> Vec<(PathBuf, String)> {
+    obs_lint::workspace_sources(root)
+        .into_iter()
+        .map(|path| {
+            let rel = path.strip_prefix(root).unwrap().to_path_buf();
+            let text = fs::read_to_string(&path).unwrap();
+            (rel, text)
+        })
+        .collect()
+}
+
+fn real_surfaces(root: &Path) -> (String, String) {
+    let architecture = fs::read_to_string(root.join("ARCHITECTURE.md")).unwrap();
+    let ci = fs::read_to_string(root.join(".github/workflows/ci.yml")).unwrap();
+    (architecture, ci)
+}
+
+fn drift_messages(inputs: Vec<(PathBuf, String)>, surfaces: &Surfaces) -> Vec<String> {
+    Workspace::analyze(inputs, surfaces)
+        .into_iter()
+        .filter(|d| d.pass == obs_lint::Pass::InstrumentDrift)
+        .map(|d| d.message)
+        .collect()
+}
+
+#[test]
+fn surfaces_are_in_sync_at_head() {
+    let root = repo_root();
+    let (architecture, ci) = real_surfaces(&root);
+    assert!(
+        !parse_catalog(&architecture).is_empty(),
+        "catalog parser finds no instruments — surface format drifted"
+    );
+    assert!(
+        !parse_ci_lists(&ci).is_empty(),
+        "ci-list parser finds no instruments — surface format drifted"
+    );
+    let surfaces = Surfaces {
+        architecture: Some((PathBuf::from("ARCHITECTURE.md"), architecture)),
+        ci: Some((PathBuf::from(".github/workflows/ci.yml"), ci)),
+    };
+    let drift = drift_messages(real_inputs(&root), &surfaces);
+    assert!(drift.is_empty(), "drift at HEAD: {drift:#?}");
+}
+
+#[test]
+fn removing_any_ci_grep_makes_the_linter_fire() {
+    let root = repo_root();
+    let (architecture, ci) = real_surfaces(&root);
+    for name in parse_ci_lists(&ci).keys() {
+        // Scratch copy of ci.yml with this one grep token removed.
+        let scratch: String = ci.replace(&format!(" {name}"), " ");
+        assert!(
+            !parse_ci_lists(&scratch).contains_key(name),
+            "canary setup failed to remove {name}"
+        );
+        let surfaces = Surfaces {
+            architecture: Some((PathBuf::from("ARCHITECTURE.md"), architecture.clone())),
+            ci: Some((PathBuf::from(".github/workflows/ci.yml"), scratch)),
+        };
+        let drift = drift_messages(real_inputs(&root), &surfaces);
+        assert!(
+            drift.iter().any(|m| m.contains(&format!("`{name}`"))),
+            "removing ci grep {name} did not fire the drift pass: {drift:#?}"
+        );
+    }
+}
+
+#[test]
+fn removing_any_catalog_row_makes_the_linter_fire() {
+    let root = repo_root();
+    let (architecture, ci) = real_surfaces(&root);
+    let catalog = parse_catalog(&architecture);
+    for (name, &line) in &catalog {
+        // Scratch copy of ARCHITECTURE.md with the row holding this
+        // name deleted outright.
+        let scratch: String = architecture
+            .lines()
+            .enumerate()
+            .filter(|(i, _)| *i as u32 + 1 != line)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        assert!(
+            !parse_catalog(&scratch).contains_key(name),
+            "canary setup failed to remove {name}"
+        );
+        let surfaces = Surfaces {
+            architecture: Some((PathBuf::from("ARCHITECTURE.md"), scratch)),
+            ci: Some((PathBuf::from(".github/workflows/ci.yml"), ci.clone())),
+        };
+        let drift = drift_messages(real_inputs(&root), &surfaces);
+        assert!(
+            drift.iter().any(|m| m.contains(&format!("`{name}`"))),
+            "deleting the catalog row for {name} did not fire the drift pass: {drift:#?}"
+        );
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: a helper that appends *and* syncs discharges the
+// durability obligation itself — the caller's apply is clean.
+
+fn stage(j: &mut Journal, d: &Delta) -> Result<u64, Error> {
+    let seq = j.append(d)?;
+    j.sync()?;
+    Ok(seq)
+}
+
+pub fn ingest(j: &mut Journal, w: &mut Writer, d: &Delta) -> Result<(), Error> {
+    let seq = stage(j, d)?;
+    w.apply(seq, d);
+    Ok(())
+}

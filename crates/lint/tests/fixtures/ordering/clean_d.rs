@@ -1,0 +1,15 @@
+// Fixture: a helper that syncs before applying is safe to call with
+// an append pending — the fsync inside it covers the caller's
+// journal entry too (sync is whole-journal durability).
+
+fn flush(j: &mut Journal, w: &mut Writer, seq: u64, d: &Delta) -> Result<(), Error> {
+    j.sync()?;
+    w.apply(seq, d);
+    Ok(())
+}
+
+pub fn ingest(j: &mut Journal, w: &mut Writer, d: &Delta) -> Result<(), Error> {
+    let seq = j.append(d)?;
+    flush(j, w, seq, d)?;
+    Ok(())
+}

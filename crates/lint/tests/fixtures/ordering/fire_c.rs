@@ -1,0 +1,14 @@
+// Fixture: an append staged inside a helper fn, then applied by the
+// caller before any sync, must fire through the call graph — the
+// per-file scan sees no `append` token in `ingest` at all.
+
+fn stage(j: &mut Journal, d: &Delta) -> Result<u64, Error> {
+    j.append(d)
+}
+
+pub fn ingest(j: &mut Journal, w: &mut Writer, d: &Delta) -> Result<(), Error> {
+    let seq = stage(j, d)?;
+    w.apply(seq, d); //~ ordering
+    j.sync()?;
+    Ok(())
+}

@@ -1,0 +1,14 @@
+// Fixture: an apply buried inside a helper fn, invoked while the
+// caller's append is still unsynced, must fire at the call site —
+// the per-file scan sees no `apply` token in `ingest` at all.
+
+fn flush(w: &mut Writer, seq: u64, d: &Delta) {
+    w.apply(seq, d);
+}
+
+pub fn ingest(j: &mut Journal, w: &mut Writer, d: &Delta) -> Result<(), Error> {
+    let seq = j.append(d)?;
+    flush(w, seq, d); //~ ordering
+    j.sync()?;
+    Ok(())
+}

@@ -1,0 +1,10 @@
+// All three surfaces agree: nothing fires.
+
+use obs_telemetry::{Counter, Histogram, Registry};
+
+pub fn install(registry: &Registry) -> (Counter, Histogram) {
+    (
+        registry.counter("live_a_total"),
+        registry.histogram("live_b_ns"),
+    )
+}

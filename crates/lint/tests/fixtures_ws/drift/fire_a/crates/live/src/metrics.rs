@@ -1,0 +1,11 @@
+// A name registered in code but absent from *both* documentation
+// surfaces fires once per missing surface (same line).
+
+use obs_telemetry::{Counter, Registry};
+
+pub fn install(registry: &Registry) -> (Counter, Counter) {
+    (
+        registry.counter("live_ok_total"),
+        registry.counter("live_demo_total"), //~ drift
+    )
+}

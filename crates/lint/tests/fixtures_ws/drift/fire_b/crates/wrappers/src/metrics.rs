@@ -1,0 +1,13 @@
+// A registration the detector cannot see (non-literal name) is a
+// finding of its own; the stale rows in ARCHITECTURE.md and ci.yml
+// fire on their surfaces (see expect.txt).
+
+use obs_telemetry::{Counter, Registry};
+
+pub fn install(registry: &Registry, name: &str) -> Counter {
+    registry.counter_with(name, &[("source", "demo")]) //~ drift
+}
+
+pub fn pages(registry: &Registry) -> Counter {
+    registry.counter("crawl_pages_total")
+}

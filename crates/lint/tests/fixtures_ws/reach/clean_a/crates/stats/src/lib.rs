@@ -1,0 +1,7 @@
+// A panicking helper that *is* reachable from serving code, but the
+// one edge into it carries a justified per-edge pragma — every
+// chain runs through that call site, so the site is clean.
+
+pub fn tail(xs: &[f64]) -> f64 {
+    xs.get(xs.len() - 1).copied().unwrap()
+}

@@ -1,0 +1,5 @@
+use obs_stats::variance;
+
+pub fn report(samples: &[f64]) -> f64 {
+    variance(samples)
+}

@@ -1,0 +1,8 @@
+// A panicking helper whose only caller is another non-serving crate
+// (the experiments harness): no chain reaches a serving fn, so
+// nothing fires.
+
+pub fn variance(xs: &[f64]) -> f64 {
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    xs.first().copied().unwrap() - mean
+}

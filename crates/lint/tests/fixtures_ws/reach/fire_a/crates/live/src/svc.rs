@@ -1,0 +1,9 @@
+// …called across the crate boundary from the serving path: the
+// two-crate chain obs_live::svc::summarize → obs_stats::quantile
+// must fire at the unwrap.
+
+use obs_stats::quantile;
+
+pub fn summarize(latencies: &[f64]) -> f64 {
+    quantile(latencies, 0.99)
+}

@@ -1,0 +1,15 @@
+// A panic!-family macro inside an impl method of a non-serving
+// crate (obs_quality)…
+
+pub struct Panel {
+    ranks: Vec<u32>,
+}
+
+impl Panel {
+    pub fn rank_of(&self, id: usize) -> u32 {
+        match self.ranks.get(id) {
+            Some(r) => *r,
+            None => panic!("unknown panel id {id}"), //~ reach
+        }
+    }
+}

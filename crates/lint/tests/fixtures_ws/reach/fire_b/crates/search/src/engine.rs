@@ -1,0 +1,8 @@
+// …reached through a method call on an imported type from the
+// serving search crate.
+
+use obs_quality::Panel;
+
+pub fn score(panel: &Panel, id: usize) -> u32 {
+    panel.rank_of(id) * 2
+}

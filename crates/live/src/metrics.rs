@@ -91,11 +91,8 @@ impl ShardMetrics {
     /// Registers per-shard instruments for `shards` shards in
     /// `registry`.
     pub fn new(registry: &Registry, shards: usize) -> ShardMetrics {
-        let per_shard = |name: &str| -> Vec<Counter> {
-            (0..shards)
-                .map(|i| registry.counter_with(name, &[("shard", &i.to_string())]))
-                .collect()
-        };
+        // Name literals stay inline at each registration call so the
+        // instrument-drift lint pass can see them.
         ShardMetrics {
             clock: registry.clock_handle(),
             commit_ns: (0..shards)
@@ -103,8 +100,16 @@ impl ShardMetrics {
                     registry.histogram_with("live_shard_commit_ns", &[("shard", &i.to_string())])
                 })
                 .collect(),
-            commits: per_shard("live_shard_commits_total"),
-            failures: per_shard("live_shard_failures_total"),
+            commits: (0..shards)
+                .map(|i| {
+                    registry.counter_with("live_shard_commits_total", &[("shard", &i.to_string())])
+                })
+                .collect(),
+            failures: (0..shards)
+                .map(|i| {
+                    registry.counter_with("live_shard_failures_total", &[("shard", &i.to_string())])
+                })
+                .collect(),
             fanout: registry.histogram("live_commit_fanout_shards"),
             rollbacks: registry.counter("live_mark_rollbacks_total"),
             search: SearchMetrics::new(registry, shards),
