@@ -52,6 +52,12 @@
 //!   smoke-scale evidence the topology holds an order of magnitude
 //!   past the study corpus.
 //!
+//! Plus the cached serving throughput (`live_service_qps` group, see
+//! [`bench_qps`]): reader fleets of 16/32 threads driving a
+//! zipf-weighted query mix against the 4-shard topology with the
+//! snapshot-keyed query cache detached, cold and warm — the ≥10×
+//! warm-vs-single-thread claim, with merged-latency p99s.
+//!
 //! Unlike the other targets this one also *persists* its numbers:
 //! the measurements recorded by the criterion shim are written to
 //! `BENCH_live.json` at the workspace root, giving the repo a
@@ -468,6 +474,165 @@ fn bench_shard_smoke(c: &mut Criterion) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Multi-reader QPS under the snapshot-keyed query cache
+/// (`live_service_qps` group, the ~100k-doc corpus behind 4 shards):
+///
+/// * `readers_16_nocache` — 16 reader threads hammering the scatter
+///   plan directly, a zipf-weighted mix over ~64 tag-derived
+///   queries: the throughput floor;
+/// * `readers_16_cold` — the same storm through a freshly attached
+///   (empty) [`QueryCache`]: every key's first ask pays the plan plus
+///   the fill, repeats within the lane already hit;
+/// * `readers_16_warm` / `readers_32_warm` — the steady state: no
+///   ingest between lanes, so every epoch key is resident and
+///   queries are served from the cache. The serving claim is ≥10×
+///   the single-thread `query_baseline` throughput at 16 readers.
+///
+/// These lanes time themselves (one wall clock across the thread
+/// fleet, per-query latencies merged for p99) and export through
+/// [`criterion::record_measurement`]: `mean_ns` is wall time divided
+/// by total queries, so QPS = 1e9 / mean_ns.
+fn bench_qps(world: &World) {
+    use obs_live::{CacheMetrics, QueryCache, ShardedReader};
+    use obs_telemetry::Registry;
+    use std::time::Instant;
+
+    const SHARDS: usize = 4;
+
+    let panel = AlexaPanel::simulate(world, 1);
+    let links = LinkGraph::simulate(world, 2);
+    let engine = SearchEngine::build(&world.corpus, &panel, &links, BlendWeights::default());
+    let docs = engine.doc_count();
+    let all: Vec<PostId> = world.corpus.posts().iter().map(|p| p.id).collect();
+    let mut seed = engine.clone();
+    seed.apply_delta(&CorpusDelta::for_removals(&world.corpus, &all).expect("posts resolve"));
+    let dir = temp_shard_dir("qps");
+    let mut service = ShardedLiveService::start(&seed, SHARDS, &dir).expect("journals in temp dir");
+    for burst in all
+        .chunks(512)
+        .map(|chunk| CorpusDelta::for_posts(&world.corpus, chunk).expect("posts resolve"))
+        .collect::<Vec<_>>()
+        .chunks(64)
+    {
+        service.ingest_batch(burst).expect("load ingest");
+    }
+    assert_eq!(service.doc_count(), docs);
+
+    // ~64 two-tag queries drawn from the corpus vocabulary, ranked by
+    // first appearance; the zipf CDF (weight ∝ 1/rank) concentrates
+    // the mix on the head the way production query logs do.
+    let mut tags: Vec<String> = Vec::new();
+    for post in world.corpus.posts() {
+        for tag in &post.tags {
+            let t = tag.as_str().to_owned();
+            if !tags.contains(&t) {
+                tags.push(t);
+            }
+        }
+        if tags.len() >= 65 {
+            break;
+        }
+    }
+    assert!(tags.len() >= 8, "corpus too tag-poor for a query mix");
+    let pool: Vec<Vec<String>> = (0..tags.len() - 1)
+        .map(|i| vec![tags[i].clone(), tags[(i * 7 + 1) % tags.len()].clone()])
+        .collect();
+    let cdf: Vec<f64> = {
+        let mut acc = 0.0;
+        let mut cdf: Vec<f64> = (0..pool.len())
+            .map(|rank| {
+                acc += 1.0 / (rank as f64 + 1.0);
+                acc
+            })
+            .collect();
+        for v in cdf.iter_mut() {
+            *v /= acc;
+        }
+        cdf
+    };
+
+    // One lane: `readers` threads, each sampling `per_thread` queries
+    // from the zipf mix through its own LCG stream. Returns the
+    // wall-clock mean per query (ns).
+    let lane = |label: &str, reader: &ShardedReader, readers: usize, per_thread: usize| -> u128 {
+        let start = Instant::now();
+        let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..readers)
+                .map(|t| {
+                    let reader = reader.clone();
+                    let pool = &pool;
+                    let cdf = &cdf;
+                    scope.spawn(move || {
+                        let mut state = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5;
+                        let mut lat = Vec::with_capacity(per_thread);
+                        for _ in 0..per_thread {
+                            state = state
+                                .wrapping_mul(6_364_136_223_846_793_005)
+                                .wrapping_add(1_442_695_040_888_963_407);
+                            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                            let pick = cdf.partition_point(|&c| c < u).min(pool.len() - 1);
+                            let t0 = Instant::now();
+                            black_box(reader.query(&pool[pick], 10));
+                            lat.push(t0.elapsed().as_nanos() as u64);
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reader thread"))
+                .collect()
+        });
+        let wall = start.elapsed().as_nanos();
+        let mut merged: Vec<u64> = latencies.into_iter().flatten().collect();
+        merged.sort_unstable();
+        let total = merged.len();
+        let mean_ns = wall / total as u128;
+        let p99_ns = merged[(total * 99).div_ceil(100).max(1) - 1] as u128;
+        criterion::record_measurement(criterion::Measurement {
+            label: format!("live_service_qps/{label}/{docs}_docs"),
+            min_ns: merged[0] as u128,
+            mean_ns,
+            p99_ns,
+            samples: total,
+        });
+        println!(
+            "  ({label}: {:.0} queries/s across {readers} readers)",
+            1e9 / mean_ns as f64
+        );
+        mean_ns
+    };
+
+    println!("\nbenchmark group: live_service_qps");
+    // Single-thread uncached reference, same mix — the denominator of
+    // the ≥10× claim (mirrors `query_baseline` but on this topology).
+    let plain = service.reader();
+    let baseline_mean = lane("readers_1_nocache", &plain, 1, 256);
+    lane("readers_16_nocache", &plain, 16, 128);
+
+    // Attach the cache: the cold lane fills it, the warm lanes serve
+    // from it (no ingest in between, so every epoch key stays live).
+    let registry = Registry::new();
+    let cache_metrics = CacheMetrics::new(&registry);
+    let service =
+        service.with_query_cache(QueryCache::new(4096).with_metrics(cache_metrics.clone()));
+    let cached = service.reader();
+    lane("readers_16_cold", &cached, 16, 256);
+    let warm_mean = lane("readers_16_warm", &cached, 16, 1024);
+    lane("readers_32_warm", &cached, 32, 1024);
+    println!(
+        "  (cache: {} hits, {} misses, {} fills; warm speedup vs 1-thread uncached: {:.1}x)",
+        cache_metrics.hits(),
+        cache_metrics.misses(),
+        cache_metrics.fills(),
+        baseline_mean as f64 / warm_mean as f64
+    );
+
+    drop((plain, cached, service));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The telemetry tax (`telemetry_overhead` group): what a serving
 /// thread pays per recording (`counter_inc`, `histogram_record` —
 /// one Relaxed atomic RMW each, target well under 50 ns), what a
@@ -551,6 +716,7 @@ fn bench_live_service(c: &mut Criterion) {
     let large = world_with_posts(100_000, 43);
     bench_scale(c, "100k", &large);
     bench_shard(c, &large);
+    bench_qps(&large);
     bench_shard_smoke(c);
     bench_sweep(c);
 }

@@ -39,6 +39,10 @@
 //!   [`ShardedReader`] answers queries with a scatter-gather plan
 //!   that is bit-identical to an unsharded engine over the same
 //!   documents (see [`shard`]).
+//! * **Query caching** — [`QueryCache`] memoizes top-k rankings
+//!   keyed by the exact snapshot epochs that produced them, so a
+//!   publish invalidates for free and a cached reader is observably
+//!   identical to an uncached one (see [`cache`]).
 //!
 //! ```text
 //! crawler ticks ──► DeltaJournal (fsync) ──► LiveWriter.apply ──► publish
@@ -53,6 +57,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 mod error;
 pub mod journal;
 pub mod metrics;
@@ -60,9 +65,10 @@ pub mod service;
 pub mod shard;
 pub mod snapshot;
 
+pub use cache::{CacheMetrics, QueryCache};
 pub use error::LiveError;
 pub use journal::{DeltaJournal, JournalError, JournalReplay};
 pub use metrics::{LiveMetrics, ShardMetrics};
 pub use service::{LiveService, RecoveryReport};
-pub use shard::{ShardRouter, ShardedLiveService, ShardedReader};
+pub use shard::{PinnedShards, ShardRouter, ShardedLiveService, ShardedReader};
 pub use snapshot::{EngineSnapshot, LiveWriter, SnapshotReader, SnapshotStore};

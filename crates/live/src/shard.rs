@@ -47,11 +47,12 @@
 // in, so the same delta stream must route identically on every node
 // and on every recovery replay.
 
+use crate::cache::QueryCache;
 use crate::error::LiveError;
 use crate::journal::DeltaJournal;
 use crate::metrics::ShardMetrics;
 use crate::service::RecoveryReport;
-use crate::snapshot::{LiveWriter, SnapshotReader};
+use crate::snapshot::{EngineSnapshot, LiveWriter, SnapshotReader};
 use obs_model::{Clock, CorpusDelta, PostId, SourceId};
 use obs_search::{
     scatter_query, scatter_query_traced, SearchEngine, SearchHit, SearchMetrics, StaticBlend,
@@ -284,6 +285,11 @@ pub struct ShardedLiveService {
     /// [`ShardMetrics`] (untagged `metrics` module) — the shard path
     /// only hands it closures and plan facts, never reads a clock.
     metrics: Option<ShardMetrics>,
+    /// Snapshot-keyed result cache shared by every reader this
+    /// service hands out. Lives in the untagged
+    /// [`cache`](crate::cache) module for the same reason as the
+    /// metrics: this module only holds the handle and calls methods.
+    query_cache: Option<Arc<QueryCache>>,
 }
 
 impl ShardedLiveService {
@@ -324,6 +330,7 @@ impl ShardedLiveService {
             blend_cell: Arc::new(BlendCell::new(blend.clone())),
             blend,
             metrics: None,
+            query_cache: None,
         })
     }
 
@@ -334,6 +341,21 @@ impl ShardedLiveService {
     /// stage timings. The uninstrumented service records nothing.
     pub fn with_metrics(mut self, metrics: ShardMetrics) -> ShardedLiveService {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attaches a snapshot-keyed [`QueryCache`] (see
+    /// [`cache`](crate::cache)): every reader built by
+    /// [`ShardedLiveService::reader`] from now on shares it, and a
+    /// repeated query over unchanged epochs is answered from the
+    /// cached ranking instead of re-running the scatter plan. Epoch
+    /// publication invalidates for free — entries are keyed to the
+    /// snapshot `Arc` pointers a publish swaps out — so cached and
+    /// uncached readers are observably identical (pinned by the
+    /// cache-transparency concurrency suite). The uncached service
+    /// caches nothing.
+    pub fn with_query_cache(mut self, cache: QueryCache) -> ShardedLiveService {
+        self.query_cache = Some(Arc::new(cache));
         self
     }
 
@@ -402,6 +424,7 @@ impl ShardedLiveService {
                 blend_cell: Arc::new(BlendCell::new(blend.clone())),
                 blend,
                 metrics: None,
+                query_cache: None,
             },
             reports,
         ))
@@ -568,6 +591,7 @@ impl ShardedLiveService {
             readers: self.shards.iter().map(|s| s.writer.reader()).collect(),
             blend: Arc::clone(&self.blend_cell),
             metrics: self.metrics.as_ref().map(|m| m.search().clone()),
+            cache: self.query_cache.clone(),
         }
     }
 
@@ -633,17 +657,100 @@ pub struct ShardedReader {
     /// [`SearchMetrics`] so this `lint:deterministic` module stays
     /// clock-free.
     metrics: Option<SearchMetrics>,
+    /// Snapshot-keyed result cache inherited from
+    /// [`ShardedLiveService::with_query_cache`]; `None` means every
+    /// query runs the scatter plan.
+    cache: Option<Arc<QueryCache>>,
+}
+
+/// One consistent view of the serving state: a snapshot `Arc` per
+/// shard plus the global blend `Arc`, pinned together at one instant
+/// by [`ShardedReader::pin`].
+///
+/// Everything downstream of a pin — the scatter plan, the cache key,
+/// the cache-transparency contract — is a pure function of this
+/// struct, so a caller holding one can compare cached and uncached
+/// evaluations of the *same* epochs even while commits race ahead.
+#[derive(Debug, Clone)]
+pub struct PinnedShards {
+    snapshots: Vec<Arc<EngineSnapshot>>,
+    blend: Arc<StaticBlend>,
+}
+
+impl PinnedShards {
+    /// Per-shard snapshot sequences, in shard order.
+    pub fn seqs(&self) -> Vec<u64> {
+        self.snapshots.iter().map(|s| s.seq()).collect()
+    }
 }
 
 impl ShardedReader {
+    /// Pins the current epoch set: one snapshot per shard plus the
+    /// current global blend, each acquired under its store's
+    /// one-clone lock. Snapshots are acquired independently, so a
+    /// pin racing a commit may see some shards one burst newer than
+    /// others — the documented cross-shard staleness bound.
+    pub fn pin(&self) -> PinnedShards {
+        PinnedShards {
+            snapshots: self.readers.iter().map(|r| r.snapshot()).collect(),
+            blend: self.blend.load(),
+        }
+    }
+
     /// Evaluates a query across all shards, returning the top `k`
     /// sources — bit-identical to an unsharded engine holding the
     /// same documents (term normalization, scoring and tie-breaking
-    /// included).
+    /// included). Pins the current epochs and delegates to
+    /// [`ShardedReader::query_pinned`], so a cached reader consults
+    /// the cache under the pinned key.
     pub fn query<S: AsRef<str>>(&self, terms: &[S], k: usize) -> Vec<SearchHit> {
-        let snapshots: Vec<_> = self.readers.iter().map(|r| r.snapshot()).collect();
-        let engines: Vec<&SearchEngine> = snapshots.iter().map(|s| s.engine()).collect();
-        let blend = self.blend.load();
+        let pinned = self.pin();
+        self.query_pinned(&pinned, terms, k)
+    }
+
+    /// Evaluates a query against an explicit pinned view. With a
+    /// cache attached, the result is served from (or filled into)
+    /// the entry keyed by exactly these snapshot epochs — by the
+    /// cache-transparency invariant it is bit-identical to
+    /// [`ShardedReader::query_uncached`] on the same pin.
+    pub fn query_pinned<S: AsRef<str>>(
+        &self,
+        pinned: &PinnedShards,
+        terms: &[S],
+        k: usize,
+    ) -> Vec<SearchHit> {
+        match &self.cache {
+            Some(cache) => {
+                cache.query_or_compute(&pinned.snapshots, &pinned.blend, terms, k, |normalized| {
+                    self.run_plan(pinned, normalized, k)
+                })
+            }
+            None => self.run_plan(pinned, terms, k),
+        }
+    }
+
+    /// Evaluates a query against a pinned view, always running the
+    /// full scatter plan and never touching the cache — the oracle
+    /// side of the cache-transparency contract.
+    pub fn query_uncached<S: AsRef<str>>(
+        &self,
+        pinned: &PinnedShards,
+        terms: &[S],
+        k: usize,
+    ) -> Vec<SearchHit> {
+        self.run_plan(pinned, terms, k)
+    }
+
+    /// The scatter-gather plan over a pinned view, instrumented when
+    /// the service carries [`SearchMetrics`].
+    fn run_plan<S: AsRef<str>>(
+        &self,
+        pinned: &PinnedShards,
+        terms: &[S],
+        k: usize,
+    ) -> Vec<SearchHit> {
+        let engines: Vec<&SearchEngine> = pinned.snapshots.iter().map(|s| s.engine()).collect();
+        let blend = &pinned.blend;
         match &self.metrics {
             Some(m) => {
                 let mut timer = m.trace();

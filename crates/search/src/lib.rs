@@ -48,8 +48,8 @@ pub use engine::{SearchEngine, SearchHit};
 pub use index::InvertedIndex;
 pub use pagerank::{pagerank, pagerank_converged, PagerankRun};
 pub use scatter::{
-    merge_partials, scatter_query, scatter_query_traced, NopTrace, ScatterStats, ScatterTrace,
-    SourcePartial,
+    merge_partials, normalize_query, scatter_query, scatter_query_traced, scatter_query_unpruned,
+    NopTrace, ScatterStats, ScatterTrace, SourcePartial,
 };
 pub use token::tokenize;
 pub use trace::{QueryTimer, SearchMetrics};

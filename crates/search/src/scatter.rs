@@ -121,8 +121,18 @@ pub struct SourcePartial {
 
 /// Merges per-shard partial results into the final top-k ranking:
 /// each partial is blended with its source's static score, sorted by
-/// blended score (ties broken by source id, as the unsharded scorer
-/// breaks them) and truncated to `k` with 1-based positions.
+/// the documented **total order** — blended score descending, then
+/// match count descending, then source id ascending — and truncated
+/// to `k` with 1-based positions.
+///
+/// The order is total over any legal partial set (sources are
+/// distinct, so the final key never ties), which is what makes the
+/// ranking independent of partial *arrival order*: however a pruned
+/// scatter plan interleaves its per-shard outputs, and whatever the
+/// shard count, equal-scored sources land in the same positions.
+/// Match count ranks above source id so that, at equal blended
+/// score, the source with broader query coverage wins rather than
+/// whichever happens to have the smaller id.
 ///
 /// Sources must be disjoint across the merged partials — the shard
 /// router guarantees this by routing each source to exactly one
@@ -142,8 +152,9 @@ pub struct SourcePartial {
 /// ];
 /// let hits = merge_partials(partials, |_| 0.0, &BlendWeights::default(), 2);
 ///
-/// // Top-2 by blended score; the exact tie breaks toward the lower
-/// // source id, and positions are 1-based.
+/// // Top-2 by blended score; at equal score and equal matches the
+/// // tie breaks toward the lower source id, and positions are
+/// // 1-based.
 /// assert_eq!(hits.len(), 2);
 /// assert_eq!(hits[0].source, SourceId::new(1));
 /// assert_eq!(hits[1].source, SourceId::new(2));
@@ -156,22 +167,36 @@ pub fn merge_partials(
     weights: &BlendWeights,
     k: usize,
 ) -> Vec<SearchHit> {
-    let mut hits: Vec<SearchHit> = partials
+    let mut blended: Vec<(SearchHit, u32)> = partials
         .into_iter()
-        .map(|p| SearchHit {
-            source: p.source,
-            score: weights.content * p.best
-                + weights.depth * (1.0 + p.matches as f64).ln()
-                + static_score(p.source),
-            position: 0,
+        .map(|p| {
+            (
+                SearchHit {
+                    source: p.source,
+                    score: weights.content * p.best
+                        + weights.depth * (1.0 + p.matches as f64).ln()
+                        + static_score(p.source),
+                    position: 0,
+                },
+                p.matches,
+            )
         })
         .collect();
-    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.source.cmp(&b.source)));
-    hits.truncate(k);
-    for (i, h) in hits.iter_mut().enumerate() {
-        h.position = i + 1;
-    }
-    hits
+    blended.sort_by(|(a, a_matches), (b, b_matches)| {
+        b.score
+            .total_cmp(&a.score)
+            .then(b_matches.cmp(a_matches))
+            .then(a.source.cmp(&b.source))
+    });
+    blended.truncate(k);
+    blended
+        .into_iter()
+        .enumerate()
+        .map(|(i, (mut h, _))| {
+            h.position = i + 1;
+            h
+        })
+        .collect()
 }
 
 /// Observer hooks for the phases of one scatter-gather evaluation.
@@ -254,12 +279,42 @@ pub fn scatter_query_traced<S: AsRef<str>>(
     hits
 }
 
+/// [`scatter_query`] with every shard scored through the reference
+/// **unpruned** scorer
+/// ([`SearchEngine::partial_query_unpruned`](crate::SearchEngine::partial_query_unpruned))
+/// instead of the pruned fast path. Same gather, same merge, same
+/// normalization — this is the oracle lane for the
+/// pruned-equals-unpruned property suite and the benchmark baseline;
+/// production readers never call it.
+pub fn scatter_query_unpruned<S: AsRef<str>>(
+    shards: &[&SearchEngine],
+    terms: &[S],
+    k: usize,
+    static_score: impl Fn(SourceId) -> f64,
+    weights: &BlendWeights,
+) -> Vec<SearchHit> {
+    if shards.is_empty() {
+        return Vec::new();
+    }
+    let normalized = normalize_query(terms);
+    let indexes: Vec<&InvertedIndex> = shards.iter().map(|s| s.index()).collect();
+    let stats = ScatterStats::gather(&indexes, &normalized);
+    let mut partials = Vec::new();
+    for shard in shards {
+        partials.extend(shard.partial_query_unpruned(&normalized, &stats));
+    }
+    merge_partials(partials, static_score, weights, k)
+}
+
 /// Normalizes raw query terms the way the index was tokenized:
 /// terms that are already normalized tokens (lowercase alphanumeric,
 /// non-stopword) are borrowed as-is, everything else is re-tokenized
 /// — so a clean query allocates no per-term strings on the hot path.
-/// Duplicates are left in; the scorer collapses them.
-pub(crate) fn normalize_query<S: AsRef<str>>(terms: &[S]) -> Vec<Cow<'_, str>> {
+/// Duplicates are left in; the scorer collapses them. Public so a
+/// caching layer can key entries by exactly the terms the plan will
+/// score — two raw queries normalizing identically share one cache
+/// entry and one result.
+pub fn normalize_query<S: AsRef<str>>(terms: &[S]) -> Vec<Cow<'_, str>> {
     let mut normalized: Vec<Cow<'_, str>> = Vec::with_capacity(terms.len());
     for term in terms {
         let term = term.as_ref();
@@ -334,6 +389,55 @@ mod tests {
         let hits = merge_partials(many, |_| 0.0, &BlendWeights::default(), 3);
         assert_eq!(hits.len(), 3);
         assert_eq!(hits[0].source, SourceId::new(9));
+    }
+
+    /// Regression fixture for the merge's documented total order
+    /// (score desc, matches desc, source asc). With a zero depth
+    /// weight two sources blend to the *identical* score while their
+    /// match counts differ; the old ordering (score, then source id)
+    /// put source 5 first regardless, reordering equal-scored
+    /// sources away from query coverage — and, worse, leaving the
+    /// outcome to whichever key the sort happened to consult. The
+    /// source with more matching documents must win the tie.
+    #[test]
+    fn merge_ties_break_by_matches_before_source_id() {
+        let weights = BlendWeights {
+            depth: 0.0,
+            ..BlendWeights::default()
+        };
+        let partials = vec![
+            SourcePartial {
+                source: SourceId::new(5),
+                best: 1.0,
+                matches: 1,
+            },
+            SourcePartial {
+                source: SourceId::new(9),
+                best: 1.0,
+                matches: 7,
+            },
+        ];
+        let hits = merge_partials(partials, |_| 0.0, &weights, 2);
+        assert_eq!(hits[0].score, hits[1].score, "fixture must tie on score");
+        assert_eq!(hits[0].source, SourceId::new(9), "more matches wins");
+        assert_eq!(hits[1].source, SourceId::new(5));
+
+        // At equal score *and* equal matches, lower source id wins —
+        // the final, always-distinct key.
+        let partials = vec![
+            SourcePartial {
+                source: SourceId::new(9),
+                best: 1.0,
+                matches: 3,
+            },
+            SourcePartial {
+                source: SourceId::new(5),
+                best: 1.0,
+                matches: 3,
+            },
+        ];
+        let hits = merge_partials(partials, |_| 0.0, &weights, 2);
+        assert_eq!(hits[0].source, SourceId::new(5));
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Property suite: the per-term score-bound inputs stay **exact**
+//! under arbitrary index maintenance.
+//!
+//! The pruned query fast path derives each term's score upper bound
+//! from [`InvertedIndex::max_term_frequency`], so the whole pruning
+//! argument rests on two index invariants surviving any interleaving
+//! of adds, removes and tombstone compaction through the
+//! [`IndexWriter`]:
+//!
+//! 1. every posting list stays sorted by document id (the DAAT merge
+//!    order), and
+//! 2. every per-term max frequency equals — not merely bounds — the
+//!    max over the *surviving* postings, recomputed from scratch.
+//!
+//! The generator drives batched writer commits (several ops per
+//! sweep, so multi-tombstone compaction paths run), direct
+//! add/remove calls, re-adds of live ids and delta replays, then
+//! compares against a recomputed oracle.
+
+use obs_model::{PostId, SourceId};
+use obs_search::{IndexWriter, InvertedIndex};
+use proptest::prelude::*;
+
+/// Small shared vocabulary so removals constantly dirty lists that
+/// other live documents still populate — the case where a stale max
+/// would go unnoticed by coarser tests.
+const POOL: [&str; 8] = [
+    "duomo", "castle", "gardens", "rooftop", "market", "fountain", "museum", "piazza",
+];
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// A synthetic document body of 1–12 pool words (repeats likely, so
+/// term frequencies above 1 are common and the max moves around).
+fn synth_text(state: &mut u64) -> String {
+    let words = 1 + (lcg(state) % 12) as usize;
+    (0..words)
+        .map(|_| POOL[(lcg(state) % POOL.len() as u64) as usize])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The invariants, checked against a from-scratch oracle.
+fn assert_bounds_exact(idx: &InvertedIndex) {
+    for term in POOL {
+        let postings = idx.postings(term);
+        for w in postings.windows(2) {
+            assert!(
+                w[0].doc < w[1].doc,
+                "postings of `{term}` out of doc-id order"
+            );
+        }
+        let oracle = postings.iter().map(|p| p.tf).max().unwrap_or(0);
+        assert_eq!(
+            idx.max_term_frequency(term),
+            oracle,
+            "max tf of `{term}` drifted from the surviving postings"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn per_term_bounds_are_exactly_the_surviving_max(seed in 0u64..10_000, ops in 5usize..60) {
+        let mut state = seed.wrapping_add(1);
+        let mut idx = InvertedIndex::default();
+        let mut live: Vec<u32> = Vec::new();
+
+        let mut done = 0usize;
+        while done < ops {
+            // A writer batch of 1–5 ops: tombstones accumulate and
+            // compact in one generation sweep at commit.
+            let batch = 1 + (lcg(&mut state) % 5) as usize;
+            let mut writer = IndexWriter::new(&mut idx);
+            for _ in 0..batch {
+                let roll = lcg(&mut state) % 3;
+                if roll == 0 && !live.is_empty() {
+                    let victim = live[(lcg(&mut state) as usize) % live.len()];
+                    writer.remove_document(PostId::new(victim));
+                    live.retain(|&d| d != victim);
+                } else {
+                    // Doc ids from a small range, so re-adds of live
+                    // ids (update semantics) and re-use of removed
+                    // ids both occur.
+                    let doc = (lcg(&mut state) % 40) as u32;
+                    let text = synth_text(&mut state);
+                    writer.add_document(PostId::new(doc), SourceId::new(doc % 5), &text);
+                    if !live.contains(&doc) {
+                        live.push(doc);
+                    }
+                }
+                done += 1;
+            }
+            writer.commit();
+            assert_bounds_exact(&idx);
+        }
+
+        // Drain the survivors through one final batched removal: the
+        // bounds must follow the shrinking lists all the way to zero.
+        let mut writer = IndexWriter::new(&mut idx);
+        for &doc in &live {
+            writer.remove_document(PostId::new(doc));
+        }
+        writer.commit();
+        assert_bounds_exact(&idx);
+        prop_assert_eq!(idx.doc_count(), 0);
+        for term in POOL {
+            prop_assert_eq!(idx.max_term_frequency(term), 0);
+        }
+    }
+}

@@ -21,14 +21,19 @@
 //! ([`ShardMetrics`]): every routed burst records its fan-out width
 //! and per-shard commit latency/outcome, and every scatter-gather
 //! query records its gather, per-shard scoring and whole-plan
-//! timings. The demo ends with the registry's text exposition.
+//! timings. A snapshot-keyed [`QueryCache`] rides along with its own
+//! hit/miss/fill/eviction counters — the demo repeats a query so the
+//! hit path shows up in the exposition. The demo ends with the
+//! registry's text exposition.
 //!
 //! ```sh
 //! cargo run --release --example sharded_live
 //! ```
 
 use informing_observers::analytics::{AlexaPanel, LinkGraph};
-use informing_observers::live::{LiveService, ShardMetrics, ShardedLiveService};
+use informing_observers::live::{
+    CacheMetrics, LiveService, QueryCache, ShardMetrics, ShardedLiveService,
+};
 use informing_observers::model::{CorpusDelta, PostId};
 use informing_observers::search::{BlendWeights, SearchEngine};
 use informing_observers::synth::{World, WorldConfig};
@@ -66,10 +71,12 @@ fn main() {
 
     let registry = Registry::new();
     let metrics = ShardMetrics::new(&registry, SHARDS);
+    let cache_metrics = CacheMetrics::new(&registry);
     let mut flat = LiveService::start(seed.clone(), &flat_path).unwrap();
     let mut sharded = ShardedLiveService::start(&seed, SHARDS, &shard_dir)
         .unwrap()
-        .with_metrics(metrics.clone());
+        .with_metrics(metrics.clone())
+        .with_query_cache(QueryCache::new(128).with_metrics(cache_metrics.clone()));
 
     // The same burst stream through both topologies: chunks of posts
     // as deltas, group-committed sixteen at a time. In the sharded
@@ -92,10 +99,18 @@ fn main() {
         flat.reader().snapshot().engine().doc_count()
     );
 
-    // Scatter-gather vs single index: bit-identical rankings.
+    // Scatter-gather vs single index: bit-identical rankings. The
+    // first ask fills the snapshot-keyed query cache, the second is
+    // served from it — same epochs, same entry, same bits.
     let probe: Vec<String> = vec!["museum".into(), "festival".into(), "market".into()];
     let reader = sharded.reader();
     let sharded_hits = reader.query(&probe, 10);
+    assert_eq!(sharded_hits, reader.query(&probe, 10));
+    assert_eq!(
+        cache_metrics.hits(),
+        1,
+        "the repeat ask must be a cache hit"
+    );
     let flat_snapshot = flat.reader().snapshot();
     let flat_hits = flat_snapshot.engine().query(&probe, 10);
     assert_eq!(

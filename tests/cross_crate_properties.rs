@@ -9,7 +9,8 @@ use informing_observers::quality::{
 };
 use informing_observers::search::score::{bm25_scores, Bm25Params};
 use informing_observers::search::{
-    tokenize, BlendWeights, IndexWriter, InvertedIndex, SearchEngine,
+    scatter_query, scatter_query_unpruned, tokenize, BlendWeights, IndexWriter, InvertedIndex,
+    SearchEngine,
 };
 use informing_observers::synth::{TwitterConfig, TwitterPopulation, World, WorldConfig};
 use informing_observers::wrappers::{service_for, Crawler};
@@ -695,6 +696,78 @@ proptest! {
         prop_assert_eq!(recovered.reader().query(&terms, 20), hits);
 
         std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn pruned_query_equals_unpruned_query(
+        seed in 0u64..10_000,
+        shards in 1usize..4,
+        k in 1usize..40,
+        content_w in 0.0f64..8.0,
+        depth_w in 0.0f64..4.0,
+    ) {
+        // The pruned DAAT fast path (`partial_query` behind
+        // `scatter_query`) skips the float scoring of documents whose
+        // score upper bound cannot beat the current k-th slot. The
+        // pruning must be invisible: for any corpus, shard count,
+        // cutoff and blend weighting, `scatter_query` must return
+        // bit-identical hits AND scores to the exhaustive
+        // `scatter_query_unpruned` oracle — which stays callable as a
+        // public API precisely so this comparison is possible.
+        let world = tiny_world(seed);
+        let panel = AlexaPanel::simulate(&world, seed);
+        let links = LinkGraph::simulate(&world, seed ^ 1);
+        let scratch =
+            SearchEngine::build(&world.corpus, &panel, &links, BlendWeights::default());
+
+        // Partition the corpus into shard engines the same way the
+        // serving layer routes: by `SourceId::shard`.
+        let all: Vec<PostId> = world.corpus.posts().iter().map(|p| p.id).collect();
+        let mut empty = scratch.clone();
+        empty.apply_delta(&CorpusDelta::for_removals(&world.corpus, &all).unwrap());
+        let mut engines: Vec<SearchEngine> = vec![empty; shards];
+        for (shard, engine) in engines.iter_mut().enumerate() {
+            let mine: Vec<PostId> = all
+                .iter()
+                .copied()
+                .filter(|&pid| {
+                    let (source, _) = document_text(&world.corpus, pid).unwrap();
+                    source.shard(shards) == shard
+                })
+                .collect();
+            if !mine.is_empty() {
+                engine.apply_delta(&CorpusDelta::for_posts(&world.corpus, &mine).unwrap());
+            }
+        }
+        let refs: Vec<&SearchEngine> = engines.iter().collect();
+        let weights = BlendWeights {
+            content: content_w,
+            depth: depth_w,
+            ..BlendWeights::default()
+        };
+        let static_score = |s| scratch.static_score(s);
+
+        // The whole vocabulary at once (every list in play) and small
+        // realistic queries (deep pruning, since few terms bound the
+        // scores tightly).
+        let vocab = probe_terms(&world);
+        let mut queries: Vec<Vec<String>> = vec![vocab.clone()];
+        for window in vocab.windows(3).step_by(7) {
+            queries.push(window.to_vec());
+        }
+        for terms in &queries {
+            let pruned = scatter_query(&refs, terms, k, static_score, &weights);
+            let oracle = scatter_query_unpruned(&refs, terms, k, static_score, &weights);
+            prop_assert_eq!(
+                &pruned, &oracle,
+                "pruned ranking diverged (shards={}, k={}, terms={})",
+                shards, k, terms.len()
+            );
+            // Bit-identical scores, not merely equal ordering.
+            for (p, o) in pruned.iter().zip(&oracle) {
+                prop_assert_eq!(p.score.to_bits(), o.score.to_bits());
+            }
+        }
     }
 
     #[test]
